@@ -1,0 +1,162 @@
+// Command tealeaf runs a TeaLeaf input deck: it solves the linear heat
+// conduction equation with the deck's solver and prints per-step solver
+// statistics and the final field summary, optionally writing the final
+// temperature field as a PPM heatmap or VTK dataset.
+//
+// Usage:
+//
+//	tealeaf [flags] [tea.in]
+//
+// With no deck argument, a built-in crooked-pipe deck (-mesh cells per
+// side) is used. -px/-py run the problem decomposed over goroutine ranks,
+// exercising the same halo-exchange and reduction paths as an MPI run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tealeaf/internal/core"
+	"tealeaf/internal/deck"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/output"
+	"tealeaf/internal/par"
+	"tealeaf/internal/problem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tealeaf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mesh    = flag.Int("mesh", 128, "built-in crooked-pipe mesh size (used when no deck file is given)")
+		steps   = flag.Int("steps", 0, "number of time steps to run (0 = deck's end_time/end_step)")
+		px      = flag.Int("px", 1, "ranks in x (goroutine ranks)")
+		py      = flag.Int("py", 1, "ranks in y")
+		workers = flag.Int("workers", 1, "worker threads per rank (hybrid mode)")
+		solver  = flag.String("solver", "", "override deck solver (cg|ppcg|chebyshev|jacobi)")
+		depth   = flag.Int("halo-depth", 0, "override matrix-powers halo depth")
+		ppm     = flag.String("ppm", "", "write final temperature heatmap to this PPM file")
+		vtk     = flag.String("vtk", "", "write final fields to this VTK file")
+		ascii   = flag.Bool("ascii", false, "print an ASCII heatmap of the final temperature")
+		quiet   = flag.Bool("quiet", false, "suppress per-step output")
+	)
+	flag.Parse()
+
+	var d *deck.Deck
+	if flag.NArg() >= 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d, err = deck.Parse(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		d = problem.CrookedPipeDeck(*mesh, *mesh)
+	}
+	if *solver != "" {
+		d.Solver = *solver
+	}
+	if *depth > 0 {
+		d.HaloDepth = *depth
+	}
+	nSteps := *steps
+	if nSteps <= 0 {
+		nSteps = d.Steps()
+	}
+
+	fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
+		d.XCells, d.YCells, d.Solver, orNone(d.Precond), d.Eps, d.InitialTimestep, nSteps)
+
+	if *px**py > 1 {
+		fmt.Printf("decomposition: %dx%d ranks, %d workers/rank\n", *px, *py, *workers)
+		res, err := core.RunDistributed(d, *px, *py, nSteps, *workers)
+		if err != nil {
+			return err
+		}
+		printSummary(res.Summary)
+		if *ascii {
+			fmt.Print(output.ASCIIHeatmap(res.Energy, 72, 36))
+		}
+		if *ppm != "" {
+			if err := writePPM(*ppm, res.Energy); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	inst, err := core.NewSerial(d, par.NewPool(*workers))
+	if err != nil {
+		return err
+	}
+	var totalIters, totalInner int
+	for s := 0; s < nSteps; s++ {
+		res, err := inst.Step()
+		if err != nil {
+			return err
+		}
+		totalIters += res.Iterations
+		totalInner += res.TotalInner
+		if !*quiet {
+			fmt.Printf("step %4d  time %8.4f  iters %5d  inner %6d  residual %.3e\n",
+				s+1, inst.Time(), res.Iterations, res.TotalInner, res.FinalResidual)
+		}
+	}
+	sum := inst.Summarise()
+	sum.TotalIterations = totalIters
+	sum.TotalInner = totalInner
+	printSummary(sum)
+	tr := inst.Comm.Trace()
+	fmt.Printf("comm trace: %s\n", tr)
+
+	if *ascii {
+		fmt.Print(output.ASCIIHeatmap(inst.Energy, 72, 36))
+	}
+	if *ppm != "" {
+		if err := writePPM(*ppm, inst.Energy); err != nil {
+			return err
+		}
+	}
+	if *vtk != "" {
+		f, err := os.Create(*vtk)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return output.WriteVTK(f, "tealeaf", map[string]*grid.Field2D{
+			"energy": inst.Energy, "density": inst.Density, "u": inst.U,
+		})
+	}
+	return nil
+}
+
+func printSummary(s core.Summary) {
+	fmt.Printf("summary: steps=%d time=%.4f volume=%.6g mass=%.6g ie=%.6g avg-temp=%.6g iters=%d inner=%d\n",
+		s.Steps, s.SimTime, s.Volume, s.Mass, s.InternalEnergy, s.AvgTemperature,
+		s.TotalIterations, s.TotalInner)
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func writePPM(path string, f *grid.Field2D) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return output.WritePPM(out, f, 0, 0)
+}

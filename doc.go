@@ -1,0 +1,29 @@
+// Package tealeaf is a Go reproduction of the TeaLeaf mini-application
+// (McIntosh-Smith et al., "TeaLeaf: A Mini-Application to Enable
+// Design-Space Explorations for Iterative Sparse Linear Solvers", IEEE
+// CLUSTER 2017): matrix-free iterative solvers — Jacobi, CG, Chebyshev and
+// the communication-avoiding Chebyshev polynomially preconditioned CG
+// (CPPCG) — for the implicit linear heat-conduction equation on regular
+// 2D/3D grids, with block-Jacobi preconditioning, the matrix-powers
+// deep-halo kernel, a goroutine/channel MPI substitute, a geometric
+// multigrid baseline standing in for PETSc CG + Hypre BoomerAMG, and an
+// analytic strong-scaling model of the paper's three evaluation machines
+// (Titan, Piz Daint, Spruce).
+//
+// Entry points:
+//
+//   - cmd/tealeaf — run an input deck (tea.in dialect), serially or over
+//     goroutine ranks.
+//   - cmd/teabench — regenerate Table I and Figures 3–8 plus the ablation
+//     studies.
+//   - examples/ — quickstart, crooked pipe, scaling study, mesh
+//     convergence.
+//
+// The library lives under internal/; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-versus-measured results. The
+// benchmarks in bench_test.go regenerate every table and figure under
+// `go test -bench`.
+package tealeaf
+
+// Version identifies this reproduction.
+const Version = "1.0.0"

@@ -1,0 +1,57 @@
+// Mesh convergence: the Fig. 4 study — the average mesh temperature
+// converges as resolution increases, which is the paper's argument for
+// fixing the strong-scaling mesh at 4000×4000 ("the point at which any
+// further resolution increase becomes less scientifically interesting").
+// This example runs a reduced ladder with a fixed simulated end time so
+// the temperatures are directly comparable across meshes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tealeaf/internal/core"
+	"tealeaf/internal/par"
+	"tealeaf/internal/problem"
+)
+
+func main() {
+	const steps = 15 // 0.6 µs at dt = 0.04 µs, identical for every mesh
+	meshes := []int{24, 32, 48, 64, 96, 128}
+
+	fmt.Println("mesh      avg temperature    |Δ| vs previous")
+	var prev float64
+	var prevSet bool
+	temps := make([]float64, 0, len(meshes))
+	for _, n := range meshes {
+		d := problem.CrookedPipeDeck(n, n)
+		d.Eps = 1e-9
+		inst, err := core.NewSerial(d, par.NewPool(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := inst.Run(steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		temps = append(temps, sum.AvgTemperature)
+		if prevSet {
+			fmt.Printf("%-9d %-18.10g %.3e\n", n, sum.AvgTemperature, math.Abs(sum.AvgTemperature-prev))
+		} else {
+			fmt.Printf("%-9d %-18.10g -\n", n, sum.AvgTemperature)
+		}
+		prev, prevSet = sum.AvgTemperature, true
+	}
+
+	// Richardson-style convergence estimate from the last three points.
+	n := len(temps)
+	d1 := math.Abs(temps[n-2] - temps[n-3])
+	d2 := math.Abs(temps[n-1] - temps[n-2])
+	if d2 < d1 {
+		fmt.Printf("\nconverging: successive |ΔT| shrank %.3e -> %.3e\n", d1, d2)
+		fmt.Println("(the paper's full ladder continues to 4000², where ΔT vanishes — Fig. 4)")
+	} else {
+		fmt.Println("\nnot yet in the asymptotic regime at this ladder")
+	}
+}

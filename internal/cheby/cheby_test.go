@@ -1,0 +1,235 @@
+package cheby
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTKnownValues(t *testing.T) {
+	cases := []struct {
+		m    int
+		x    float64
+		want float64
+	}{
+		{0, 0.3, 1},
+		{1, 0.3, 0.3},
+		{2, 0.5, 2*0.5*0.5 - 1}, // T2 = 2x²-1
+		{3, 0.5, 4*0.125 - 3*0.5},
+		{2, 2, 7},    // 2*4-1
+		{3, 2, 26},   // 4*8-3*2
+		{2, -2, 7},   // even
+		{3, -2, -26}, // odd
+		{5, 1, 1},
+		{4, -1, 1},
+	}
+	for _, c := range cases {
+		if got := T(c.m, c.x); math.Abs(got-c.want) > 1e-12*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("T(%d,%v) = %v, want %v", c.m, c.x, got, c.want)
+		}
+	}
+	// T_{-m} == T_m.
+	if T(-3, 1.5) != T(3, 1.5) {
+		t.Error("negative order must mirror")
+	}
+}
+
+func TestTMatchesRecurrenceQuick(t *testing.T) {
+	f := func(mu uint8, xi int16) bool {
+		m := int(mu % 20)
+		x := float64(xi) / 8192 * 3 // covers [-3, 3]
+		a, b := T(m, x), TRecurrence(m, x)
+		return math.Abs(a-b) <= 1e-8*math.Max(1, math.Abs(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTBoundedOnInterval(t *testing.T) {
+	for m := 0; m <= 12; m++ {
+		for x := -1.0; x <= 1.0; x += 0.01 {
+			if v := math.Abs(T(m, x)); v > 1+1e-12 {
+				t.Fatalf("|T(%d,%v)| = %v > 1 inside [-1,1]", m, x, v)
+			}
+		}
+	}
+}
+
+func TestXiMapsSpectrum(t *testing.T) {
+	lo, hi := 0.5, 4.5
+	if got := Xi(lo, lo, hi); math.Abs(got+1) > 1e-15 {
+		t.Errorf("Xi(min) = %v, want -1", got)
+	}
+	if got := Xi(hi, lo, hi); math.Abs(got-1) > 1e-15 {
+		t.Errorf("Xi(max) = %v, want +1", got)
+	}
+	if got := Xi((lo+hi)/2, lo, hi); math.Abs(got) > 1e-15 {
+		t.Errorf("Xi(mid) = %v, want 0", got)
+	}
+	// ξ(0) < -1 for SPD spectra: 0 is left of the interval.
+	if got := Xi(0, lo, hi); got >= -1 {
+		t.Errorf("Xi(0) = %v, want < -1", got)
+	}
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(0, 1, 5); err == nil {
+		t.Error("zero lambdaMin must error")
+	}
+	if _, err := NewSchedule(-1, 1, 5); err == nil {
+		t.Error("negative lambdaMin must error")
+	}
+	if _, err := NewSchedule(2, 1, 5); err == nil {
+		t.Error("inverted interval must error")
+	}
+	if _, err := NewSchedule(1, 2, 0); err == nil {
+		t.Error("zero steps must error")
+	}
+	if _, err := NewSchedule(math.NaN(), 2, 3); err == nil {
+		t.Error("NaN must error")
+	}
+}
+
+func TestScheduleCoefficients(t *testing.T) {
+	s, err := NewSchedule(1, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Theta != 5 || s.Delta != 4 {
+		t.Fatalf("theta/delta = %v/%v, want 5/4", s.Theta, s.Delta)
+	}
+	if math.Abs(s.Sigma-1.25) > 1e-15 {
+		t.Fatalf("sigma = %v", s.Sigma)
+	}
+	// Manual recurrence.
+	rho0 := 1 / 1.25
+	rho1 := 1 / (2*1.25 - rho0)
+	if math.Abs(s.Alpha[0]-rho1*rho0) > 1e-15 {
+		t.Errorf("alpha[0] = %v, want %v", s.Alpha[0], rho1*rho0)
+	}
+	if math.Abs(s.Beta[0]-2*rho1/4) > 1e-15 {
+		t.Errorf("beta[0] = %v, want %v", s.Beta[0], 2*rho1/4)
+	}
+	if s.Steps() != 4 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+	// The rho sequence converges to the fixed point σ - sqrt(σ²-1);
+	// alphas and betas must be positive and decreasing toward it.
+	for k := 0; k < 4; k++ {
+		if s.Alpha[k] <= 0 || s.Beta[k] <= 0 {
+			t.Errorf("coefficients must stay positive: alpha[%d]=%v beta[%d]=%v", k, s.Alpha[k], k, s.Beta[k])
+		}
+	}
+}
+
+func TestErrorBoundDecays(t *testing.T) {
+	s, err := NewSchedule(1, 100, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for m := 1; m <= 32; m *= 2 {
+		eb := s.ErrorBound(m)
+		if eb >= prev {
+			t.Errorf("ErrorBound(%d) = %v not decreasing (prev %v)", m, eb, prev)
+		}
+		prev = eb
+	}
+	// Classic rate: eb(m) ≈ 2c^m with c=(√κ-1)/(√κ+1); check the m=16
+	// value against the closed form within a factor of 2.
+	kappa := 100.0
+	c := (math.Sqrt(kappa) - 1) / (math.Sqrt(kappa) + 1)
+	approx := 2 * math.Pow(c, 16)
+	if got := s.ErrorBound(16); got > 2*approx || got < approx/2 {
+		t.Errorf("ErrorBound(16) = %v, closed form ≈ %v", got, approx)
+	}
+}
+
+func TestKappaPCGImproves(t *testing.T) {
+	lo, hi := 1.0, 1e4 // κ_cg = 10000, similar to a fine TeaLeaf mesh
+	kcg := hi / lo
+	prev := kcg
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		k := KappaPCG(m, lo, hi)
+		if k >= prev {
+			t.Errorf("KappaPCG(m=%d) = %v not improving (prev %v)", m, k, prev)
+		}
+		if k < 1 {
+			t.Errorf("KappaPCG(m=%d) = %v < 1", m, k)
+		}
+		prev = k
+	}
+}
+
+func TestIterationBoundsEq6Eq7(t *testing.T) {
+	lo, hi, eps := 1.0, 4e4, 1e-10
+	total := TotalIterationBound(lo, hi, eps)
+	if want := math.Sqrt(4e4) / 2 * math.Log(2/eps); math.Abs(total-want) > 1e-9 {
+		t.Errorf("eq6 = %v, want %v", total, want)
+	}
+	for _, m := range []int{2, 5, 10, 25} {
+		outer := OuterIterationBound(m, lo, hi, eps)
+		if outer >= total {
+			t.Errorf("m=%d: outer bound %v must be below total %v", m, outer, total)
+		}
+		// The paper: ratio of outer to total ≈ √(κpcg/κcg); equivalently
+		// total/outer ≈ DotProductReduction.
+		ratio := total / outer
+		if red := DotProductReduction(m, lo, hi); math.Abs(ratio-red) > 1e-9*red {
+			t.Errorf("m=%d: total/outer = %v, DotProductReduction = %v", m, ratio, red)
+		}
+	}
+}
+
+func TestDotProductReductionGrowsWithM(t *testing.T) {
+	lo, hi := 1.0, 1e4
+	prev := 0.0
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		r := DotProductReduction(m, lo, hi)
+		if r <= prev {
+			t.Errorf("reduction must grow with m: m=%d r=%v prev=%v", m, r, prev)
+		}
+		prev = r
+	}
+	// Asymptotically the reduction approaches ~m+? : for κ→∞ the m-step
+	// polynomial divides √κ by ≈(something linear in m). Sanity: at m=8
+	// the reduction must be at least 4 for this κ.
+	if r := DotProductReduction(8, lo, hi); r < 4 {
+		t.Errorf("m=8 reduction = %v, expect > 4", r)
+	}
+}
+
+func TestPreconditionedResidualPolyProperties(t *testing.T) {
+	lo, hi := 0.5, 50.0
+	for _, m := range []int{1, 3, 8} {
+		// B(λ)λ must vanish at λ=0 (the polynomial preserves the null
+		// component) and stay within (0, 2) over the spectrum.
+		if v := PreconditionedResidualPoly(m, 0, lo, hi); math.Abs(v) > 1e-12 {
+			t.Errorf("m=%d: B(0)*0 = %v, want 0", m, v)
+		}
+		for lam := lo; lam <= hi; lam += (hi - lo) / 50 {
+			v := PreconditionedResidualPoly(m, lam, lo, hi)
+			eps := EpsilonM(m, lo, hi)
+			if v < 1-eps-1e-12 || v > 1+eps+1e-12 {
+				t.Errorf("m=%d λ=%v: B(λ)λ = %v outside [1-ε,1+ε] = [%v,%v]",
+					m, lam, v, 1-eps, 1+eps)
+			}
+		}
+	}
+}
+
+func TestEpsilonMDecreases(t *testing.T) {
+	lo, hi := 1.0, 1000.0
+	prev := 1.0
+	for m := 1; m <= 20; m++ {
+		e := EpsilonM(m, lo, hi)
+		if e >= prev {
+			t.Errorf("EpsilonM(%d) = %v not decreasing", m, e)
+		}
+		if e <= 0 || e >= 1 {
+			t.Errorf("EpsilonM(%d) = %v outside (0,1)", m, e)
+		}
+		prev = e
+	}
+}

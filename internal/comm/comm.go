@@ -1,0 +1,112 @@
+// Package comm is the distributed-memory communication substrate: the role
+// MPI plays in the original TeaLeaf. Ranks are goroutines; point-to-point
+// halo messages travel over buffered channels; global reductions use a
+// shared generation-counted accumulator (semantically an MPI_Allreduce).
+//
+// Solvers are written against the Communicator interface exactly as
+// TeaLeaf's solvers are written against MPI: every deep-halo exchange and
+// every dot-product reduction goes through it, so the same solver code
+// runs single-rank (Serial) or multi-rank (Hub/RankComm), and every
+// communication event is recorded in a stats.Trace for the performance
+// model.
+package comm
+
+import (
+	"fmt"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/stats"
+)
+
+// Communicator is the solver-facing communication interface.
+type Communicator interface {
+	// Rank returns this communicator's rank id in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Exchange refreshes depth halo layers of the given fields: neighbour
+	// data across internal boundaries, reflective (zero-flux) mirrors on
+	// physical boundaries. depth must not exceed the fields' grid halo.
+	Exchange(depth int, fields ...*grid.Field2D) error
+	// AllReduceSum returns the sum of x over all ranks.
+	AllReduceSum(x float64) float64
+	// AllReduceSum2 fuses two sums into one reduction (one latency).
+	AllReduceSum2(x, y float64) (float64, float64)
+	// AllReduceMax returns the maximum of x over all ranks.
+	AllReduceMax(x float64) float64
+	// Barrier blocks until every rank has entered it.
+	Barrier()
+	// Physical reports which sides of this rank touch the domain boundary.
+	Physical() PhysicalSides
+	// Trace returns this rank's communication trace (never nil).
+	Trace() *stats.Trace
+}
+
+// PhysicalSides mirrors stencil.PhysicalSides without importing it (comm
+// sits below stencil in the dependency order).
+type PhysicalSides struct {
+	Left, Right, Down, Up bool
+}
+
+// Serial is the single-rank communicator: halo exchanges reduce to
+// reflective boundary fills and reductions are identities. It still
+// records every operation in its trace so single-rank runs produce the
+// same instrumentation as distributed ones.
+type Serial struct {
+	trace stats.Trace
+}
+
+// NewSerial returns a fresh single-rank communicator.
+func NewSerial() *Serial { return &Serial{} }
+
+// Rank implements Communicator.
+func (s *Serial) Rank() int { return 0 }
+
+// Size implements Communicator.
+func (s *Serial) Size() int { return 1 }
+
+// Physical implements Communicator: every side is the domain boundary.
+func (s *Serial) Physical() PhysicalSides {
+	return PhysicalSides{Left: true, Right: true, Down: true, Up: true}
+}
+
+// Exchange implements Communicator by reflecting all four sides.
+func (s *Serial) Exchange(depth int, fields ...*grid.Field2D) error {
+	if len(fields) == 0 {
+		return nil
+	}
+	if depth < 1 || depth > fields[0].Grid.Halo {
+		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, fields[0].Grid.Halo)
+	}
+	for _, f := range fields {
+		f.ReflectHalos(depth)
+	}
+	s.trace.AddExchange(depth, 0, 0)
+	return nil
+}
+
+// AllReduceSum implements Communicator.
+func (s *Serial) AllReduceSum(x float64) float64 {
+	s.trace.AddReduction(1)
+	return x
+}
+
+// AllReduceSum2 implements Communicator.
+func (s *Serial) AllReduceSum2(x, y float64) (float64, float64) {
+	s.trace.AddReduction(2)
+	return x, y
+}
+
+// AllReduceMax implements Communicator.
+func (s *Serial) AllReduceMax(x float64) float64 {
+	s.trace.AddReduction(1)
+	return x
+}
+
+// Barrier implements Communicator.
+func (s *Serial) Barrier() {}
+
+// Trace implements Communicator.
+func (s *Serial) Trace() *stats.Trace { return &s.trace }
+
+var _ Communicator = (*Serial)(nil)

@@ -1,0 +1,365 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/stats"
+)
+
+// Hub owns the shared state of a multi-rank run: the partition, the
+// point-to-point mailboxes, and the collective accumulator. Create one Hub
+// per distributed solve, obtain one RankComm per rank with Comm, and run
+// each rank in its own goroutine.
+type Hub struct {
+	part *grid.Partition
+	// mail[rank][side] delivers messages that arrive at rank from the
+	// given direction. Buffered so a rank can post all its sends for a
+	// phase before draining its receives.
+	mail [][]chan []float64
+	coll *collective
+	gat  chan gatherMsg
+}
+
+// NewHub builds the communication fabric for the given partition.
+func NewHub(part *grid.Partition) *Hub {
+	n := part.Ranks()
+	h := &Hub{
+		part: part,
+		mail: make([][]chan []float64, n),
+		coll: newCollective(n),
+		gat:  make(chan gatherMsg, n),
+	}
+	for r := 0; r < n; r++ {
+		h.mail[r] = make([]chan []float64, grid.NumSides)
+		for s := range h.mail[r] {
+			h.mail[r][s] = make(chan []float64, 2)
+		}
+	}
+	return h
+}
+
+// Partition returns the partition the hub was built for.
+func (h *Hub) Partition() *grid.Partition { return h.part }
+
+// Comm returns the communicator endpoint for the given rank.
+func (h *Hub) Comm(rank int) *RankComm {
+	if rank < 0 || rank >= h.part.Ranks() {
+		panic(fmt.Sprintf("comm: rank %d outside [0,%d)", rank, h.part.Ranks()))
+	}
+	return &RankComm{hub: h, rank: rank}
+}
+
+// RankComm is one rank's endpoint of a Hub. Methods must be called from
+// that rank's goroutine only.
+type RankComm struct {
+	hub   *Hub
+	rank  int
+	trace stats.Trace
+}
+
+var _ Communicator = (*RankComm)(nil)
+
+// Rank implements Communicator.
+func (c *RankComm) Rank() int { return c.rank }
+
+// Size implements Communicator.
+func (c *RankComm) Size() int { return c.hub.part.Ranks() }
+
+// Trace implements Communicator.
+func (c *RankComm) Trace() *stats.Trace { return &c.trace }
+
+// Physical implements Communicator.
+func (c *RankComm) Physical() PhysicalSides {
+	p := c.hub.part
+	return PhysicalSides{
+		Left:  p.OnBoundary(c.rank, grid.Left),
+		Right: p.OnBoundary(c.rank, grid.Right),
+		Down:  p.OnBoundary(c.rank, grid.Down),
+		Up:    p.OnBoundary(c.rank, grid.Up),
+	}
+}
+
+// Exchange implements Communicator with the standard two-phase scheme:
+// first the x-direction strips over interior rows, then the y-direction
+// strips spanning the freshly filled x-halos, so corner halo cells receive
+// the diagonal neighbour's data without explicit corner messages — exactly
+// TeaLeaf's update_halo ordering. Physical sides are filled by zero-flux
+// mirroring in the same phase order.
+func (c *RankComm) Exchange(depth int, fields ...*grid.Field2D) error {
+	if len(fields) == 0 {
+		return nil
+	}
+	g := fields[0].Grid
+	if depth < 1 || depth > g.Halo {
+		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	}
+	for _, f := range fields {
+		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.Halo != g.Halo {
+			return fmt.Errorf("comm: all fields in one exchange must share grid shape")
+		}
+	}
+	part := c.hub.part
+	phys := c.Physical()
+	left := part.Neighbor(c.rank, grid.Left)
+	right := part.Neighbor(c.rank, grid.Right)
+	down := part.Neighbor(c.rank, grid.Down)
+	up := part.Neighbor(c.rank, grid.Up)
+
+	messages := 0
+	var bytes int64
+
+	// --- Phase X ---
+	for _, f := range fields {
+		f.ReflectHalosSides(depth, phys.Left, phys.Right, false, false)
+	}
+	// Send before receive: the buffered mailboxes make this deadlock-free.
+	if right >= 0 {
+		msg := packX(fields, g.NX-depth, g.NX, depth)
+		c.hub.mail[right][grid.Left] <- msg
+		messages++
+		bytes += int64(len(msg) * 8)
+	}
+	if left >= 0 {
+		msg := packX(fields, 0, depth, depth)
+		c.hub.mail[left][grid.Right] <- msg
+		messages++
+		bytes += int64(len(msg) * 8)
+	}
+	if left >= 0 {
+		unpackX(fields, <-c.hub.mail[c.rank][grid.Left], -depth, 0, depth)
+	}
+	if right >= 0 {
+		unpackX(fields, <-c.hub.mail[c.rank][grid.Right], g.NX, g.NX+depth, depth)
+	}
+
+	// --- Phase Y (spans x-halos filled above) ---
+	for _, f := range fields {
+		f.ReflectHalosSides(depth, false, false, phys.Down, phys.Up)
+	}
+	if up >= 0 {
+		msg := packY(fields, g.NY-depth, g.NY, depth)
+		c.hub.mail[up][grid.Down] <- msg
+		messages++
+		bytes += int64(len(msg) * 8)
+	}
+	if down >= 0 {
+		msg := packY(fields, 0, depth, depth)
+		c.hub.mail[down][grid.Up] <- msg
+		messages++
+		bytes += int64(len(msg) * 8)
+	}
+	if down >= 0 {
+		unpackY(fields, <-c.hub.mail[c.rank][grid.Down], -depth, 0, depth)
+	}
+	if up >= 0 {
+		unpackY(fields, <-c.hub.mail[c.rank][grid.Up], g.NY, g.NY+depth, depth)
+	}
+
+	c.trace.AddExchange(depth, messages, bytes)
+	return nil
+}
+
+// packX packs columns [x0,x1) over interior rows [0,NY) of every field.
+func packX(fields []*grid.Field2D, x0, x1, depth int) []float64 {
+	g := fields[0].Grid
+	msg := make([]float64, 0, len(fields)*(x1-x0)*g.NY)
+	for _, f := range fields {
+		for k := 0; k < g.NY; k++ {
+			msg = append(msg, f.Row(k, x0, x1)...)
+		}
+	}
+	return msg
+}
+
+func unpackX(fields []*grid.Field2D, msg []float64, x0, x1, depth int) {
+	g := fields[0].Grid
+	pos := 0
+	w := x1 - x0
+	for _, f := range fields {
+		for k := 0; k < g.NY; k++ {
+			copy(f.Row(k, x0, x1), msg[pos:pos+w])
+			pos += w
+		}
+	}
+}
+
+// packY packs rows [y0,y1) spanning [-depth, NX+depth) of every field,
+// including the x-halo columns (they carry the diagonal-corner data).
+func packY(fields []*grid.Field2D, y0, y1, depth int) []float64 {
+	g := fields[0].Grid
+	w := g.NX + 2*depth
+	msg := make([]float64, 0, len(fields)*(y1-y0)*w)
+	for _, f := range fields {
+		for k := y0; k < y1; k++ {
+			msg = append(msg, f.Row(k, -depth, g.NX+depth)...)
+		}
+	}
+	return msg
+}
+
+func unpackY(fields []*grid.Field2D, msg []float64, y0, y1, depth int) {
+	g := fields[0].Grid
+	w := g.NX + 2*depth
+	pos := 0
+	for _, f := range fields {
+		for k := y0; k < y1; k++ {
+			copy(f.Row(k, -depth, g.NX+depth), msg[pos:pos+w])
+			pos += w
+		}
+	}
+}
+
+// AllReduceSum implements Communicator.
+func (c *RankComm) AllReduceSum(x float64) float64 {
+	c.trace.AddReduction(1)
+	return c.hub.coll.reduce(opSum, x)[0]
+}
+
+// AllReduceSum2 implements Communicator: two sums, one reduction latency.
+func (c *RankComm) AllReduceSum2(x, y float64) (float64, float64) {
+	c.trace.AddReduction(2)
+	r := c.hub.coll.reduce(opSum, x, y)
+	return r[0], r[1]
+}
+
+// AllReduceMax implements Communicator.
+func (c *RankComm) AllReduceMax(x float64) float64 {
+	c.trace.AddReduction(1)
+	return c.hub.coll.reduce(opMax, x)[0]
+}
+
+// Barrier implements Communicator.
+func (c *RankComm) Barrier() { c.hub.coll.reduce(opSum) }
+
+// collective is a generation-counted all-reduce accumulator. Every rank
+// calls reduce once per generation; the last arrival publishes the result
+// and releases the waiters. Results are stable until every rank of the
+// *next* generation has arrived, which cannot happen before all waiters of
+// this generation have returned.
+type collective struct {
+	n    int
+	mu   sync.Mutex
+	cnt  int
+	acc  []float64
+	res  []float64
+	done chan struct{}
+}
+
+func newCollective(n int) *collective { return &collective{n: n} }
+
+type reduceOp int
+
+const (
+	opSum reduceOp = iota
+	opMax
+)
+
+func (c *collective) reduce(op reduceOp, vals ...float64) []float64 {
+	c.mu.Lock()
+	if c.cnt == 0 {
+		c.acc = append(c.acc[:0], vals...)
+		c.done = make(chan struct{})
+	} else {
+		for i, v := range vals {
+			switch op {
+			case opSum:
+				c.acc[i] += v
+			case opMax:
+				if v > c.acc[i] {
+					c.acc[i] = v
+				}
+			}
+		}
+	}
+	c.cnt++
+	if c.cnt == c.n {
+		c.cnt = 0
+		c.res = append([]float64(nil), c.acc...)
+		close(c.done)
+		res := c.res
+		c.mu.Unlock()
+		return res
+	}
+	done := c.done
+	c.mu.Unlock()
+	<-done
+	return c.res
+}
+
+// gatherMsg carries one rank's interior block to rank 0.
+type gatherMsg struct {
+	extent grid.Extent
+	data   []float64 // row-major, extent.NX() wide
+}
+
+// GatherInterior assembles the ranks' interior blocks into the provided
+// global field on rank 0 (dst may be nil on other ranks). Collective: every
+// rank must call it. Used for output and verification, not in solver inner
+// loops.
+func (c *RankComm) GatherInterior(local *grid.Field2D, dst *grid.Field2D) error {
+	ext := c.hub.part.ExtentOf(c.rank)
+	g := local.Grid
+	if g.NX != ext.NX() || g.NY != ext.NY() {
+		return fmt.Errorf("comm: local field %dx%d does not match extent %dx%d",
+			g.NX, g.NY, ext.NX(), ext.NY())
+	}
+	data := make([]float64, 0, ext.Cells())
+	for k := 0; k < g.NY; k++ {
+		data = append(data, local.Row(k, 0, g.NX)...)
+	}
+	c.hub.gat <- gatherMsg{extent: ext, data: data}
+	if c.rank != 0 {
+		// The trailing barrier keeps consecutive gathers from interleaving:
+		// nobody starts the next gather until rank 0 drained this one.
+		c.Barrier()
+		return nil
+	}
+	var err error
+	switch {
+	case dst == nil:
+		err = fmt.Errorf("comm: rank 0 needs a destination field")
+	case dst.Grid.NX != c.hub.part.NX || dst.Grid.NY != c.hub.part.NY:
+		err = fmt.Errorf("comm: destination %dx%d does not match global %dx%d",
+			dst.Grid.NX, dst.Grid.NY, c.hub.part.NX, c.hub.part.NY)
+	}
+	// Drain even on error so the other ranks' barrier is released.
+	for i := 0; i < c.Size(); i++ {
+		m := <-c.hub.gat
+		if err != nil {
+			continue
+		}
+		pos := 0
+		w := m.extent.NX()
+		for k := m.extent.Y0; k < m.extent.Y1; k++ {
+			copy(dst.Row(k, m.extent.X0, m.extent.X1), m.data[pos:pos+w])
+			pos += w
+		}
+	}
+	c.Barrier()
+	return err
+}
+
+// Run launches fn on every rank of the partition in its own goroutine and
+// waits for all of them; the returned error is the first non-nil error by
+// rank order. This is the `mpirun` of the package.
+func Run(part *grid.Partition, fn func(c *RankComm) error) error {
+	h := NewHub(part)
+	errs := make([]error, part.Ranks())
+	var wg sync.WaitGroup
+	for r := 0; r < part.Ranks(); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(h.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

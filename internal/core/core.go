@@ -1,0 +1,280 @@
+// Package core is the TeaLeaf application layer: it turns an input deck
+// into fields and an operator, runs the implicit time-step loop (one SPD
+// solve per step — the stability-limit-free backward-Euler method of §II),
+// and produces the field summaries TeaLeaf reports. The same Instance code
+// drives a single-rank run (comm.Serial) and each rank of a distributed
+// run (comm.RankComm); RunDistributed wires the latter together over a
+// goroutine-per-rank hub.
+package core
+
+import (
+	"fmt"
+
+	"tealeaf/internal/comm"
+	"tealeaf/internal/deck"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
+	"tealeaf/internal/problem"
+	"tealeaf/internal/solver"
+	"tealeaf/internal/stencil"
+)
+
+// MinHalo is the smallest grid halo the driver allocates; deep enough for
+// classic depth-1 exchanges plus the coefficient build's one-cell reach.
+const MinHalo = 2
+
+// Instance is one rank's view of a TeaLeaf run.
+type Instance struct {
+	Deck *deck.Deck
+	Grid *grid.Grid2D
+	Pool *par.Pool
+	Comm comm.Communicator
+
+	Density *grid.Field2D
+	Energy  *grid.Field2D
+	U       *grid.Field2D // solve variable u = density·energy
+	u0      *grid.Field2D // per-step right-hand side
+	Op      *stencil.Operator2D
+
+	kind    solver.Kind
+	opts    solver.Options
+	stepNum int
+	simTime float64
+}
+
+// HaloFor returns the grid halo depth a deck requires: at least MinHalo,
+// and at least the matrix-powers exchange depth.
+func HaloFor(d *deck.Deck) int {
+	h := MinHalo
+	if d.HaloDepth > h {
+		h = d.HaloDepth
+	}
+	return h
+}
+
+// NewSerial builds a single-rank instance covering the whole deck domain.
+func NewSerial(d *deck.Deck, pool *par.Pool) (*Instance, error) {
+	g, err := grid.NewGrid2D(d.XCells, d.YCells, HaloFor(d), d.XMin, d.XMax, d.YMin, d.YMax)
+	if err != nil {
+		return nil, err
+	}
+	return NewInstance(d, g, pool, comm.NewSerial())
+}
+
+// NewInstance builds one rank's instance on the given (sub-)grid. The grid
+// must carry true physical coordinates (grid.Grid2D.Sub does) so state
+// painting and coefficients agree across ranks.
+func NewInstance(d *deck.Deck, g *grid.Grid2D, pool *par.Pool, c comm.Communicator) (*Instance, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if pool == nil {
+		pool = par.Serial
+	}
+	inst := &Instance{
+		Deck: d, Grid: g, Pool: pool, Comm: c,
+		Density: grid.NewField2D(g),
+		Energy:  grid.NewField2D(g),
+		U:       grid.NewField2D(g),
+		u0:      grid.NewField2D(g),
+	}
+	if err := problem.Paint(d.States, inst.Density, inst.Energy); err != nil {
+		return nil, err
+	}
+	// Coefficients need density halos one cell beyond any bounds the
+	// solvers compute on: exchange/reflect to the full allocated depth.
+	if err := c.Exchange(g.Halo, inst.Density); err != nil {
+		return nil, err
+	}
+
+	coef := stencil.Conductivity
+	if d.Coefficient == "recip_density" {
+		coef = stencil.RecipConductivity
+	}
+	phys := c.Physical()
+	op, err := stencil.BuildOperator2D(pool, inst.Density, d.InitialTimestep, coef,
+		stencil.PhysicalSides{Left: phys.Left, Right: phys.Right, Down: phys.Down, Up: phys.Up})
+	if err != nil {
+		return nil, err
+	}
+	inst.Op = op
+
+	kind, err := solver.ParseKind(d.Solver)
+	if err != nil {
+		return nil, err
+	}
+	inst.kind = kind
+	m, err := precond.FromName(d.Precond, pool, op)
+	if err != nil {
+		return nil, err
+	}
+	inst.opts = solver.Options{
+		Tol:          d.Eps,
+		MaxIters:     d.MaxIters,
+		Pool:         pool,
+		Comm:         c,
+		Precond:      m,
+		EigenCGIters: d.EigenCGIters,
+		InnerSteps:   d.InnerSteps,
+		HaloDepth:    d.HaloDepth,
+		FusedDots:    d.FusedDots,
+	}
+	return inst, nil
+}
+
+// Options exposes the derived solver options (for harnesses that tweak
+// them between steps).
+func (inst *Instance) Options() *solver.Options { return &inst.opts }
+
+// Kind returns the solver algorithm the deck selected.
+func (inst *Instance) Kind() solver.Kind { return inst.kind }
+
+// Step advances one implicit time step: u⁰ = ρ·e, solve A·u = u⁰, then
+// e = u/ρ. Returns the solver result for the step.
+func (inst *Instance) Step() (solver.Result, error) {
+	problem.EnergyToU(inst.Density, inst.Energy, inst.u0)
+	inst.U.CopyFrom(inst.u0) // initial guess: previous energy density
+	res, err := solver.Solve(inst.kind, solver.Problem{Op: inst.Op, U: inst.U, RHS: inst.u0}, inst.opts)
+	if err != nil {
+		return res, fmt.Errorf("core: step %d: %w", inst.stepNum+1, err)
+	}
+	if !res.Converged {
+		return res, fmt.Errorf("core: step %d: solver did not converge (residual %.3e after %d iterations)",
+			inst.stepNum+1, res.FinalResidual, res.Iterations)
+	}
+	problem.UToEnergy(inst.Density, inst.U, inst.Energy)
+	inst.stepNum++
+	inst.simTime += inst.Deck.InitialTimestep
+	return res, nil
+}
+
+// StepCount returns the number of completed steps.
+func (inst *Instance) StepCount() int { return inst.stepNum }
+
+// Time returns the simulated time.
+func (inst *Instance) Time() float64 { return inst.simTime }
+
+// Summary is TeaLeaf's field summary, globally reduced.
+type Summary struct {
+	Volume         float64
+	Mass           float64
+	InternalEnergy float64
+	// AvgTemperature is the mesh-average specific energy (temperature at
+	// unit heat capacity) — the quantity Fig. 4 tracks against mesh size.
+	AvgTemperature float64
+	Steps          int
+	SimTime        float64
+	// TotalIterations and TotalInner accumulate across Run.
+	TotalIterations int
+	TotalInner      int
+}
+
+// Summarise computes the global field summary (collective: every rank
+// must call it).
+func (inst *Instance) Summarise() Summary {
+	g := inst.Grid
+	cellVol := g.CellArea()
+	vol := cellVol * float64(g.Cells())
+	var mass, ie, temp float64
+	for k := 0; k < g.NY; k++ {
+		for j := 0; j < g.NX; j++ {
+			mass += inst.Density.At(j, k) * cellVol
+			ie += inst.Density.At(j, k) * inst.Energy.At(j, k) * cellVol
+			// Temperature is the specific energy (unit heat capacity);
+			// unlike ρ·e, its mesh average is NOT conserved by diffusion
+			// through variable-density material, which is what makes the
+			// Fig. 4 convergence study meaningful.
+			temp += inst.Energy.At(j, k) * cellVol
+		}
+	}
+	gvol := inst.Comm.AllReduceSum(vol)
+	gmass, gie := inst.Comm.AllReduceSum2(mass, ie)
+	gtemp := inst.Comm.AllReduceSum(temp)
+	return Summary{
+		Volume:         gvol,
+		Mass:           gmass,
+		InternalEnergy: gie,
+		AvgTemperature: gtemp / gvol,
+		Steps:          inst.stepNum,
+		SimTime:        inst.simTime,
+	}
+}
+
+// Run advances the given number of steps (or the deck's own step count if
+// steps <= 0) and returns the final summary.
+func (inst *Instance) Run(steps int) (Summary, error) {
+	if steps <= 0 {
+		steps = inst.Deck.Steps()
+	}
+	var totalIters, totalInner int
+	for s := 0; s < steps; s++ {
+		res, err := inst.Step()
+		if err != nil {
+			return Summary{}, err
+		}
+		totalIters += res.Iterations
+		totalInner += res.TotalInner
+	}
+	sum := inst.Summarise()
+	sum.TotalIterations = totalIters
+	sum.TotalInner = totalInner
+	return sum, nil
+}
+
+// DistResult is what RunDistributed hands back: the gathered global
+// energy field and the global summary.
+type DistResult struct {
+	Energy  *grid.Field2D
+	Summary Summary
+}
+
+// RunDistributed runs the deck for the given number of steps on a px×py
+// goroutine-rank decomposition and gathers the final energy field.
+// workersPerRank sizes each rank's thread team (the hybrid MPI+OpenMP
+// configuration of §IV-A); 1 reproduces flat MPI.
+func RunDistributed(d *deck.Deck, px, py, steps, workersPerRank int) (*DistResult, error) {
+	part, err := grid.NewPartition(d.XCells, d.YCells, px, py)
+	if err != nil {
+		return nil, err
+	}
+	gg, err := grid.NewGrid2D(d.XCells, d.YCells, HaloFor(d), d.XMin, d.XMax, d.YMin, d.YMax)
+	if err != nil {
+		return nil, err
+	}
+	out := &DistResult{Energy: grid.NewField2D(gg)}
+	var summary Summary
+
+	err = comm.Run(part, func(c *comm.RankComm) error {
+		ext := part.ExtentOf(c.Rank())
+		sub, err := gg.Sub(ext.X0, ext.X1, ext.Y0, ext.Y1)
+		if err != nil {
+			return err
+		}
+		pool := par.Serial
+		if workersPerRank > 1 {
+			pool = par.NewPool(workersPerRank)
+		}
+		inst, err := NewInstance(d, sub, pool, c)
+		if err != nil {
+			return err
+		}
+		sum, err := inst.Run(steps)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			summary = sum
+		}
+		var dst *grid.Field2D
+		if c.Rank() == 0 {
+			dst = out.Energy
+		}
+		return c.GatherInterior(inst.Energy, dst)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Summary = summary
+	return out, nil
+}

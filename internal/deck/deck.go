@@ -1,0 +1,322 @@
+// Package deck parses TeaLeaf input decks (the tea.in dialect): the grid
+// extents, the material/energy states that paint the initial condition,
+// time-stepping controls, and the tl_* solver options. Lines outside the
+// *tea ... *endtea block are ignored, as are blank lines and comments
+// starting with '!' or '#'.
+package deck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Geometry names the shape a state paints.
+type Geometry string
+
+// The geometries TeaLeaf's generate_chunk supports.
+const (
+	GeomNone      Geometry = ""          // state 1: fills the whole domain
+	GeomRectangle Geometry = "rectangle" // axis-aligned box
+	GeomCircle    Geometry = "circle"    // disc of Radius around (CX, CY)
+	GeomPoint     Geometry = "point"     // single cell containing (CX, CY)
+)
+
+// State is one material region of the initial condition. State 1 is the
+// background (no geometry); later states overwrite it inside their shape.
+type State struct {
+	Index    int
+	Density  float64
+	Energy   float64
+	Geometry Geometry
+	// Rectangle extents.
+	XMin, XMax, YMin, YMax float64
+	// Circle/point location and radius.
+	CX, CY, Radius float64
+}
+
+// Deck is a parsed input deck.
+type Deck struct {
+	XCells, YCells         int
+	XMin, XMax, YMin, YMax float64
+
+	InitialTimestep float64
+	EndTime         float64
+	EndStep         int
+
+	Solver       string // cg | ppcg | chebyshev | jacobi
+	MaxIters     int
+	Eps          float64
+	InnerSteps   int
+	HaloDepth    int
+	EigenCGIters int
+	Precond      string // none | jac_diag | jac_block
+	Coefficient  string // density | recip_density
+	FusedDots    bool
+	ProfilerOn   bool
+
+	States []State
+}
+
+// Default returns a deck with TeaLeaf's documented defaults (tea.in's
+// implicit values): a 10×10 unit-square-style domain, CG solver, eps 1e-10.
+func Default() *Deck {
+	return &Deck{
+		XCells: 10, YCells: 10,
+		XMin: 0, XMax: 10, YMin: 0, YMax: 10,
+		InitialTimestep: 0.04,
+		EndTime:         10,
+		EndStep:         2147483647,
+		Solver:          "cg",
+		MaxIters:        10000,
+		Eps:             1e-10,
+		InnerSteps:      10,
+		HaloDepth:       1,
+		EigenCGIters:    20,
+		Precond:         "none",
+		Coefficient:     "density",
+	}
+}
+
+// Parse reads a deck from r, applying values over Default().
+func Parse(r io.Reader) (*Deck, error) {
+	d := Default()
+	sc := bufio.NewScanner(r)
+	inBlock := false
+	sawBlock := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case lower == "*tea":
+			inBlock = true
+			sawBlock = true
+			continue
+		case lower == "*endtea":
+			inBlock = false
+			continue
+		}
+		if !inBlock {
+			continue
+		}
+		if err := d.parseLine(lower); err != nil {
+			return nil, fmt.Errorf("deck: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("deck: %w", err)
+	}
+	if !sawBlock {
+		return nil, fmt.Errorf("deck: no *tea block found")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseString parses a deck held in a string.
+func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
+
+func (d *Deck) parseLine(line string) error {
+	if strings.HasPrefix(line, "state") {
+		return d.parseState(line)
+	}
+	// Normalise "key value" to "key=value" for flag-style options that
+	// TeaLeaf writes with a space (tl_preconditioner_type jac_block).
+	fields := strings.Fields(line)
+	if len(fields) == 2 && !strings.Contains(line, "=") {
+		line = fields[0] + "=" + fields[1]
+	}
+
+	key, val, hasVal := strings.Cut(line, "=")
+	key = strings.TrimSpace(key)
+	val = strings.TrimSpace(val)
+	switch key {
+	case "x_cells":
+		return d.setInt(&d.XCells, val)
+	case "y_cells":
+		return d.setInt(&d.YCells, val)
+	case "xmin":
+		return d.setFloat(&d.XMin, val)
+	case "xmax":
+		return d.setFloat(&d.XMax, val)
+	case "ymin":
+		return d.setFloat(&d.YMin, val)
+	case "ymax":
+		return d.setFloat(&d.YMax, val)
+	case "initial_timestep":
+		return d.setFloat(&d.InitialTimestep, val)
+	case "end_time":
+		return d.setFloat(&d.EndTime, val)
+	case "end_step":
+		return d.setInt(&d.EndStep, val)
+	case "tl_max_iters":
+		return d.setInt(&d.MaxIters, val)
+	case "tl_eps":
+		return d.setFloat(&d.Eps, val)
+	case "tl_ppcg_inner_steps":
+		return d.setInt(&d.InnerSteps, val)
+	case "tl_ppcg_halo_depth", "halo_depth":
+		return d.setInt(&d.HaloDepth, val)
+	case "tl_eigen_cg_iters", "tl_ch_cg_presteps":
+		return d.setInt(&d.EigenCGIters, val)
+	case "tl_preconditioner_type":
+		d.Precond = val
+		return nil
+	case "tl_use_cg":
+		d.Solver = "cg"
+		return nil
+	case "tl_use_jacobi":
+		d.Solver = "jacobi"
+		return nil
+	case "tl_use_chebyshev":
+		d.Solver = "chebyshev"
+		return nil
+	case "tl_use_ppcg":
+		d.Solver = "ppcg"
+		return nil
+	case "tl_fused_dots":
+		d.FusedDots = true
+		return nil
+	case "tl_coefficient_density":
+		d.Coefficient = "density"
+		return nil
+	case "tl_coefficient_recip_density":
+		d.Coefficient = "recip_density"
+		return nil
+	case "profiler_on":
+		d.ProfilerOn = true
+		return nil
+	case "test_problem", "visit_frequency", "summary_frequency":
+		// Accepted, ignored: present in stock tea.in files but irrelevant
+		// to the solve.
+		_ = hasVal
+		return nil
+	}
+	return fmt.Errorf("unknown option %q", key)
+}
+
+func (d *Deck) parseState(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "state" {
+		return fmt.Errorf("malformed state line %q", line)
+	}
+	idx, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("state index: %w", err)
+	}
+	st := State{Index: idx}
+	for _, f := range fields[2:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("state %d: malformed attribute %q", idx, f)
+		}
+		switch key {
+		case "density":
+			err = parseFloatInto(&st.Density, val)
+		case "energy":
+			err = parseFloatInto(&st.Energy, val)
+		case "geometry":
+			switch Geometry(val) {
+			case GeomRectangle, GeomCircle, GeomPoint:
+				st.Geometry = Geometry(val)
+			default:
+				err = fmt.Errorf("unknown geometry %q", val)
+			}
+		case "xmin":
+			err = parseFloatInto(&st.XMin, val)
+		case "xmax":
+			err = parseFloatInto(&st.XMax, val)
+		case "ymin":
+			err = parseFloatInto(&st.YMin, val)
+		case "ymax":
+			err = parseFloatInto(&st.YMax, val)
+		case "radius":
+			err = parseFloatInto(&st.Radius, val)
+		case "xcentre", "xcenter":
+			err = parseFloatInto(&st.CX, val)
+		case "ycentre", "ycenter":
+			err = parseFloatInto(&st.CY, val)
+		default:
+			err = fmt.Errorf("unknown attribute %q", key)
+		}
+		if err != nil {
+			return fmt.Errorf("state %d: %w", idx, err)
+		}
+	}
+	d.States = append(d.States, st)
+	return nil
+}
+
+func (d *Deck) setInt(dst *int, val string) error {
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+func (d *Deck) setFloat(dst *float64, val string) error { return parseFloatInto(dst, val) }
+
+func parseFloatInto(dst *float64, val string) error {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+// Validate checks deck consistency.
+func (d *Deck) Validate() error {
+	switch {
+	case d.XCells <= 0 || d.YCells <= 0:
+		return fmt.Errorf("deck: cell counts must be positive (%d x %d)", d.XCells, d.YCells)
+	case d.XMax <= d.XMin || d.YMax <= d.YMin:
+		return fmt.Errorf("deck: domain extents must be non-empty")
+	case d.InitialTimestep <= 0:
+		return fmt.Errorf("deck: initial_timestep must be positive")
+	case d.EndTime <= 0 && d.EndStep <= 0:
+		return fmt.Errorf("deck: need end_time or end_step")
+	case d.Eps <= 0:
+		return fmt.Errorf("deck: tl_eps must be positive")
+	case d.HaloDepth < 1:
+		return fmt.Errorf("deck: halo depth must be >= 1")
+	case len(d.States) == 0:
+		return fmt.Errorf("deck: need at least one state")
+	}
+	if d.States[0].Geometry != GeomNone && d.States[0].Index == 1 {
+		return fmt.Errorf("deck: state 1 is the background and takes no geometry")
+	}
+	for _, s := range d.States {
+		if s.Density <= 0 {
+			return fmt.Errorf("deck: state %d density must be positive", s.Index)
+		}
+		if s.Energy < 0 {
+			return fmt.Errorf("deck: state %d energy must be non-negative", s.Index)
+		}
+	}
+	return nil
+}
+
+// Steps returns the number of time steps the deck requests: end_time
+// divided by the fixed dt, capped by end_step.
+func (d *Deck) Steps() int {
+	byTime := int(d.EndTime/d.InitialTimestep + 0.5)
+	if byTime < 1 {
+		byTime = 1
+	}
+	if d.EndStep > 0 && d.EndStep < byTime {
+		return d.EndStep
+	}
+	return byTime
+}

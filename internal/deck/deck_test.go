@@ -1,0 +1,241 @@
+package deck
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleDeck = `
+*tea
+! crooked pipe style test deck
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=2.5 ymin=4.0 ymax=6.0
+state 3 density=0.1 energy=0.1 geometry=circle xcentre=5.0 ycentre=5.0 radius=1.5
+state 4 density=0.2 energy=1.0 geometry=point xcentre=9.0 ycentre=9.0
+
+x_cells=400
+y_cells=200
+xmin=0.0
+xmax=10.0
+ymin=0.0
+ymax=5.0
+
+initial_timestep=0.04
+end_time=15.0
+end_step=375
+
+tl_use_ppcg
+tl_ppcg_inner_steps=12
+tl_max_iters=20000
+tl_eps=1.0e-12
+tl_preconditioner_type jac_block
+tl_coefficient_recip_density
+profiler_on
+*endtea
+`
+
+func TestParseSampleDeck(t *testing.T) {
+	d, err := ParseString(sampleDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XCells != 400 || d.YCells != 200 {
+		t.Errorf("cells = %dx%d", d.XCells, d.YCells)
+	}
+	if d.XMax != 10 || d.YMax != 5 {
+		t.Errorf("extent = %v,%v", d.XMax, d.YMax)
+	}
+	if d.InitialTimestep != 0.04 || d.EndTime != 15 || d.EndStep != 375 {
+		t.Errorf("time controls wrong: %+v", d)
+	}
+	if d.Solver != "ppcg" || d.InnerSteps != 12 || d.MaxIters != 20000 {
+		t.Errorf("solver controls wrong: %+v", d)
+	}
+	if d.Eps != 1e-12 {
+		t.Errorf("eps = %v", d.Eps)
+	}
+	if d.Precond != "jac_block" {
+		t.Errorf("precond = %q", d.Precond)
+	}
+	if d.Coefficient != "recip_density" {
+		t.Errorf("coefficient = %q", d.Coefficient)
+	}
+	if !d.ProfilerOn {
+		t.Error("profiler_on not parsed")
+	}
+	if len(d.States) != 4 {
+		t.Fatalf("states = %d", len(d.States))
+	}
+	if d.States[0].Geometry != GeomNone || d.States[0].Density != 100 {
+		t.Errorf("state 1 wrong: %+v", d.States[0])
+	}
+	s2 := d.States[1]
+	if s2.Geometry != GeomRectangle || s2.XMax != 2.5 || s2.YMin != 4 {
+		t.Errorf("state 2 wrong: %+v", s2)
+	}
+	s3 := d.States[2]
+	if s3.Geometry != GeomCircle || s3.Radius != 1.5 || s3.CX != 5 {
+		t.Errorf("state 3 wrong: %+v", s3)
+	}
+	if d.States[3].Geometry != GeomPoint {
+		t.Errorf("state 4 wrong: %+v", d.States[3])
+	}
+}
+
+func TestParseDefaultsPreserved(t *testing.T) {
+	d, err := ParseString("*tea\nstate 1 density=1.0 energy=1.0\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Default()
+	if d.Solver != def.Solver || d.Eps != def.Eps || d.MaxIters != def.MaxIters {
+		t.Errorf("defaults not preserved: %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no block":         "x_cells=10",
+		"unknown option":   "*tea\nstate 1 density=1 energy=1\nbogus_option=3\n*endtea",
+		"bad state attr":   "*tea\nstate 1 density=1 energy=1 wibble=2\n*endtea",
+		"bad geometry":     "*tea\nstate 1 density=1 energy=1\nstate 2 density=1 energy=1 geometry=blob\n*endtea",
+		"no states":        "*tea\nx_cells=4\n*endtea",
+		"neg density":      "*tea\nstate 1 density=-1 energy=1\n*endtea",
+		"neg energy":       "*tea\nstate 1 density=1 energy=-1\n*endtea",
+		"zero cells":       "*tea\nstate 1 density=1 energy=1\nx_cells=0\n*endtea",
+		"bad int":          "*tea\nstate 1 density=1 energy=1\nx_cells=abc\n*endtea",
+		"bad float":        "*tea\nstate 1 density=1 energy=1\ntl_eps=xyz\n*endtea",
+		"empty extent":     "*tea\nstate 1 density=1 energy=1\nxmin=5\nxmax=5\n*endtea",
+		"bad state line":   "*tea\nstate x density=1\n*endtea",
+		"malformed attr":   "*tea\nstate 1 density\n*endtea",
+		"state1 with geom": "*tea\nstate 1 density=1 energy=1 geometry=rectangle\n*endtea",
+		"zero halo depth":  "*tea\nstate 1 density=1 energy=1\nhalo_depth=0\n*endtea",
+		"nonpositive eps":  "*tea\nstate 1 density=1 energy=1\ntl_eps=0\n*endtea",
+	}
+	for name, in := range cases {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	in := `
+! leading comment
+this line is outside the block and ignored entirely
+
+*tea
+# hash comment
+state 1 density=2.0 energy=3.0
+
+x_cells=8
+*endtea
+trailing junk also ignored
+`
+	d, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XCells != 8 || d.States[0].Density != 2 {
+		t.Errorf("parse through comments failed: %+v", d)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	d, err := ParseString("*TEA\nSTATE 1 DENSITY=1.5 ENERGY=2.0\nX_CELLS=16\nTL_USE_CHEBYSHEV\n*ENDTEA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.XCells != 16 || d.Solver != "chebyshev" || d.States[0].Density != 1.5 {
+		t.Errorf("case-insensitive parse failed: %+v", d)
+	}
+}
+
+func TestSolverFlags(t *testing.T) {
+	for flag, want := range map[string]string{
+		"tl_use_cg": "cg", "tl_use_jacobi": "jacobi",
+		"tl_use_chebyshev": "chebyshev", "tl_use_ppcg": "ppcg",
+	} {
+		d, err := ParseString("*tea\nstate 1 density=1 energy=1\n" + flag + "\n*endtea")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Solver != want {
+			t.Errorf("%s => %q, want %q", flag, d.Solver, want)
+		}
+	}
+}
+
+func TestSpaceSeparatedOption(t *testing.T) {
+	d, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_preconditioner_type jac_diag\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Precond != "jac_diag" {
+		t.Errorf("precond = %q", d.Precond)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	d := Default()
+	d.InitialTimestep = 0.04
+	d.EndTime = 15
+	d.EndStep = 1000
+	if got := d.Steps(); got != 375 {
+		t.Errorf("Steps = %d, want 375", got)
+	}
+	d.EndStep = 100
+	if got := d.Steps(); got != 100 {
+		t.Errorf("capped Steps = %d, want 100", got)
+	}
+	d.EndStep = 0
+	d.EndTime = 0.01 // less than one dt
+	if got := d.Steps(); got < 1 {
+		t.Errorf("Steps must be at least 1, got %d", got)
+	}
+}
+
+func TestIgnoredLegacyOptions(t *testing.T) {
+	d, err := ParseString("*tea\nstate 1 density=1 energy=1\ntest_problem=5\nvisit_frequency=10\nsummary_frequency=1\n*endtea")
+	if err != nil {
+		t.Fatalf("legacy options must be accepted: %v", err)
+	}
+	_ = d
+}
+
+func TestParseReaderError(t *testing.T) {
+	// A deck parsed from a reader with embedded NULs still scans; just
+	// confirm Parse handles io.Reader directly.
+	if _, err := Parse(strings.NewReader("*tea\nstate 1 density=1 energy=1\n*endtea")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedDotsAndEigenIters(t *testing.T) {
+	d, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_fused_dots\ntl_eigen_cg_iters=8\ntl_ppcg_halo_depth=4\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.FusedDots || d.EigenCGIters != 8 || d.HaloDepth != 4 {
+		t.Errorf("extensions not parsed: %+v", d)
+	}
+}
+
+func TestParseShippedDeck(t *testing.T) {
+	f, err := os.Open("../../decks/crooked_pipe.in")
+	if err != nil {
+		t.Skipf("shipped deck not present: %v", err)
+	}
+	defer f.Close()
+	d, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Solver != "ppcg" || d.XCells != 128 || len(d.States) != 7 {
+		t.Errorf("shipped deck parsed wrongly: %+v", d)
+	}
+	if d.Steps() != 375 {
+		t.Errorf("steps = %d", d.Steps())
+	}
+}

@@ -1,0 +1,77 @@
+package deflate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Cholesky is a dense LLᵀ factorisation of a small SPD matrix — sized for
+// the coarse Galerkin matrix E = WᵀAW, which has one row per subdomain.
+type Cholesky struct {
+	n int
+	l [][]float64 // lower triangle, row-major
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a (which is
+// not modified). Returns an error on non-square input or a non-positive
+// pivot (matrix not SPD).
+func NewCholesky(a [][]float64) (*Cholesky, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("deflate: empty matrix")
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("deflate: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, i+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("deflate: non-positive pivot %v at row %d", sum, i)
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// N returns the matrix dimension.
+func (c *Cholesky) N() int { return c.n }
+
+// Solve computes x = A⁻¹ b via forward/back substitution. b and x must
+// have length N; they may alias.
+func (c *Cholesky) Solve(b, x []float64) {
+	if len(b) != c.n || len(x) != c.n {
+		panic(fmt.Sprintf("deflate: solve size mismatch: %d/%d vs %d", len(b), len(x), c.n))
+	}
+	// Forward: L y = b.
+	for i := 0; i < c.n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[i][k] * x[k]
+		}
+		x[i] = sum / c.l[i][i]
+	}
+	// Back: Lᵀ x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		sum := x[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l[k][i] * x[k]
+		}
+		x[i] = sum / c.l[i][i]
+	}
+}

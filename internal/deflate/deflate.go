@@ -1,0 +1,227 @@
+// Package deflate implements the deflation technique the paper lists as
+// future work (§VII): "Using deflation techniques [27] we will be able to
+// represent these low energy modes in a series of nested lower dimensional
+// sub-spaces." The reference is Frank & Vuik's subdomain deflation: the
+// deflation space W is spanned by piecewise-constant indicator vectors of
+// a coarse bx×by block partition of the mesh, which captures exactly the
+// smooth, low-energy modes that make κ(A) grow with mesh size.
+//
+// Deflated CG iterates on the projected operator P·A with
+//
+//	P = I − A·W·E⁻¹·Wᵀ,   E = Wᵀ·A·W  (the coarse Galerkin matrix),
+//
+// so the effective spectrum has its smallest eigenvalues removed and the
+// iteration count drops accordingly. E is tiny (one row per subdomain) and
+// factored once by dense Cholesky.
+//
+// A regime note the experiments make precise: for the per-step operator
+// A = I + Δt·L the smallest eigenvalue is pinned at 1 (L has a zero mode
+// under zero-flux boundaries), so deflation only pays when Δt·λ₂(L) ≳ 1 —
+// very stiff steps, near-steady solves, or the "extreme condition numbers"
+// the paper's §VIII flags as the open robustness question. For TeaLeaf's
+// production Δt the low modes sit at 1+ε and there is nothing to deflate;
+// the tests cover both regimes.
+//
+// The implementation is deliberately single-rank: it exists to demonstrate
+// and test the future-work direction; the multi-level nested variant the
+// paper sketches is beyond its scope.
+package deflate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/kernels"
+	"tealeaf/internal/par"
+	"tealeaf/internal/stencil"
+)
+
+// Deflation holds the subdomain partition, the Cholesky-factored coarse
+// matrix, and scratch space for projections.
+type Deflation struct {
+	op     *stencil.Operator2D
+	pool   *par.Pool
+	bx, by int // subdomain counts in x and y
+	// blocks[c] is the cell rectangle of coarse block c.
+	blocks []grid.Bounds
+	// chol is the Cholesky factor of E = WᵀAW.
+	chol *Cholesky
+	// scratch fields.
+	wv, av *grid.Field2D
+	// coarse-space scratch vectors.
+	cr, cl []float64
+}
+
+// New builds the deflation operator for op with a bx×by coarse partition.
+func New(pool *par.Pool, op *stencil.Operator2D, bx, by int) (*Deflation, error) {
+	g := op.Grid
+	if bx < 1 || by < 1 {
+		return nil, errors.New("deflate: need at least one subdomain per direction")
+	}
+	if bx > g.NX || by > g.NY {
+		return nil, fmt.Errorf("deflate: %dx%d subdomains exceed %dx%d cells", bx, by, g.NX, g.NY)
+	}
+	if pool == nil {
+		pool = par.Serial
+	}
+	part, err := grid.NewPartition(g.NX, g.NY, bx, by)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deflation{
+		op: op, pool: pool, bx: bx, by: by,
+		wv: grid.NewField2D(g), av: grid.NewField2D(g),
+	}
+	nc := bx * by
+	d.blocks = make([]grid.Bounds, nc)
+	for c := 0; c < nc; c++ {
+		e := part.ExtentOf(c)
+		d.blocks[c] = grid.Bounds{X0: e.X0, X1: e.X1, Y0: e.Y0, Y1: e.Y1}
+	}
+	d.cr = make([]float64, nc)
+	d.cl = make([]float64, nc)
+
+	// Assemble E = WᵀAW column by column: apply A to each indicator and
+	// integrate over every block. E is symmetric and (for the TeaLeaf
+	// operator) positive definite: A is SPD and W has full rank.
+	e := make([][]float64, nc)
+	for c := range e {
+		e[c] = make([]float64, nc)
+	}
+	in := g.Interior()
+	for c := 0; c < nc; c++ {
+		d.wv.Zero()
+		d.wv.FillBounds(d.blocks[c], 1)
+		d.wv.ReflectHalos(1) // indicator extended by zero-flux mirror
+		d.op.Apply(pool, in, d.wv, d.av)
+		for c2 := 0; c2 < nc; c2++ {
+			e[c2][c] = d.av.SumBounds(d.blocks[c2])
+		}
+	}
+	chol, err := NewCholesky(e)
+	if err != nil {
+		return nil, fmt.Errorf("deflate: coarse matrix not SPD: %w", err)
+	}
+	d.chol = chol
+	return d, nil
+}
+
+// Subdomains returns the coarse-space dimension bx·by.
+func (d *Deflation) Subdomains() int { return len(d.blocks) }
+
+// restrict computes out = Wᵀ v (block sums over the interior).
+func (d *Deflation) restrict(v *grid.Field2D, out []float64) {
+	for c, b := range d.blocks {
+		out[c] = v.SumBounds(b)
+	}
+}
+
+// prolongInto adds W·λ into dst.
+func (d *Deflation) prolongInto(lambda []float64, dst *grid.Field2D) {
+	g := dst.Grid
+	for c, b := range d.blocks {
+		v := lambda[c]
+		for k := b.Y0; k < b.Y1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				dst.Data[base+j] += v
+			}
+		}
+	}
+}
+
+// CoarseCorrect applies u += W·E⁻¹·Wᵀ·r: the coarse-grid solve that
+// zeroes the deflation-space component of the residual.
+func (d *Deflation) CoarseCorrect(r, u *grid.Field2D) {
+	d.restrict(r, d.cr)
+	d.chol.Solve(d.cr, d.cl)
+	d.prolongInto(d.cl, u)
+}
+
+// ProjectW computes w ← P·w = w − A·W·E⁻¹·Wᵀ·w in place. Costs one coarse
+// solve plus one matrix application on a piecewise-constant field.
+func (d *Deflation) ProjectW(w *grid.Field2D) {
+	g := d.op.Grid
+	in := g.Interior()
+	d.restrict(w, d.cr)
+	d.chol.Solve(d.cr, d.cl)
+	d.wv.Zero()
+	d.prolongInto(d.cl, d.wv)
+	d.wv.ReflectHalos(1)
+	d.op.Apply(d.pool, in, d.wv, d.av)
+	kernels.Axpy(d.pool, in, -1, d.av, w)
+}
+
+// SolveDeflatedCG runs deflated CG on A·u = rhs: a coarse correction
+// aligns the initial residual with the deflated subspace, every matvec is
+// projected by P, and a final coarse correction recovers the exact
+// solution. Returns (iterations, final relative residual, converged).
+func (d *Deflation) SolveDeflatedCG(u, rhs *grid.Field2D, tol float64, maxIters int) (int, float64, bool) {
+	g := d.op.Grid
+	in := g.Interior()
+	pool := d.pool
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIters <= 0 {
+		maxIters = 10000
+	}
+
+	r := grid.NewField2D(g)
+	w := grid.NewField2D(g)
+	p := grid.NewField2D(g)
+
+	residual := func() {
+		u.ReflectHalos(1)
+		d.op.Residual(pool, in, u, rhs, r)
+	}
+	residual()
+	// Initial coarse correction: Wᵀ r = 0 afterwards.
+	d.CoarseCorrect(r, u)
+	residual()
+	rr := kernels.Norm2Sq(pool, in, r)
+	rr0 := rr
+	if rr0 == 0 {
+		return 0, 0, true
+	}
+	kernels.Copy(pool, in, p, r)
+
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		p.ReflectHalos(1)
+		d.op.Apply(pool, in, p, w)
+		d.ProjectW(w) // w = P·A·p
+		pw := kernels.Dot(pool, in, p, w)
+		if pw <= 0 {
+			break // P·A is only semi-definite outside the deflated space
+		}
+		alpha := rr / pw
+		kernels.Axpy(pool, in, alpha, p, u)
+		kernels.Axpy(pool, in, -alpha, w, r)
+		rrNew := kernels.Norm2Sq(pool, in, r)
+		if rrNew <= tol*tol*rr0 {
+			rr = rrNew
+			iters++
+			break
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		kernels.Xpay(pool, in, r, beta, p)
+	}
+	// Final coarse correction mops up the deflation-space component the
+	// projected iteration cannot see.
+	residual()
+	d.CoarseCorrect(r, u)
+	residual()
+	rel := relNorm(kernels.Norm2Sq(pool, in, r), rr0)
+	return iters, rel, rel <= tol*10 // allow the projection round-off margin
+}
+
+func relNorm(rr, rr0 float64) float64 {
+	if rr0 == 0 {
+		return 0
+	}
+	return math.Sqrt(rr / rr0)
+}

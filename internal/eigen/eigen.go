@@ -1,0 +1,189 @@
+// Package eigen estimates the extremal eigenvalues of the system matrix,
+// which the Chebyshev machinery of CPPCG needs a priori (§III-D of the
+// paper: "the method is sensitive to the provision of accurate estimates of
+// the extreme eigenvalues... we perform several iterations of the regular
+// CG method" to obtain them).
+//
+// CG is mathematically a Lanczos process: the step scalars (αᵢ, βᵢ) define
+// a symmetric tridiagonal matrix whose eigenvalues (Ritz values)
+// approximate the extremal spectrum of the (preconditioned) operator.
+// The tridiagonal eigenvalues are computed by Sturm-sequence bisection,
+// which is simple, robust, and exactly what is needed for just the two
+// extremal values.
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FromCG builds the Lanczos tridiagonal (diagonal d, off-diagonal e with
+// e[i] coupling rows i and i+1) from the CG coefficients α₀..α_{m-1} and
+// β₀..β_{m-2}:
+//
+//	d[0] = 1/α₀,  d[i] = 1/αᵢ + β_{i-1}/α_{i-1},  e[i] = √βᵢ / αᵢ.
+//
+// This is the standard CG↔Lanczos correspondence (Saad, Iterative Methods
+// for Sparse Linear Systems) and the construction TeaLeaf performs in
+// tl_calc_2norm/tea_calc_eigenvalues.
+func FromCG(alphas, betas []float64) (d, e []float64, err error) {
+	m := len(alphas)
+	if m == 0 {
+		return nil, nil, errors.New("eigen: need at least one CG iteration")
+	}
+	if len(betas) < m-1 {
+		return nil, nil, fmt.Errorf("eigen: need %d betas for %d alphas, got %d", m-1, m, len(betas))
+	}
+	for i, a := range alphas {
+		if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, nil, fmt.Errorf("eigen: alpha[%d] = %v not positive and finite", i, a)
+		}
+	}
+	for i := 0; i < m-1; i++ {
+		if b := betas[i]; b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, nil, fmt.Errorf("eigen: beta[%d] = %v negative or not finite", i, b)
+		}
+	}
+	d = make([]float64, m)
+	e = make([]float64, m-1)
+	d[0] = 1 / alphas[0]
+	for i := 1; i < m; i++ {
+		d[i] = 1/alphas[i] + betas[i-1]/alphas[i-1]
+	}
+	for i := 0; i < m-1; i++ {
+		e[i] = math.Sqrt(betas[i]) / alphas[i]
+	}
+	return d, e, nil
+}
+
+// GershgorinBounds returns an interval guaranteed to contain every
+// eigenvalue of the symmetric tridiagonal (d, e).
+func GershgorinBounds(d, e []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range d {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(e[i-1])
+		}
+		if i < len(e) {
+			r += math.Abs(e[i])
+		}
+		lo = math.Min(lo, d[i]-r)
+		hi = math.Max(hi, d[i]+r)
+	}
+	return lo, hi
+}
+
+// CountBelow returns the number of eigenvalues of the symmetric
+// tridiagonal (d, e) that are strictly less than x, via the Sturm sequence
+// of leading-principal-minor pivots (LDLᵀ negative-pivot count).
+func CountBelow(d, e []float64, x float64) int {
+	count := 0
+	q := 1.0
+	for i := range d {
+		off := 0.0
+		if i > 0 {
+			off = e[i-1] * e[i-1]
+		}
+		if q == 0 {
+			// Standard guard: nudge a zero pivot to a tiny negative-free
+			// value so the recurrence continues (Parlett, The Symmetric
+			// Eigenvalue Problem).
+			q = 1e-300
+		}
+		q = d[i] - x - off/q
+		if q < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// Extremal returns the smallest and largest eigenvalues of the symmetric
+// tridiagonal (d, e), each located by bisection to relative tolerance tol
+// (absolute near zero).
+func Extremal(d, e []float64, tol float64) (lambdaMin, lambdaMax float64) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	lo, hi := GershgorinBounds(d, e)
+	n := len(d)
+	lambdaMin = bisect(d, e, lo, hi, 1, tol) // first eigenvalue
+	lambdaMax = bisect(d, e, lo, hi, n, tol) // last eigenvalue
+	return lambdaMin, lambdaMax
+}
+
+// bisect finds the k-th smallest eigenvalue (1-based) in [lo, hi].
+func bisect(d, e []float64, lo, hi float64, k int, tol float64) float64 {
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if CountBelow(d, e, mid) >= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo <= tol*math.Max(1, math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// All returns every eigenvalue of the symmetric tridiagonal (d, e) in
+// ascending order, by repeated bisection. Intended for tests and small
+// Lanczos matrices (the solver only ever needs the extremes).
+func All(d, e []float64, tol float64) []float64 {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	n := len(d)
+	lo, hi := GershgorinBounds(d, e)
+	out := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		out[k-1] = bisect(d, e, lo, hi, k, tol)
+	}
+	return out
+}
+
+// Estimate holds extremal eigenvalue estimates together with the safety
+// factors applied. TeaLeaf widens the Ritz interval slightly because the
+// Lanczos values converge to the true extremes from inside; an
+// underestimated λmax makes Chebyshev diverge.
+type Estimate struct {
+	Min, Max float64
+	// RawMin, RawMax are the unwidened Ritz values.
+	RawMin, RawMax float64
+	// Iterations is the number of CG iterations the estimate was built from.
+	Iterations int
+}
+
+// Safety factors applied to the Ritz values, matching TeaLeaf's defaults.
+const (
+	SafetyMin = 0.95 // λmin is multiplied by this (pushed down)
+	SafetyMax = 1.05 // λmax is multiplied by this (pushed up)
+)
+
+// EstimateFromCG turns recorded CG coefficients into a widened extremal
+// eigenvalue estimate.
+func EstimateFromCG(alphas, betas []float64) (Estimate, error) {
+	d, e, err := FromCG(alphas, betas)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mn, mx := Extremal(d, e, 1e-12)
+	if mn <= 0 {
+		// The operator is SPD; a non-positive Ritz value means the CG run
+		// was too short or the scalars were polluted. Fall back to a
+		// conservative positive floor so Chebyshev still converges.
+		mn = mx * 1e-6
+	}
+	return Estimate{
+		Min: mn * SafetyMin, Max: mx * SafetyMax,
+		RawMin: mn, RawMax: mx,
+		Iterations: len(alphas),
+	}, nil
+}
+
+// ConditionNumber returns Max/Min.
+func (est Estimate) ConditionNumber() float64 { return est.Max / est.Min }

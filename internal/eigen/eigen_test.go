@@ -1,0 +1,239 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// laplacian1D returns the tridiagonal of the 1D Dirichlet Laplacian
+// [2 -1; -1 2 -1; ...], whose eigenvalues are 2 - 2cos(kπ/(n+1)).
+func laplacian1D(n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	return
+}
+
+func laplacianEigen(n, k int) float64 {
+	return 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+}
+
+func TestExtremalLaplacian(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 50} {
+		d, e := laplacian1D(n)
+		mn, mx := Extremal(d, e, 1e-13)
+		wantMin := laplacianEigen(n, 1)
+		wantMax := laplacianEigen(n, n)
+		if math.Abs(mn-wantMin) > 1e-10 {
+			t.Errorf("n=%d: min = %v, want %v", n, mn, wantMin)
+		}
+		if math.Abs(mx-wantMax) > 1e-10 {
+			t.Errorf("n=%d: max = %v, want %v", n, mx, wantMax)
+		}
+	}
+}
+
+func TestAllLaplacian(t *testing.T) {
+	n := 8
+	d, e := laplacian1D(n)
+	got := All(d, e, 1e-13)
+	for k := 1; k <= n; k++ {
+		want := laplacianEigen(n, k)
+		if math.Abs(got[k-1]-want) > 1e-10 {
+			t.Errorf("eig %d = %v, want %v", k, got[k-1], want)
+		}
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("All must return ascending eigenvalues")
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	d, e := laplacian1D(5)
+	// All eigenvalues are in (0, 4).
+	if c := CountBelow(d, e, 0); c != 0 {
+		t.Errorf("CountBelow(0) = %d, want 0", c)
+	}
+	if c := CountBelow(d, e, 4.0001); c != 5 {
+		t.Errorf("CountBelow(4+) = %d, want 5", c)
+	}
+	if c := CountBelow(d, e, 2); c != 2 { // eigenvalues symmetric about 2; λ3 = 2 exactly
+		t.Errorf("CountBelow(2) = %d, want 2", c)
+	}
+	// Diagonal matrix: trivial counting.
+	if c := CountBelow([]float64{1, 2, 3}, []float64{0, 0}, 2.5); c != 2 {
+		t.Errorf("diag CountBelow = %d, want 2", c)
+	}
+}
+
+func TestCountBelowMonotoneQuick(t *testing.T) {
+	d, e := laplacian1D(12)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return CountBelow(d, e, a) <= CountBelow(d, e, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGershgorinContainsSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 5
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		lo, hi := GershgorinBounds(d, e)
+		for _, ev := range All(d, e, 1e-12) {
+			if ev < lo-1e-9 || ev > hi+1e-9 {
+				t.Fatalf("eigenvalue %v outside Gershgorin [%v,%v]", ev, lo, hi)
+			}
+		}
+	}
+}
+
+func TestFromCGValidation(t *testing.T) {
+	if _, _, err := FromCG(nil, nil); err == nil {
+		t.Error("empty alphas must error")
+	}
+	if _, _, err := FromCG([]float64{1, 1}, nil); err == nil {
+		t.Error("missing betas must error")
+	}
+	if _, _, err := FromCG([]float64{-1}, nil); err == nil {
+		t.Error("negative alpha must error")
+	}
+	if _, _, err := FromCG([]float64{1, 1}, []float64{-0.5}); err == nil {
+		t.Error("negative beta must error")
+	}
+	if _, _, err := FromCG([]float64{math.NaN()}, nil); err == nil {
+		t.Error("NaN alpha must error")
+	}
+	d, e, err := FromCG([]float64{0.5}, nil)
+	if err != nil || len(d) != 1 || len(e) != 0 {
+		t.Fatalf("single-alpha: d=%v e=%v err=%v", d, e, err)
+	}
+	if d[0] != 2 {
+		t.Errorf("d[0] = %v, want 1/0.5 = 2", d[0])
+	}
+}
+
+func TestFromCGConstruction(t *testing.T) {
+	alphas := []float64{0.5, 0.25}
+	betas := []float64{0.16}
+	d, e, err := FromCG(alphas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d[0]-2) > 1e-15 {
+		t.Errorf("d[0] = %v", d[0])
+	}
+	if want := 4 + 0.16/0.5; math.Abs(d[1]-want) > 1e-15 {
+		t.Errorf("d[1] = %v, want %v", d[1], want)
+	}
+	if want := math.Sqrt(0.16) / 0.5; math.Abs(e[0]-want) > 1e-15 {
+		t.Errorf("e[0] = %v, want %v", e[0], want)
+	}
+}
+
+// TestLanczosRecoversDiagonalSpectrum runs exact CG arithmetic on a small
+// diagonal matrix and checks the Ritz values converge to the true extremes.
+func TestLanczosRecoversDiagonalSpectrum(t *testing.T) {
+	// Diagonal operator with known spectrum.
+	diag := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	n := len(diag)
+	apply := func(x []float64) []float64 {
+		y := make([]float64, n)
+		for i := range x {
+			y[i] = diag[i] * x[i]
+		}
+		return y
+	}
+	dot := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	// CG from a dense right-hand side; run to (near) completion so the
+	// Lanczos matrix carries the full spectrum.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	rr := dot(r, r)
+	var alphas, betas []float64
+	for it := 0; it < n; it++ {
+		w := apply(p)
+		alpha := rr / dot(p, w)
+		alphas = append(alphas, alpha)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * w[i]
+		}
+		rrNew := dot(r, r)
+		if rrNew < 1e-28 {
+			break
+		}
+		beta := rrNew / rr
+		betas = append(betas, beta)
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	est, err := EstimateFromCG(alphas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.RawMin-1) > 1e-6 {
+		t.Errorf("RawMin = %v, want 1", est.RawMin)
+	}
+	if math.Abs(est.RawMax-10) > 1e-6 {
+		t.Errorf("RawMax = %v, want 10", est.RawMax)
+	}
+	// Safety factors widen the interval.
+	if est.Min >= est.RawMin || est.Max <= est.RawMax {
+		t.Error("safety factors must widen the estimate")
+	}
+	if math.Abs(est.ConditionNumber()-est.Max/est.Min) > 1e-15 {
+		t.Error("ConditionNumber wrong")
+	}
+	if est.Iterations != len(alphas) {
+		t.Error("Iterations not recorded")
+	}
+}
+
+func TestEstimateFromCGFloorsNonPositiveMin(t *testing.T) {
+	// A 1-iteration estimate has a single Ritz value; Min floor logic
+	// must keep the estimate usable.
+	est, err := EstimateFromCG([]float64{0.1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Min <= 0 || est.Max <= 0 {
+		t.Errorf("estimate must be positive: %+v", est)
+	}
+}

@@ -1,0 +1,206 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Side identifies one face of a rectangular sub-domain.
+type Side int
+
+// The four sides of a 2D sub-domain, in TeaLeaf's CHUNK_LEFT.. order.
+const (
+	Left Side = iota
+	Right
+	Down
+	Up
+	NumSides
+)
+
+// Opposite returns the facing side (Left<->Right, Down<->Up).
+func (s Side) Opposite() Side {
+	switch s {
+	case Left:
+		return Right
+	case Right:
+		return Left
+	case Down:
+		return Up
+	case Up:
+		return Down
+	}
+	panic(fmt.Sprintf("grid: invalid side %d", int(s)))
+}
+
+func (s Side) String() string {
+	switch s {
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	case Down:
+		return "down"
+	case Up:
+		return "up"
+	}
+	return fmt.Sprintf("side(%d)", int(s))
+}
+
+// Extent is a rank's rectangle of interior cells within the global grid,
+// given as half-open ranges.
+type Extent struct {
+	X0, X1, Y0, Y1 int
+}
+
+// NX returns the sub-domain width in cells.
+func (e Extent) NX() int { return e.X1 - e.X0 }
+
+// NY returns the sub-domain height in cells.
+func (e Extent) NY() int { return e.Y1 - e.Y0 }
+
+// Cells returns the cell count of the extent.
+func (e Extent) Cells() int { return e.NX() * e.NY() }
+
+// Partition is a PX × PY rectangular decomposition of an NX × NY global
+// grid, mirroring TeaLeaf's chunk decomposition. Rank r sits at
+// (r mod PX, r / PX); remainder cells are distributed one per low-index
+// rank so extents differ by at most one cell per dimension.
+type Partition struct {
+	NX, NY int
+	PX, PY int
+	// xsplit[i] is the first global column owned by rank-column i;
+	// xsplit[PX] == NX. Similarly ysplit.
+	xsplit, ysplit []int
+}
+
+// NewPartition builds a partition of an nx × ny grid over px × py ranks.
+// Every rank must receive at least one cell in each dimension.
+func NewPartition(nx, ny, px, py int) (*Partition, error) {
+	if nx <= 0 || ny <= 0 || px <= 0 || py <= 0 {
+		return nil, fmt.Errorf("grid: partition dims must be positive (%dx%d over %dx%d)", nx, ny, px, py)
+	}
+	if px > nx || py > ny {
+		return nil, fmt.Errorf("grid: more ranks than cells (%dx%d over %dx%d)", nx, ny, px, py)
+	}
+	p := &Partition{NX: nx, NY: ny, PX: px, PY: py,
+		xsplit: splits(nx, px), ysplit: splits(ny, py)}
+	return p, nil
+}
+
+// MustPartition is NewPartition that panics on error.
+func MustPartition(nx, ny, px, py int) *Partition {
+	p, err := NewPartition(nx, ny, px, py)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splits(n, p int) []int {
+	s := make([]int, p+1)
+	q, r := n/p, n%p
+	for i := 0; i <= p; i++ {
+		// Low-index ranks take the remainder cells, one each.
+		s[i] = i*q + min(i, r)
+	}
+	return s
+}
+
+// Ranks returns the total rank count PX*PY.
+func (p *Partition) Ranks() int { return p.PX * p.PY }
+
+// CoordsOf returns rank r's (column, row) in the process grid.
+func (p *Partition) CoordsOf(r int) (cx, cy int) { return r % p.PX, r / p.PX }
+
+// RankAt returns the rank at process-grid coordinates (cx, cy), or -1 if
+// the coordinates are outside the process grid.
+func (p *Partition) RankAt(cx, cy int) int {
+	if cx < 0 || cx >= p.PX || cy < 0 || cy >= p.PY {
+		return -1
+	}
+	return cy*p.PX + cx
+}
+
+// ExtentOf returns the global cell rectangle owned by rank r.
+func (p *Partition) ExtentOf(r int) Extent {
+	cx, cy := p.CoordsOf(r)
+	return Extent{
+		X0: p.xsplit[cx], X1: p.xsplit[cx+1],
+		Y0: p.ysplit[cy], Y1: p.ysplit[cy+1],
+	}
+}
+
+// Neighbor returns the rank adjacent to r across side s, or -1 at the
+// physical domain boundary.
+func (p *Partition) Neighbor(r int, s Side) int {
+	cx, cy := p.CoordsOf(r)
+	switch s {
+	case Left:
+		return p.RankAt(cx-1, cy)
+	case Right:
+		return p.RankAt(cx+1, cy)
+	case Down:
+		return p.RankAt(cx, cy-1)
+	case Up:
+		return p.RankAt(cx, cy+1)
+	}
+	panic(fmt.Sprintf("grid: invalid side %d", int(s)))
+}
+
+// OwnerOf returns the rank owning global cell (j,k).
+func (p *Partition) OwnerOf(j, k int) int {
+	if j < 0 || j >= p.NX || k < 0 || k >= p.NY {
+		return -1
+	}
+	return p.RankAt(searchSplit(p.xsplit, j), searchSplit(p.ysplit, k))
+}
+
+func searchSplit(s []int, v int) int {
+	lo, hi := 0, len(s)-1 // invariant: s[lo] <= v < s[hi]
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// OnBoundary reports whether rank r's sub-domain touches the physical
+// domain boundary on side s.
+func (p *Partition) OnBoundary(r int, s Side) bool { return p.Neighbor(r, s) == -1 }
+
+func (p *Partition) String() string {
+	return fmt.Sprintf("Partition(%dx%d cells over %dx%d ranks)", p.NX, p.NY, p.PX, p.PY)
+}
+
+// FactorNearSquare splits n ranks into px × py with px*py == n and the
+// aspect ratio as close to the grid's as possible, preferring px >= py for
+// square grids. This mirrors TeaLeaf's tea_decompose chunk factorisation,
+// which minimises the communication surface.
+func FactorNearSquare(n, nx, ny int) (px, py int) {
+	if n <= 0 {
+		return 1, 1
+	}
+	bestPX, bestPY := n, 1
+	bestCost := math.Inf(1)
+	for q := 1; q*q <= n; q++ {
+		if n%q != 0 {
+			continue
+		}
+		for _, cand := range [2][2]int{{q, n / q}, {n / q, q}} {
+			cx, cy := cand[0], cand[1]
+			if cx > nx || cy > ny {
+				continue
+			}
+			// Communication surface per rank: perimeter of the sub-domain.
+			cost := float64(nx)/float64(cx) + float64(ny)/float64(cy)
+			if cost < bestCost || (cost == bestCost && cx >= cy && bestPX < bestPY) {
+				bestCost, bestPX, bestPY = cost, cx, cy
+			}
+		}
+	}
+	return bestPX, bestPY
+}

@@ -1,0 +1,129 @@
+// Package halo implements the matrix-powers kernel schedule of §IV-C2: the
+// bookkeeping that lets the CPPCG inner loop perform depth-d matrix
+// multiplications between halo exchanges by computing on extended bounds
+// that shrink by one cell per step as the halo data goes stale.
+//
+// After a depth-d exchange, the first A·p runs on bounds extended by d−1
+// beyond the interior (it reads one cell further, i.e. the full depth-d
+// halo); each subsequent application shrinks the extension by one. When
+// the extension is exhausted, a fresh exchange is needed. Sides on the
+// physical domain boundary are never extended: their halos are zero-flux
+// mirrors, not neighbour data, and the outer-boundary face coefficients
+// are zero.
+package halo
+
+import (
+	"fmt"
+
+	"tealeaf/internal/grid"
+)
+
+// Sides mirrors the four-neighbour adjacency of a rank: true means there
+// is a neighbour on that side (so the halo there carries fresh data and
+// bounds may extend into it).
+type Sides struct {
+	Left, Right, Down, Up bool
+}
+
+// NoNeighbors is the single-rank case: nothing extends.
+var NoNeighbors = Sides{}
+
+// Schedule tracks how many matrix applications remain before the next
+// exchange, and the bounds each application must run on.
+type Schedule struct {
+	depth    int
+	g        *grid.Grid2D
+	interior grid.Bounds
+	adj      Sides
+	// remaining applications before an exchange is required.
+	remaining int
+	// cur is the bounds for the next application.
+	cur grid.Bounds
+}
+
+// NewSchedule builds a matrix-powers schedule for the given rank-local
+// grid, exchange depth, and neighbour adjacency. depth must fit in the
+// grid's halo allocation.
+func NewSchedule(g *grid.Grid2D, depth int, adj Sides) (*Schedule, error) {
+	if depth < 1 || depth > g.Halo {
+		return nil, fmt.Errorf("halo: schedule depth %d outside [1,%d]", depth, g.Halo)
+	}
+	s := &Schedule{depth: depth, g: g, interior: g.Interior(), adj: adj}
+	// Until the first exchange, no extension is valid.
+	s.remaining = 0
+	return s, nil
+}
+
+// Depth returns the exchange depth.
+func (s *Schedule) Depth() int { return s.depth }
+
+// Refill marks a fresh depth-d exchange: the next d applications may run
+// on progressively shrinking extended bounds.
+func (s *Schedule) Refill() {
+	s.remaining = s.depth
+	ext := s.depth - 1
+	l, r, d, u := 0, 0, 0, 0
+	if s.adj.Left {
+		l = ext
+	}
+	if s.adj.Right {
+		r = ext
+	}
+	if s.adj.Down {
+		d = ext
+	}
+	if s.adj.Up {
+		u = ext
+	}
+	s.cur = s.interior.ExpandSides(l, r, d, u, s.g)
+}
+
+// Next returns the bounds for the next matrix application and true, or a
+// zero Bounds and false if the halo is exhausted and Refill (after an
+// exchange) is required first. On success the schedule advances: the
+// following application gets bounds shrunk by one toward the interior.
+func (s *Schedule) Next() (grid.Bounds, bool) {
+	if s.remaining == 0 {
+		return grid.Bounds{}, false
+	}
+	b := s.cur
+	s.remaining--
+	s.cur = s.cur.ShrinkToward(1, s.interior)
+	return b, true
+}
+
+// Remaining returns how many applications are left before a Refill is needed.
+func (s *Schedule) Remaining() int { return s.remaining }
+
+// StepsPerExchange returns the number of matrix applications one exchange
+// buys, which is the depth.
+func (s *Schedule) StepsPerExchange() int { return s.depth }
+
+// RedundantCells returns the total number of cell updates a full cycle of
+// depth applications performs beyond depth× the interior — the "small
+// amount of redundant computation" the matrix-powers kernel trades for
+// fewer messages. Used by the ablation benchmarks and the performance
+// model.
+func (s *Schedule) RedundantCells() int {
+	total := 0
+	ext := s.depth - 1
+	l, r, d, u := 0, 0, 0, 0
+	if s.adj.Left {
+		l = ext
+	}
+	if s.adj.Right {
+		r = ext
+	}
+	if s.adj.Down {
+		d = ext
+	}
+	if s.adj.Up {
+		u = ext
+	}
+	b := s.interior.ExpandSides(l, r, d, u, s.g)
+	for i := 0; i < s.depth; i++ {
+		total += b.Cells()
+		b = b.ShrinkToward(1, s.interior)
+	}
+	return total - s.depth*s.interior.Cells()
+}

@@ -1,0 +1,246 @@
+// Package kernels implements the memory-bandwidth-bound vector kernels the
+// TeaLeaf solvers are built from: dot products, AXPY-family triads, copies
+// and scales, each over an arbitrary Bounds rectangle of a halo-padded
+// field. These are the "two loads and one store per (one or two) floating
+// point operations" local operations of §III-A of the paper.
+//
+// All kernels take a *par.Pool and parallelise over grid rows with a
+// static block schedule. All fields passed to one call must live on the
+// same grid (they do, throughout the solvers: every solver vector is
+// allocated on the rank-local grid).
+package kernels
+
+import (
+	"math"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+)
+
+// Dot returns Σ x·y over the cells of b.
+func Dot(p *par.Pool, b grid.Bounds, x, y *grid.Field2D) float64 {
+	if b.Empty() {
+		return 0
+	}
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+		var s float64
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				s += xd[base+j] * yd[base+j]
+			}
+		}
+		return s
+	})
+}
+
+// Norm2Sq returns Σ x² over the cells of b.
+func Norm2Sq(p *par.Pool, b grid.Bounds, x *grid.Field2D) float64 {
+	return Dot(p, b, x, x)
+}
+
+// Norm2 returns the Euclidean norm of x over b.
+func Norm2(p *par.Pool, b grid.Bounds, x *grid.Field2D) float64 {
+	return math.Sqrt(Norm2Sq(p, b, x))
+}
+
+// Axpy computes y += alpha*x over b.
+func Axpy(p *par.Pool, b grid.Bounds, alpha float64, x, y *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				yd[base+j] += alpha * xd[base+j]
+			}
+		}
+	})
+}
+
+// Xpay computes y = x + beta*y over b (the CG direction update
+// p = z + βp).
+func Xpay(p *par.Pool, b grid.Bounds, x *grid.Field2D, beta float64, y *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				yd[base+j] = xd[base+j] + beta*yd[base+j]
+			}
+		}
+	})
+}
+
+// Axpby computes z = alpha*x + beta*y over b.
+func Axpby(p *par.Pool, b grid.Bounds, alpha float64, x *grid.Field2D, beta float64, y, z *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd, yd, zd := x.Data, y.Data, z.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				zd[base+j] = alpha*xd[base+j] + beta*yd[base+j]
+			}
+		}
+	})
+}
+
+// Copy copies src into dst over b.
+func Copy(p *par.Pool, b grid.Bounds, dst, src *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := src.Grid
+	sd, dd := src.Data, dst.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			lo := g.Index(b.X0, k)
+			hi := g.Index(b.X1, k)
+			copy(dd[lo:hi], sd[lo:hi])
+		}
+	})
+}
+
+// Scale computes x *= alpha over b.
+func Scale(p *par.Pool, b grid.Bounds, alpha float64, x *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd := x.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				xd[base+j] *= alpha
+			}
+		}
+	})
+}
+
+// ScaleTo computes dst = alpha*src over b.
+func ScaleTo(p *par.Pool, b grid.Bounds, alpha float64, src, dst *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := src.Grid
+	sd, dd := src.Data, dst.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				dd[base+j] = alpha * sd[base+j]
+			}
+		}
+	})
+}
+
+// Fill sets x = v over b.
+func Fill(p *par.Pool, b grid.Bounds, v float64, x *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd := x.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				xd[base+j] = v
+			}
+		}
+	})
+}
+
+// Sub computes z = x - y over b.
+func Sub(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd, yd, zd := x.Data, y.Data, z.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				zd[base+j] = xd[base+j] - yd[base+j]
+			}
+		}
+	})
+}
+
+// Mul computes z = x ⊙ y (elementwise) over b; used to apply the diagonal
+// (point-Jacobi) preconditioner z = M⁻¹ r when M⁻¹ is stored as a field.
+func Mul(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x.Grid
+	xd, yd, zd := x.Data, y.Data, z.Data
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				zd[base+j] = xd[base+j] * yd[base+j]
+			}
+		}
+	})
+}
+
+// AxpyDot fuses y += alpha*x with the dot product r·r in a single pass;
+// the fused-reduction variant of the CG residual update. Returns Σ y·y
+// over b after the update (y is typically the residual).
+func AxpyDot(p *par.Pool, b grid.Bounds, alpha float64, x, y *grid.Field2D) float64 {
+	if b.Empty() {
+		return 0
+	}
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+		var s float64
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				v := yd[base+j] + alpha*xd[base+j]
+				yd[base+j] = v
+				s += v * v
+			}
+		}
+		return s
+	})
+}
+
+// Dot2 computes the two dot products x·y and y·z in one pass (the paper's
+// §VII proposes restructuring the Krylov solver so multiple dot products
+// share a single reduction step).
+func Dot2(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) (xy, yz float64) {
+	if b.Empty() {
+		return 0, 0
+	}
+	g := x.Grid
+	xd, yd, zd := x.Data, y.Data, z.Data
+	return p.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
+		var a, c float64
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				a += xd[base+j] * yd[base+j]
+				c += yd[base+j] * zd[base+j]
+			}
+		}
+		return a, c
+	})
+}

@@ -1,0 +1,246 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tealeaf/internal/cheby"
+	"tealeaf/internal/core"
+	"tealeaf/internal/eigen"
+	"tealeaf/internal/mg"
+	"tealeaf/internal/problem"
+	"tealeaf/internal/stencil"
+)
+
+// IterLaw is a fitted power law y(n) = A·nᴮ.
+type IterLaw struct {
+	A, B float64
+}
+
+// At evaluates the law (never below 1).
+func (l IterLaw) At(n int) float64 {
+	return math.Max(1, l.A*math.Pow(float64(n), l.B))
+}
+
+// FitPowerLaw least-squares fits log y = log A + B log n. Points with
+// non-positive y are rejected.
+func FitPowerLaw(ns []int, ys []float64) (IterLaw, error) {
+	if len(ns) != len(ys) || len(ns) < 2 {
+		return IterLaw{}, fmt.Errorf("model: need at least two calibration points, got %d/%d", len(ns), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range ns {
+		if ns[i] <= 0 || ys[i] <= 0 {
+			return IterLaw{}, fmt.Errorf("model: calibration point %d non-positive (%d, %v)", i, ns[i], ys[i])
+		}
+		x := math.Log(float64(ns[i]))
+		y := math.Log(ys[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(ns))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return IterLaw{}, fmt.Errorf("model: degenerate calibration ladder")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := math.Exp((sy - b*sx) / n)
+	return IterLaw{A: a, B: b}, nil
+}
+
+// The paper's production workload.
+const (
+	FullMesh  = 4000
+	FullSteps = 375
+)
+
+// Calibration extrapolates per-step iteration counts from real solves on a
+// small mesh ladder to the paper's 4000² mesh, using the paper's own
+// eigenvalue framework (§III-C):
+//
+//   - The operator is A = I + Δt·L with λmin(A) = 1 (Neumann L has a zero
+//     mode), so κ(A_n) = λmax(A_n), and λmax(A_n) − 1 = Δt·λmax(L_n) ∝ n²
+//     exactly. The ladder measures λmax via the CG↔Lanczos correspondence
+//     and fits that law.
+//   - CG iterations scale with √κ (eq. 6), anchored at the largest
+//     measured mesh.
+//   - PPCG outer iterations scale with √κ_pcg of eq. (4) evaluated from
+//     the extrapolated λmax (eq. 7), same anchoring.
+//   - The multigrid baseline's count is fitted directly (it is nearly
+//     mesh-independent — that is its defining property).
+type Calibration struct {
+	Ladder     []int
+	StepsEach  int
+	InnerSteps int
+
+	// Measured holds the raw per-step outer-iteration measurements.
+	Measured map[SolverKind][]float64
+	// Kappa holds the measured condition numbers κ(A_n) per ladder mesh.
+	Kappa []float64
+
+	// KappaFit is the fitted law for κ(A_n) − 1 (exponent ≈ 2).
+	KappaFit IterLaw
+	// AMGFit is the direct fit of the baseline's iteration counts.
+	AMGFit IterLaw
+
+	// Anchors: measurements at the largest ladder mesh.
+	anchorMesh int
+	anchorCG   float64
+	anchorPPCG float64
+}
+
+// KappaAt extrapolates the condition number to mesh n.
+func (c *Calibration) KappaAt(n int) float64 {
+	return 1 + c.KappaFit.A*math.Pow(float64(n), c.KappaFit.B)
+}
+
+// ItersAt predicts outer iterations per step at mesh n for the solver kind.
+func (c *Calibration) ItersAt(kind SolverKind, n int) float64 {
+	switch kind {
+	case CG:
+		// eq. (6): k_total ∝ √κ.
+		return math.Max(1, c.anchorCG*math.Sqrt(c.KappaAt(n)/c.KappaAt(c.anchorMesh)))
+	case Jacobi:
+		// Jacobi contracts like 1 − O(1/κ): iterations ∝ κ.
+		return math.Max(1, 10*c.anchorCG*c.KappaAt(n)/c.KappaAt(c.anchorMesh))
+	case PPCG:
+		// §III-C: outer iterations are CG's divided by √(κ_cg/κ_pcg)
+		// (eqs. 6-7) — the dot-product reduction the polynomial buys.
+		// The small calibration meshes sit in the m ≳ √κ regime where
+		// PPCG converges inside its eigenvalue bootstrap, so anchoring on
+		// the measured PPCG count would inflate the extrapolation; the
+		// CG anchor plus the analytic ratio is the paper's own model.
+		kappa := c.KappaAt(n)
+		kp := cheby.KappaPCG(c.InnerSteps, 1, kappa)
+		return math.Max(1, c.ItersAt(CG, n)*math.Sqrt(kp/kappa))
+	case BoomerAMG:
+		return c.AMGFit.At(n)
+	}
+	return 1
+}
+
+// Workload builds the Fig. 5–8 workload for a solver kind at the given
+// mesh (use FullMesh/FullSteps for the paper's configuration).
+func (c *Calibration) Workload(kind SolverKind, mesh, steps int) Workload {
+	return Workload{Mesh: mesh, Steps: steps, ItersPerStep: c.ItersAt(kind, mesh)}
+}
+
+// Describe renders a one-line summary per solver for reports.
+func (c *Calibration) Describe(kind SolverKind) string {
+	switch kind {
+	case CG:
+		return fmt.Sprintf("cg: measured %v, κ(n)−1 = %.3g·n^%.2f → %d iters/step at n=%d",
+			c.Measured[CG], c.KappaFit.A, c.KappaFit.B, int(c.ItersAt(CG, FullMesh)), FullMesh)
+	case PPCG:
+		return fmt.Sprintf("ppcg(m=%d): measured %v → %d outer/step at n=%d (eqs. 6-7 ratio)",
+			c.InnerSteps, c.Measured[PPCG], int(c.ItersAt(PPCG, FullMesh)), FullMesh)
+	case BoomerAMG:
+		return fmt.Sprintf("boomeramg: measured %v, fit %.3g·n^%.2f → %d iters/step at n=%d",
+			c.Measured[BoomerAMG], c.AMGFit.A, c.AMGFit.B, int(c.ItersAt(BoomerAMG, FullMesh)), FullMesh)
+	}
+	return string(kind)
+}
+
+// Calibrate measures iteration counts and condition numbers on real
+// crooked-pipe solves over the given mesh ladder. stepsEach time steps are
+// run per mesh (the first step dominates; 1–2 suffice).
+func Calibrate(ladder []int, stepsEach, innerSteps int) (*Calibration, error) {
+	if len(ladder) < 2 {
+		return nil, fmt.Errorf("model: calibration ladder needs at least two meshes")
+	}
+	if stepsEach <= 0 {
+		stepsEach = 2
+	}
+	if innerSteps <= 0 {
+		innerSteps = 10
+	}
+	cal := &Calibration{
+		Ladder:     append([]int(nil), ladder...),
+		StepsEach:  stepsEach,
+		InnerSteps: innerSteps,
+		Measured:   make(map[SolverKind][]float64),
+	}
+	for _, kind := range []SolverKind{CG, PPCG, BoomerAMG} {
+		ys := make([]float64, len(ladder))
+		for i, n := range ladder {
+			iters, kappa, err := measureStep(kind, n, stepsEach, innerSteps)
+			if err != nil {
+				return nil, fmt.Errorf("model: calibrating %s at %d: %w", kind, n, err)
+			}
+			ys[i] = iters
+			if kind == CG {
+				cal.Kappa = append(cal.Kappa, kappa)
+			}
+		}
+		cal.Measured[kind] = ys
+	}
+	// Fit κ − 1 ∝ n^B (B ≈ 2 since λmax(L) ∝ 1/Δx²).
+	km1 := make([]float64, len(cal.Kappa))
+	for i, k := range cal.Kappa {
+		km1[i] = math.Max(k-1, 1e-12)
+	}
+	fit, err := FitPowerLaw(ladder, km1)
+	if err != nil {
+		return nil, err
+	}
+	cal.KappaFit = fit
+	amgFit, err := FitPowerLaw(ladder, cal.Measured[BoomerAMG])
+	if err != nil {
+		return nil, err
+	}
+	cal.AMGFit = amgFit
+	last := len(ladder) - 1
+	cal.anchorMesh = ladder[last]
+	cal.anchorCG = cal.Measured[CG][last]
+	cal.anchorPPCG = cal.Measured[PPCG][last]
+	return cal, nil
+}
+
+// measureStep runs stepsEach implicit steps of the crooked pipe at mesh
+// n×n with the given solver; returns mean outer iterations per step and,
+// for CG, the Lanczos condition-number estimate of the first step.
+func measureStep(kind SolverKind, n, stepsEach, innerSteps int) (iters, kappa float64, err error) {
+	d := problem.CrookedPipeDeck(n, n)
+	d.Eps = 1e-8 // calibration tolerance: looser than production, same scaling
+	d.MaxIters = 500000
+	d.InnerSteps = innerSteps
+	switch kind {
+	case CG:
+		d.Solver = "cg"
+	case PPCG:
+		d.Solver = "ppcg"
+	case Jacobi:
+		d.Solver = "jacobi"
+	case BoomerAMG:
+		d.Solver = "cg" // CG outer; V-cycle preconditioner attached below
+	}
+	inst, err := core.NewSerial(d, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if kind == BoomerAMG {
+		h, err := mg.Build(inst.Pool, inst.Density, d.InitialTimestep, stencil.Conductivity, mg.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+		inst.Options().Precond = h
+	}
+	total := 0
+	for s := 0; s < stepsEach; s++ {
+		res, err := inst.Step()
+		if err != nil {
+			return 0, 0, err
+		}
+		total += res.Iterations
+		if s == 0 && kind == CG {
+			est, err := eigen.EstimateFromCG(res.Alphas, res.Betas)
+			if err != nil {
+				return 0, 0, err
+			}
+			kappa = est.RawMax / est.RawMin
+		}
+	}
+	return float64(total) / float64(stepsEach), kappa, nil
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"testing"
+)
+
+// TestCalibrateRealSolves runs the actual calibration on a small ladder:
+// real crooked-pipe solves with CG, PPCG and the MG baseline. This is the
+// bridge between the measured solvers and the scaling model.
+func TestCalibrateRealSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs real solves")
+	}
+	cal, err := Calibrate([]int{32, 48, 64}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The condition-number law must be close to the exact κ−1 ∝ n²
+	// (λmax(L) ∝ 1/Δx² on a fixed physical domain).
+	if cal.KappaFit.B < 1.6 || cal.KappaFit.B > 2.4 {
+		t.Errorf("κ growth exponent = %v, want ≈ 2", cal.KappaFit.B)
+	}
+	// Measured κ must increase along the ladder.
+	for i := 1; i < len(cal.Kappa); i++ {
+		if cal.Kappa[i] <= cal.Kappa[i-1] {
+			t.Errorf("κ not increasing: %v", cal.Kappa)
+		}
+	}
+	// On the small calibration meshes κ is mild (m ≳ √κ), so PPCG
+	// converges inside its CG bootstrap: measured counts match CG's and
+	// must never exceed them. The dot-product reduction appears at the
+	// extrapolated production mesh (asserted below).
+	for i, n := range cal.Ladder {
+		if cal.Measured[PPCG][i] > cal.Measured[CG][i] {
+			t.Errorf("mesh %d: PPCG outer %v exceeds CG %v", n, cal.Measured[PPCG][i], cal.Measured[CG][i])
+		}
+	}
+	// Extrapolation to 4000 is ordered correctly: AMG ≪ PPCG < CG.
+	amg, ppcg, cg := cal.ItersAt(BoomerAMG, 4000), cal.ItersAt(PPCG, 4000), cal.ItersAt(CG, 4000)
+	if !(amg < ppcg && ppcg < cg) {
+		t.Errorf("extrapolated iters/step disordered: amg=%v ppcg=%v cg=%v", amg, ppcg, cg)
+	}
+	// The CPPCG dot-product reduction at full mesh is substantial (the
+	// paper's √(κcg/κpcg) ratio).
+	if cg/ppcg < 3 {
+		t.Errorf("CG/PPCG outer-iteration ratio at 4000 = %v, want ≥ 3", cg/ppcg)
+	}
+	// Descriptions render.
+	for _, k := range []SolverKind{CG, PPCG, BoomerAMG} {
+		if cal.Describe(k) == "" {
+			t.Error("empty description")
+		}
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate([]int{32}, 1, 10); err == nil {
+		t.Error("single-mesh ladder must error")
+	}
+}
+
+func TestWorkloadFromCalibration(t *testing.T) {
+	cal := syntheticCal()
+	w := cal.Workload(CG, 4000, 375)
+	if w.Mesh != 4000 || w.Steps != 375 {
+		t.Errorf("workload = %+v", w)
+	}
+	if w.ItersPerStep != cal.ItersAt(CG, 4000) {
+		t.Error("iters not from extrapolation")
+	}
+	// Jacobi path is also priced.
+	if cal.ItersAt(Jacobi, 4000) <= cal.ItersAt(CG, 4000) {
+		t.Error("Jacobi must need more iterations than CG")
+	}
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"fmt"
+
+	"tealeaf/internal/machine"
+)
+
+// SeriesData is one line of a strong-scaling figure.
+type SeriesData struct {
+	Label string
+	Nodes []int
+	Times []float64 // seconds (Figs 5–7) or efficiency (Fig 8)
+}
+
+// Figure is a reproduced paper figure: an x-axis of node counts and one
+// series per solver configuration.
+type Figure struct {
+	ID     string
+	Title  string
+	YLabel string
+	Series []SeriesData
+}
+
+// gpuConfigs are the Fig. 5/6 legend entries: CG - 1 and PPCG - 1/4/8/16.
+func gpuConfigs(innerSteps int) []Config {
+	return []Config{
+		{Kind: CG, HaloDepth: 1, Hybrid: true},
+		{Kind: PPCG, HaloDepth: 1, InnerSteps: innerSteps, Hybrid: true},
+		{Kind: PPCG, HaloDepth: 4, InnerSteps: innerSteps, Hybrid: true},
+		{Kind: PPCG, HaloDepth: 8, InnerSteps: innerSteps, Hybrid: true},
+		{Kind: PPCG, HaloDepth: 16, InnerSteps: innerSteps, Hybrid: true},
+	}
+}
+
+// buildScaling assembles one strong-scaling figure at the given mesh and
+// step count.
+func buildScaling(id, title string, m machine.Machine, cfgs []Config, cal *Calibration,
+	mesh, steps, maxNodes int, labelSuffix string) Figure {
+	nodes := Doublings(maxNodes)
+	fig := Figure{ID: id, Title: title, YLabel: "Time to solution (seconds)"}
+	for _, cfg := range cfgs {
+		w := cal.Workload(cfg.Kind, mesh, steps)
+		fig.Series = append(fig.Series, SeriesData{
+			Label: cfg.Label() + labelSuffix,
+			Nodes: nodes,
+			Times: Series(m, cfg, w, nodes),
+		})
+	}
+	return fig
+}
+
+// Fig5Titan reproduces Fig. 5: CUDA strong scaling on Titan, 1–8192
+// nodes. mesh/steps default to the paper's 4000²/375 when <= 0.
+func Fig5Titan(cal *Calibration, mesh, steps int) Figure {
+	mesh, steps = defaults(mesh, steps)
+	return buildScaling("fig5", "CUDA strong scaling on Titan",
+		machine.Titan(), gpuConfigs(cal.InnerSteps), cal, mesh, steps, 8192, "")
+}
+
+// Fig6PizDaint reproduces Fig. 6: CUDA strong scaling on Piz Daint,
+// 1–2048 nodes.
+func Fig6PizDaint(cal *Calibration, mesh, steps int) Figure {
+	mesh, steps = defaults(mesh, steps)
+	return buildScaling("fig6", "CUDA strong scaling on Piz Daint",
+		machine.PizDaint(), gpuConfigs(cal.InnerSteps), cal, mesh, steps, 2048, "")
+}
+
+// Fig7Spruce reproduces Fig. 7: MPI and hybrid strong scaling on Spruce,
+// 1–1024 nodes, BoomerAMG baseline vs CG-1 vs PPCG-1.
+func Fig7Spruce(cal *Calibration, mesh, steps int) Figure {
+	mesh, steps = defaults(mesh, steps)
+	m := machine.Spruce()
+	nodes := Doublings(1024)
+	fig := Figure{ID: "fig7", Title: "MPI and Hybrid strong scaling on Spruce",
+		YLabel: "Time to solution (seconds)"}
+	for _, hybrid := range []bool{true, false} {
+		suffix := " (MPI)"
+		if hybrid {
+			suffix = " (Hybrid)"
+		}
+		for _, cfg := range []Config{
+			{Kind: BoomerAMG, Hybrid: hybrid},
+			{Kind: CG, HaloDepth: 1, Hybrid: hybrid},
+			{Kind: PPCG, HaloDepth: 1, InnerSteps: cal.InnerSteps, Hybrid: hybrid},
+		} {
+			w := cal.Workload(cfg.Kind, mesh, steps)
+			fig.Series = append(fig.Series, SeriesData{
+				Label: cfg.Label() + suffix,
+				Nodes: nodes,
+				Times: Series(m, cfg, w, nodes),
+			})
+		}
+	}
+	return fig
+}
+
+// Fig8Efficiency reproduces Fig. 8: scaling efficiency of the best
+// configuration on each system (Spruce PPCG-1 MPI, Piz Daint PPCG-16,
+// Titan PPCG-16).
+func Fig8Efficiency(cal *Calibration, mesh, steps int) Figure {
+	mesh, steps = defaults(mesh, steps)
+	fig := Figure{ID: "fig8", Title: "Scaling efficiency across test systems",
+		YLabel: "Scaling efficiency"}
+	cases := []struct {
+		m     machine.Machine
+		cfg   Config
+		max   int
+		label string
+	}{
+		{machine.Spruce(), Config{Kind: PPCG, HaloDepth: 1, InnerSteps: cal.InnerSteps, Hybrid: false}, 1024, "Spruce - PPCG - 1 (MPI)"},
+		{machine.PizDaint(), Config{Kind: PPCG, HaloDepth: 16, InnerSteps: cal.InnerSteps, Hybrid: true}, 2048, "Piz Daint - PPCG - 16 (CUDA)"},
+		{machine.Titan(), Config{Kind: PPCG, HaloDepth: 16, InnerSteps: cal.InnerSteps, Hybrid: true}, 8192, "Titan - PPCG - 16 (CUDA)"},
+	}
+	for _, c := range cases {
+		nodes := Doublings(c.max)
+		w := cal.Workload(c.cfg.Kind, mesh, steps)
+		times := Series(c.m, c.cfg, w, nodes)
+		fig.Series = append(fig.Series, SeriesData{
+			Label: c.label,
+			Nodes: nodes,
+			Times: Efficiency(nodes, times),
+		})
+	}
+	return fig
+}
+
+func defaults(mesh, steps int) (int, int) {
+	if mesh <= 0 {
+		mesh = FullMesh
+	}
+	if steps <= 0 {
+		steps = FullSteps
+	}
+	return mesh, steps
+}
+
+// BestTime returns the minimum time in a series and the node count where
+// it occurs.
+func (s SeriesData) BestTime() (float64, int) {
+	best, at := s.Times[0], s.Nodes[0]
+	for i, t := range s.Times {
+		if t < best {
+			best, at = t, s.Nodes[i]
+		}
+	}
+	return best, at
+}
+
+// At returns the series value at the given node count (or NaN-free 0 and
+// false if absent).
+func (s SeriesData) At(nodes int) (float64, bool) {
+	for i, n := range s.Nodes {
+		if n == nodes {
+			return s.Times[i], true
+		}
+	}
+	return 0, false
+}
+
+// FindSeries returns the series with the given label.
+func (f Figure) FindSeries(label string) (SeriesData, error) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, nil
+		}
+	}
+	return SeriesData{}, fmt.Errorf("model: figure %s has no series %q", f.ID, label)
+}

@@ -1,0 +1,332 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"tealeaf/internal/machine"
+)
+
+// syntheticCal builds a calibration with the anchor values the real
+// calibration converges to (κ ∝ n², CG ∝ √κ, PPCG outer per eq. 7, AMG
+// mesh-independent), so model tests do not re-run solves.
+func syntheticCal() *Calibration {
+	return &Calibration{
+		InnerSteps: 10,
+		KappaFit:   IterLaw{A: 0.0021, B: 2.08}, // κ(4000) ≈ 33,700
+		AMGFit:     IterLaw{A: 0.85, B: 0.45},
+		anchorMesh: 96,
+		anchorCG:   48,
+		anchorPPCG: 23,
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	law, err := FitPowerLaw([]int{32, 64, 128}, []float64{16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(law.B-1) > 1e-9 || math.Abs(law.A-0.5) > 1e-9 {
+		t.Errorf("law = %+v, want A=0.5 B=1", law)
+	}
+	if got := law.At(4000); math.Abs(got-2000) > 1e-6 {
+		t.Errorf("At(4000) = %v", got)
+	}
+	// Constant law.
+	law2, err := FitPowerLaw([]int{32, 128}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(law2.B) > 1e-9 {
+		t.Errorf("constant fit B = %v", law2.B)
+	}
+	// Floors at 1.
+	if (IterLaw{A: 0.0001, B: 0}).At(10) != 1 {
+		t.Error("law must floor at 1")
+	}
+	// Errors.
+	if _, err := FitPowerLaw([]int{32}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := FitPowerLaw([]int{32, 64}, []float64{-1, 2}); err == nil {
+		t.Error("negative y must error")
+	}
+	if _, err := FitPowerLaw([]int{32, 32}, []float64{1, 2}); err == nil {
+		t.Error("degenerate ladder must error")
+	}
+}
+
+func TestMatrixPowersCells(t *testing.T) {
+	// depth 1: no extension, every step on the interior.
+	if got := matrixPowersCells(10, 10, 1, 5); got != 500 {
+		t.Errorf("depth-1 cells = %v, want 500", got)
+	}
+	// depth 3, 3 steps on 10×10: 14² + 12² + 10² = 196+144+100 = 440.
+	if got := matrixPowersCells(10, 10, 3, 3); got != 440 {
+		t.Errorf("depth-3 cells = %v, want 440", got)
+	}
+	// Redundancy grows with depth.
+	if matrixPowersCells(10, 10, 8, 8) <= matrixPowersCells(10, 10, 2, 8) {
+		t.Error("deeper halo must compute more cells")
+	}
+}
+
+func TestConfigLabels(t *testing.T) {
+	if (Config{Kind: PPCG, HaloDepth: 16}).Label() != "PPCG - 16" {
+		t.Error("ppcg label")
+	}
+	if (Config{Kind: CG}).Label() != "CG - 1" {
+		t.Error("cg label")
+	}
+	if (Config{Kind: BoomerAMG}).Label() != "BoomerAMG" {
+		t.Error("amg label")
+	}
+}
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	cal := syntheticCal()
+	w := cal.Workload(PPCG, FullMesh, FullSteps)
+	_, bd := TimeToSolution(machine.Titan(), Config{Kind: PPCG, HaloDepth: 8, InnerSteps: 10, Hybrid: true}, w, 512)
+	if bd.Compute <= 0 || bd.Launch <= 0 || bd.Halo <= 0 || bd.Reduce <= 0 {
+		t.Errorf("breakdown has non-positive components: %+v", bd)
+	}
+	if math.Abs(bd.Total()-(bd.Compute+bd.Launch+bd.Halo+bd.Reduce+bd.Setup)) > 1e-15 {
+		t.Error("Total must sum components")
+	}
+}
+
+// --- Shape claims of the paper's evaluation ---
+
+func TestFig5PPCGScalesPastCGKnee(t *testing.T) {
+	fig := Fig5Titan(syntheticCal(), 0, 0)
+	cg, err := fig.FindSeries("CG - 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppcg16, err := fig.FindSeries("PPCG - 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CG's best time occurs well before 8192 nodes and its curve turns up.
+	_, cgAt := cg.BestTime()
+	if cgAt >= 4096 {
+		t.Errorf("CG best at %d nodes; paper shows a knee near 512-1024", cgAt)
+	}
+	cgEnd, _ := cg.At(8192)
+	cgBest, _ := cg.BestTime()
+	if cgEnd <= cgBest {
+		t.Error("CG must be slower at 8192 than at its knee")
+	}
+	// PPCG-16 keeps a large advantage at full scale.
+	p16, _ := ppcg16.At(8192)
+	if p16 >= cgEnd/2 {
+		t.Errorf("PPCG-16 (%v s) must beat CG (%v s) at 8192 nodes by ≥2x", p16, cgEnd)
+	}
+}
+
+func TestFig5HaloDepthOrderingAtScale(t *testing.T) {
+	// "improvements in performance still increasing at halo depths of 16"
+	// on GPUs: at high node counts deeper is faster.
+	fig := Fig5Titan(syntheticCal(), 0, 0)
+	var at8192 []float64
+	for _, label := range []string{"PPCG - 1", "PPCG - 4", "PPCG - 8", "PPCG - 16"} {
+		s, err := fig.FindSeries(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := s.At(8192)
+		if !ok {
+			t.Fatal("missing 8192 point")
+		}
+		at8192 = append(at8192, v)
+	}
+	for i := 1; i < len(at8192); i++ {
+		if at8192[i] >= at8192[i-1] {
+			t.Errorf("depth ordering violated at 8192 nodes: %v", at8192)
+		}
+	}
+}
+
+func TestFig6PizDaintFasterThanTitanAt2048(t *testing.T) {
+	// §VI: 2.79 s vs 4.09 s at 2048 nodes — a ~47% gap attributed to
+	// Aries vs Gemini. Require at least a 25% gap with the same sign.
+	cal := syntheticCal()
+	titan, err := Fig5Titan(cal, 0, 0).FindSeries("PPCG - 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daint, err := Fig6PizDaint(cal, 0, 0).FindSeries("PPCG - 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, _ := titan.At(2048)
+	td, _ := daint.At(2048)
+	if ratio := tt / td; ratio < 1.25 {
+		t.Errorf("Titan/PizDaint at 2048 = %v, want ≥ 1.25 (paper: 1.47)", ratio)
+	}
+	// At 1 node the two systems are within a few percent (same GPU).
+	t1, _ := titan.At(1)
+	d1, _ := daint.At(1)
+	if math.Abs(t1-d1)/d1 > 0.05 {
+		t.Errorf("1-node times must match across machines: %v vs %v", t1, d1)
+	}
+}
+
+func TestFig7BaselineWinsLowLosesHigh(t *testing.T) {
+	// "PETSc CG with BoomerAMG ... is the fastest at low node counts ...
+	// while our CPPCG solver's communication avoiding approach provides
+	// greater strong scaling capability from 128 nodes onwards."
+	fig := Fig7Spruce(syntheticCal(), 0, 0)
+	amg, err := fig.FindSeries("BoomerAMG (Hybrid)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppcg, err := fig.FindSeries("PPCG - 1 (Hybrid)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := amg.At(1)
+	p1, _ := ppcg.At(1)
+	if a1 >= p1 {
+		t.Errorf("BoomerAMG must win at 1 node: %v vs %v", a1, p1)
+	}
+	a512, _ := amg.At(512)
+	p512, _ := ppcg.At(512)
+	if p512*2 > a512 {
+		t.Errorf("CPPCG must be ≥2x faster at 512 nodes: %v vs %v", p512, a512)
+	}
+	for _, n := range []int{128, 256, 512, 1024} {
+		av, _ := amg.At(n)
+		pv, _ := ppcg.At(n)
+		if pv >= av {
+			t.Errorf("PPCG must win from 128 nodes on; at %d: %v vs %v", n, pv, av)
+		}
+	}
+	// BoomerAMG peaks early: its best time is at ≤ 128 nodes.
+	_, at := amg.BestTime()
+	if at > 128 {
+		t.Errorf("BoomerAMG best at %d nodes; paper peaks at 32", at)
+	}
+}
+
+func TestFig7HybridAndFlatNearIdenticalForPPCG(t *testing.T) {
+	// "its hybrid and flat MPI versions delivering near identical
+	// performance at all scales".
+	fig := Fig7Spruce(syntheticCal(), 0, 0)
+	hy, err := fig.FindSeries("PPCG - 1 (Hybrid)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := fig.FindSeries("PPCG - 1 (MPI)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hy.Nodes {
+		if r := fl.Times[i] / hy.Times[i]; r < 0.7 || r > 1.5 {
+			t.Errorf("flat/hybrid ratio at %d nodes = %v, want near 1", hy.Nodes[i], r)
+		}
+	}
+}
+
+func TestFig8SpruceSuperLinear(t *testing.T) {
+	// "the MPI version ... maintains super linear scaling up to 512
+	// nodes, beating both Piz Daint and Titan".
+	fig := Fig8Efficiency(syntheticCal(), 0, 0)
+	spruce, err := fig.FindSeries("Spruce - PPCG - 1 (MPI)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{16, 64, 256, 512} {
+		e, ok := spruce.At(n)
+		if !ok || e <= 1 {
+			t.Errorf("Spruce efficiency at %d = %v, want > 1 (super-linear)", n, e)
+		}
+	}
+	titan, err := fig.FindSeries("Titan - PPCG - 16 (CUDA)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daint, err := fig.FindSeries("Piz Daint - PPCG - 16 (CUDA)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{64, 512} {
+		s, _ := spruce.At(n)
+		tv, _ := titan.At(n)
+		dv, _ := daint.At(n)
+		if s <= tv || s <= dv {
+			t.Errorf("Spruce efficiency must beat the GPU systems at %d nodes", n)
+		}
+	}
+	// Piz Daint consistently at or above Titan at high node counts.
+	for _, n := range []int{512, 1024, 2048} {
+		tv, _ := titan.At(n)
+		dv, _ := daint.At(n)
+		if dv < tv {
+			t.Errorf("Piz Daint efficiency below Titan at %d: %v vs %v", n, dv, tv)
+		}
+	}
+}
+
+func TestEfficiencyDefinition(t *testing.T) {
+	nodes := []int{1, 2, 4}
+	times := []float64{100, 50, 25} // perfect scaling
+	eff := Efficiency(nodes, times)
+	for _, e := range eff {
+		if math.Abs(e-1) > 1e-12 {
+			t.Errorf("perfect scaling must give efficiency 1, got %v", eff)
+		}
+	}
+	if len(Efficiency(nil, nil)) != 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestDoublings(t *testing.T) {
+	d := Doublings(8)
+	want := []int{1, 2, 4, 8}
+	if len(d) != len(want) {
+		t.Fatalf("Doublings(8) = %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Doublings(8) = %v", d)
+		}
+	}
+	if n := len(Doublings(8192)); n != 14 {
+		t.Errorf("Doublings(8192) has %d points, want 14", n)
+	}
+}
+
+func TestJacobiModelPriced(t *testing.T) {
+	w := Workload{Mesh: 1000, Steps: 10, ItersPerStep: 5000}
+	total, bd := TimeToSolution(machine.Spruce(), Config{Kind: Jacobi, Hybrid: true}, w, 16)
+	if total <= 0 || bd.Reduce <= 0 {
+		t.Errorf("jacobi model broken: %v %+v", total, bd)
+	}
+}
+
+func TestStepTimeMonotoneAtSmallScale(t *testing.T) {
+	// In the compute-bound region, doubling nodes must cut time nearly in
+	// half for every solver.
+	cal := syntheticCal()
+	for _, cfg := range []Config{
+		{Kind: CG, HaloDepth: 1, Hybrid: true},
+		{Kind: PPCG, HaloDepth: 4, InnerSteps: 10, Hybrid: true},
+		{Kind: BoomerAMG, Hybrid: true},
+	} {
+		w := cal.Workload(cfg.Kind, FullMesh, FullSteps)
+		t1, _ := TimeToSolution(machine.PizDaint(), cfg, w, 1)
+		t4, _ := TimeToSolution(machine.PizDaint(), cfg, w, 4)
+		if t4 >= t1/2 {
+			t.Errorf("%s: 4 nodes (%v) not ≥2x faster than 1 (%v)", cfg.Label(), t4, t1)
+		}
+	}
+}
+
+func TestFindSeriesError(t *testing.T) {
+	fig := Fig5Titan(syntheticCal(), 0, 0)
+	if _, err := fig.FindSeries("nope"); err == nil {
+		t.Error("missing series must error")
+	}
+}

@@ -1,0 +1,59 @@
+package model
+
+import "tealeaf/internal/machine"
+
+// WeakScalingPoint is one entry of a weak-scaling sweep: the per-node
+// problem size is fixed, so the global mesh grows with the node count.
+type WeakScalingPoint struct {
+	Nodes int
+	// Mesh is the global mesh side at this node count.
+	Mesh int
+	// ItersPerStep is the extrapolated iteration count — it grows with
+	// the mesh even though per-node work is constant.
+	ItersPerStep float64
+	// Time is the modelled time for the full run.
+	Time float64
+	// Efficiency is T(1)/T(P): 1.0 would be perfect weak scaling.
+	Efficiency float64
+}
+
+// WeakScaling models the sweep the paper deliberately omits, to quantify
+// its own justification (§VI): "the nature of the algorithm means that
+// increasing the mesh size also increases the condition number, the number
+// of iterations required to converge, and hence the time to solution" —
+// so even with perfect communication, weak scaling efficiency decays like
+// 1/iters(n). cellsPerNode fixes the per-node problem (e.g. 4000²/64 for
+// the paper's 64-node operating point).
+func WeakScaling(m machine.Machine, cfg Config, cal *Calibration, cellsPerNode int, steps int, nodes []int) []WeakScalingPoint {
+	out := make([]WeakScalingPoint, 0, len(nodes))
+	var t1 float64
+	for _, p := range nodes {
+		mesh := isqrt(cellsPerNode * p)
+		w := cal.Workload(cfg.Kind, mesh, steps)
+		t, _ := TimeToSolution(m, cfg, w, p)
+		if len(out) == 0 {
+			t1 = t
+		}
+		out = append(out, WeakScalingPoint{
+			Nodes: p, Mesh: mesh,
+			ItersPerStep: w.ItersPerStep,
+			Time:         t,
+			Efficiency:   t1 / t,
+		})
+	}
+	return out
+}
+
+// isqrt returns the integer square root (floor).
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

@@ -1,0 +1,161 @@
+// Package par provides the node-level data-parallel execution substrate:
+// the role OpenMP worksharing (and a CUDA thread grid) plays in the
+// original TeaLeaf. Kernels are expressed as functions over a half-open
+// row range; the pool splits the range into contiguous blocks, one per
+// worker, mirroring an OpenMP static schedule so each worker touches a
+// contiguous, cache-friendly band of the grid.
+//
+// The pool is explicit rather than implicit (no package-level state) so
+// that distributed runs can give each simulated rank its own thread team,
+// exactly like `OMP_NUM_THREADS` per MPI rank in the paper's hybrid runs.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a team of workers for data-parallel loops. The zero value is not
+// usable; construct with NewPool. A Pool with one worker executes inline
+// with no synchronisation overhead.
+type Pool struct {
+	workers int
+	// minGrain is the smallest number of iterations worth forking for.
+	// Below it the loop runs inline: forking goroutines for a few rows
+	// costs more than the rows themselves (the same trade-off as an
+	// OpenMP `if` clause).
+	minGrain int
+}
+
+// DefaultGrain is the default minimum loop length that will be split
+// across workers.
+const DefaultGrain = 64
+
+// NewPool returns a pool with the given worker count; workers <= 0 selects
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, minGrain: DefaultGrain}
+}
+
+// Serial is a single-worker pool that always executes inline.
+var Serial = &Pool{workers: 1, minGrain: DefaultGrain}
+
+// WithGrain returns a copy of the pool with a different minimum grain.
+func (p *Pool) WithGrain(grain int) *Pool {
+	if grain < 1 {
+		grain = 1
+	}
+	return &Pool{workers: p.workers, minGrain: grain}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// blocks computes the number of blocks to split [lo,hi) into.
+func (p *Pool) blocks(lo, hi int) int {
+	n := hi - lo
+	if p.workers <= 1 || n < p.minGrain {
+		return 1
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// For runs body over contiguous sub-ranges covering [lo, hi), one per
+// worker. body must be safe to call concurrently on disjoint ranges.
+// For returns when all workers have finished.
+func (p *Pool) For(lo, hi int, body func(lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	nb := p.blocks(lo, hi)
+	if nb == 1 {
+		body(lo, hi)
+		return
+	}
+	n := hi - lo
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for b := 0; b < nb; b++ {
+		b0 := lo + b*n/nb
+		b1 := lo + (b+1)*n/nb
+		go func() {
+			defer wg.Done()
+			body(b0, b1)
+		}()
+	}
+	wg.Wait()
+}
+
+// ForReduce runs body over contiguous sub-ranges covering [lo, hi) and
+// returns the sum of the per-range partial results. The reduction order is
+// deterministic (block index order) so repeated runs with the same worker
+// count reproduce bit-identical sums — important for convergence tests.
+func (p *Pool) ForReduce(lo, hi int, body func(lo, hi int) float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	nb := p.blocks(lo, hi)
+	if nb == 1 {
+		return body(lo, hi)
+	}
+	n := hi - lo
+	partial := make([]float64, nb)
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for b := 0; b < nb; b++ {
+		b0 := lo + b*n/nb
+		b1 := lo + (b+1)*n/nb
+		idx := b
+		go func() {
+			defer wg.Done()
+			partial[idx] = body(b0, b1)
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}
+
+// ForReduce2 is ForReduce with two simultaneous sum reductions, used by the
+// fused-dot-product solver variants (§VII of the paper proposes combining
+// multiple dot products into a single communication/reduction step).
+func (p *Pool) ForReduce2(lo, hi int, body func(lo, hi int) (float64, float64)) (float64, float64) {
+	if hi <= lo {
+		return 0, 0
+	}
+	nb := p.blocks(lo, hi)
+	if nb == 1 {
+		return body(lo, hi)
+	}
+	n := hi - lo
+	pa := make([]float64, nb)
+	pb := make([]float64, nb)
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for b := 0; b < nb; b++ {
+		b0 := lo + b*n/nb
+		b1 := lo + (b+1)*n/nb
+		idx := b
+		go func() {
+			defer wg.Done()
+			pa[idx], pb[idx] = body(b0, b1)
+		}()
+	}
+	wg.Wait()
+	var sa, sb float64
+	for i := range pa {
+		sa += pa[i]
+		sb += pb[i]
+	}
+	return sa, sb
+}

@@ -1,0 +1,145 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers).WithGrain(1)
+		n := 1000
+		hits := make([]int32, n)
+		p.For(0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	p := NewPool(4)
+	called := false
+	p.For(5, 5, func(lo, hi int) { called = true })
+	p.For(8, 3, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body must not run on empty range")
+	}
+}
+
+func TestForSmallRangeRunsInline(t *testing.T) {
+	p := NewPool(8) // default grain 64
+	calls := 0
+	p.For(0, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Errorf("inline call got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("small range split into %d calls, want 1", calls)
+	}
+}
+
+func TestForReduceSum(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPool(workers).WithGrain(1)
+		n := 10000
+		got := p.ForReduce(0, n, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		})
+		want := float64(n*(n-1)) / 2
+		if got != want {
+			t.Errorf("workers=%d: sum = %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestForReduceDeterministic(t *testing.T) {
+	// Same worker count => bit-identical result, even for a sum whose
+	// value depends on association order.
+	p := NewPool(4).WithGrain(1)
+	body := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	a := p.ForReduce(0, 100000, body)
+	for i := 0; i < 5; i++ {
+		if b := p.ForReduce(0, 100000, body); b != a {
+			t.Fatalf("run %d differs: %v vs %v", i, b, a)
+		}
+	}
+}
+
+func TestForReduce2(t *testing.T) {
+	p := NewPool(4).WithGrain(1)
+	n := 5000
+	sa, sb := p.ForReduce2(0, n, func(lo, hi int) (float64, float64) {
+		var a, b float64
+		for i := lo; i < hi; i++ {
+			a += float64(i)
+			b += 2 * float64(i)
+		}
+		return a, b
+	})
+	want := float64(n*(n-1)) / 2
+	if sa != want || sb != 2*want {
+		t.Errorf("ForReduce2 = (%v,%v), want (%v,%v)", sa, sb, want, 2*want)
+	}
+	// Empty range.
+	sa, sb = p.ForReduce2(3, 3, func(lo, hi int) (float64, float64) { return 1, 1 })
+	if sa != 0 || sb != 0 {
+		t.Error("empty range must reduce to zero")
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Error("NewPool(0) must pick at least one worker")
+	}
+	if NewPool(-3).Workers() < 1 {
+		t.Error("NewPool(negative) must pick at least one worker")
+	}
+	if Serial.Workers() != 1 {
+		t.Error("Serial must have one worker")
+	}
+	if NewPool(4).WithGrain(0).minGrain != 1 {
+		t.Error("WithGrain must clamp to 1")
+	}
+}
+
+func TestForReduceMatchesSerialQuick(t *testing.T) {
+	serial := NewPool(1)
+	parallel := NewPool(5).WithGrain(1)
+	f := func(nu uint16) bool {
+		n := int(nu % 2048)
+		body := func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i * i)
+			}
+			return s
+		}
+		a := serial.ForReduce(0, n, body)
+		b := parallel.ForReduce(0, n, body)
+		return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

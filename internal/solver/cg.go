@@ -1,0 +1,115 @@
+package solver
+
+import (
+	"tealeaf/internal/grid"
+	"tealeaf/internal/kernels"
+)
+
+// SolveCG runs (preconditioned) conjugate gradients. With the default
+// identity preconditioner this is the paper's baseline "CG - 1"
+// configuration: one depth-1 halo exchange and two global reductions per
+// iteration (three unfused), which is exactly the communication pattern
+// whose log(P) latency dominates strong scaling (§III-A).
+func SolveCG(p Problem, o Options) (Result, error) {
+	o = o.withDefaults()
+	if err := o.validate(p); err != nil {
+		return Result{}, err
+	}
+	e := newEnv(p, o)
+	res, _, err := runCG(e, p, o, o.MaxIters, o.Tol)
+	return res, err
+}
+
+// cgState is the live state runCG leaves behind so Chebyshev/PPCG can
+// continue from the bootstrap phase without recomputing the residual.
+type cgState struct {
+	r, z, w, pvec *grid.Field2D
+	rz, rr, rr0   float64
+}
+
+// runCG is the shared PCG engine. It iterates up to maxIters or until the
+// relative residual meets tol, records the (α, β) scalars, and returns the
+// final state for solvers that continue the run.
+func runCG(e *env, p Problem, o Options, maxIters int, tol float64) (Result, *cgState, error) {
+	g := p.Op.Grid
+	in := e.in
+	var result Result
+
+	r := grid.NewField2D(g)
+	w := grid.NewField2D(g)
+	pvec := grid.NewField2D(g)
+	z := r // identity preconditioner: z aliases r
+	if !isNone(o.Precond) {
+		z = grid.NewField2D(g)
+	}
+
+	rr0, err := e.initialResidual(p.U, p.RHS, r)
+	if err != nil {
+		return result, nil, err
+	}
+	if rr0 == 0 {
+		result.Converged = true
+		return result, &cgState{r: r, z: z, w: w, pvec: pvec}, nil
+	}
+
+	e.applyPrecond(o.Precond, in, r, z)
+	kernels.Copy(e.p, in, pvec, z)
+	e.tr.AddVectorPass(in.Cells())
+
+	var rz, rr float64
+	if z == r {
+		rz = e.dot(r, r)
+		rr = rz
+	} else if o.FusedDots {
+		rz, rr = e.dot2(r, z, r, r)
+	} else {
+		rz = e.dot(r, z)
+		rr = e.dot(r, r)
+	}
+
+	for it := 0; it < maxIters; it++ {
+		if err := e.exchange(1, pvec); err != nil {
+			return result, nil, err
+		}
+		pw := e.matvecDot(in, pvec, w)
+		if pw == 0 {
+			break // breakdown: direction is A-null, cannot proceed
+		}
+		alpha := rz / pw
+		kernels.Axpy(e.p, in, alpha, pvec, p.U)
+		kernels.Axpy(e.p, in, -alpha, w, r)
+		e.tr.AddVectorPass(in.Cells())
+		e.tr.AddVectorPass(in.Cells())
+
+		e.applyPrecond(o.Precond, in, r, z)
+
+		var rzNew, rrNew float64
+		if z == r {
+			rzNew = e.dot(r, r)
+			rrNew = rzNew
+		} else if o.FusedDots {
+			rzNew, rrNew = e.dot2(r, z, r, r)
+		} else {
+			rzNew = e.dot(r, z)
+			rrNew = e.dot(r, r)
+		}
+
+		beta := rzNew / rz
+		result.Alphas = append(result.Alphas, alpha)
+		result.Iterations++
+		rel := relResidual(rrNew, rr0)
+		result.History = append(result.History, rel)
+		rz, rr = rzNew, rrNew
+		if rel <= tol {
+			result.Converged = true
+			result.FinalResidual = rel
+			return result, &cgState{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+		}
+		result.Betas = append(result.Betas, beta)
+
+		kernels.Xpay(e.p, in, z, beta, pvec)
+		e.tr.AddVectorPass(in.Cells())
+	}
+	result.FinalResidual = relResidual(rr, rr0)
+	return result, &cgState{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+}

@@ -1,0 +1,129 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+	"tealeaf/internal/stencil"
+)
+
+func buildProblem3D(t *testing.T, n int, seed int64) Problem3D {
+	t.Helper()
+	g := grid.UnitGrid3D(n, n, n, 1)
+	den := grid.NewField3D(g)
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				den.Set(i, j, k, 0.5+rng.Float64()*4)
+			}
+		}
+	}
+	den.ReflectHalos(1)
+	op, err := stencil.BuildOperator3D(par.Serial, den, 0.02, stencil.Conductivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := grid.NewField3D(g)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				v := 0.1
+				if i < n/2 && j < n/2 && k < n/2 {
+					v = 5
+				}
+				rhs.Set(i, j, k, v)
+			}
+		}
+	}
+	return Problem3D{Op: op, U: rhs.Clone(), RHS: rhs}
+}
+
+func TestSolveCG3DConverges(t *testing.T) {
+	p := buildProblem3D(t, 12, 1)
+	res, err := SolveCG3D(p, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("3D CG did not converge: %+v", res)
+	}
+	// Verify the true residual.
+	g := p.Op.Grid
+	r := grid.NewField3D(g)
+	p.U.ReflectHalos(1)
+	p.Op.Residual(par.Serial, p.U, p.RHS, r)
+	var rr, bb float64
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				rr += r.At(i, j, k) * r.At(i, j, k)
+				bb += p.RHS.At(i, j, k) * p.RHS.At(i, j, k)
+			}
+		}
+	}
+	if math.Sqrt(rr/bb) > 1e-8 {
+		t.Errorf("true 3D residual %v", math.Sqrt(rr/bb))
+	}
+}
+
+func TestSolveCG3DValidation(t *testing.T) {
+	if _, err := SolveCG3D(Problem3D{}, Options{}); err == nil {
+		t.Error("empty 3D problem must error")
+	}
+}
+
+func TestSolveCG3DZeroRHS(t *testing.T) {
+	p := buildProblem3D(t, 6, 2)
+	p.RHS.Fill(0)
+	p.U.Fill(0)
+	res, err := SolveCG3D(p, Options{})
+	if err != nil || !res.Converged || res.Iterations != 0 {
+		t.Errorf("zero RHS: %v %+v", err, res)
+	}
+}
+
+func TestSolveCG3DPreservesConstant(t *testing.T) {
+	// A·1 = 1, so rhs = 1 must solve to u = 1 immediately.
+	p := buildProblem3D(t, 8, 3)
+	p.RHS.Fill(0)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				p.RHS.Set(i, j, k, 1)
+			}
+		}
+	}
+	p.U.CopyFrom(p.RHS)
+	res, err := SolveCG3D(p, Options{Tol: 1e-12})
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				if math.Abs(p.U.At(i, j, k)-1) > 1e-10 {
+					t.Fatalf("u(%d,%d,%d) = %v, want 1", i, j, k, p.U.At(i, j, k))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveCG3DIterationsGrowWithMesh(t *testing.T) {
+	var prev int
+	for _, n := range []int{8, 16} {
+		p := buildProblem3D(t, n, 4)
+		res, err := SolveCG3D(p, Options{Tol: 1e-10})
+		if err != nil || !res.Converged {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 8 && res.Iterations <= prev {
+			t.Errorf("iterations must grow with mesh: %d then %d", prev, res.Iterations)
+		}
+		prev = res.Iterations
+	}
+}

@@ -1,0 +1,83 @@
+package solver
+
+import (
+	"math"
+
+	"tealeaf/internal/grid"
+)
+
+// SolveJacobi runs the point-Jacobi fixed-point iteration
+//
+//	u⁺(j,k) = (rhs(j,k) + Σ K·u(neighbours)) / diag(j,k),
+//
+// TeaLeaf's simplest solver. Convergence is monitored the way TeaLeaf
+// does: the global L1 norm of the update Σ|u⁺−u|, relative to the first
+// sweep's value, plus a final true-residual measurement for the Result.
+func SolveJacobi(p Problem, o Options) (Result, error) {
+	o = o.withDefaults()
+	if err := o.validate(p); err != nil {
+		return Result{}, err
+	}
+	e := newEnv(p, o)
+	g := p.Op.Grid
+	in := e.in
+	var result Result
+
+	un := grid.NewField2D(g)
+	kx, ky := p.Op.Kx.Data, p.Op.Ky.Data
+	s := g.Stride()
+
+	var err0 float64
+	for it := 0; it < o.MaxIters; it++ {
+		if err := e.exchange(1, p.U); err != nil {
+			return result, err
+		}
+		un.CopyFrom(p.U)
+		e.tr.AddVectorPass(in.Cells())
+
+		ud, nd, bd := p.U.Data, un.Data, p.RHS.Data
+		localErr := e.p.ForReduce(in.Y0, in.Y1, func(k0, k1 int) float64 {
+			var sum float64
+			for k := k0; k < k1; k++ {
+				base := g.Index(0, k)
+				for j := in.X0; j < in.X1; j++ {
+					i := base + j
+					diag := 1 + (ky[i+s] + ky[i]) + (kx[i+1] + kx[i])
+					v := (bd[i] +
+						ky[i+s]*nd[i+s] + ky[i]*nd[i-s] +
+						kx[i+1]*nd[i+1] + kx[i]*nd[i-1]) / diag
+					ud[i] = v
+					sum += math.Abs(v - nd[i])
+				}
+			}
+			return sum
+		})
+		e.tr.AddMatvec(in.Cells())
+		e.tr.AddDot(in.Cells())
+		gerr := e.c.AllReduceSum(localErr)
+		result.Iterations++
+		if it == 0 {
+			err0 = gerr
+			if err0 == 0 {
+				result.Converged = true
+				break
+			}
+		}
+		rel := gerr / err0
+		result.History = append(result.History, rel)
+		if rel <= o.Tol {
+			result.Converged = true
+			break
+		}
+	}
+
+	// True relative residual for reporting (one extra matvec + reduction).
+	r := grid.NewField2D(g)
+	rr, err := e.initialResidual(p.U, p.RHS, r)
+	if err != nil {
+		return result, err
+	}
+	rhs2 := e.dot(p.RHS, p.RHS)
+	result.FinalResidual = relResidual(rr, rhs2)
+	return result, nil
+}

@@ -1,0 +1,279 @@
+// Package solver implements TeaLeaf's stand-alone matrix-free iterative
+// solvers (§II of the paper): Jacobi, CG, Chebyshev, and the
+// communication-avoiding Chebyshev Polynomially Preconditioned CG
+// (PPCG/CPPCG, §III) with optional block-Jacobi preconditioning and the
+// matrix-powers deep-halo kernel (§IV-C).
+//
+// Every solver runs the same code path single-rank and distributed: all
+// neighbour data flows through comm.Communicator.Exchange and every global
+// scalar through AllReduceSum, so the communication structure the paper
+// analyses is explicit in the code and recorded in the run's stats.Trace.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tealeaf/internal/comm"
+	"tealeaf/internal/eigen"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/kernels"
+	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
+	"tealeaf/internal/stats"
+	"tealeaf/internal/stencil"
+)
+
+// Kind names a solver algorithm.
+type Kind string
+
+// The solver algorithms TeaLeaf integrates.
+const (
+	KindJacobi Kind = "jacobi"
+	KindCG     Kind = "cg"
+	KindCheby  Kind = "chebyshev"
+	KindPPCG   Kind = "ppcg"
+)
+
+// ParseKind maps a TeaLeaf input-deck solver name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "jacobi", "tl_use_jacobi":
+		return KindJacobi, nil
+	case "cg", "tl_use_cg":
+		return KindCG, nil
+	case "chebyshev", "cheby", "tl_use_chebyshev":
+		return KindCheby, nil
+	case "ppcg", "cppcg", "tl_use_ppcg":
+		return KindPPCG, nil
+	}
+	return "", fmt.Errorf("solver: unknown solver %q", s)
+}
+
+// Problem is one linear solve A·u = rhs on a rank-local grid. U holds the
+// initial guess on entry and the solution on exit. The operator's
+// coefficient fields must be valid over the padded region (see
+// stencil.BuildOperator2D), and RHS over the interior.
+type Problem struct {
+	Op  *stencil.Operator2D
+	U   *grid.Field2D
+	RHS *grid.Field2D
+}
+
+// Options configures a solve. The zero value picks TeaLeaf-like defaults;
+// see the field comments.
+type Options struct {
+	// Tol is the relative residual tolerance ‖r‖₂/‖r₀‖₂ (default 1e-10).
+	Tol float64
+	// MaxIters bounds the outer iterations (default 10000).
+	MaxIters int
+	// Pool is the node-level thread team (default par.Serial).
+	Pool *par.Pool
+	// Comm is the rank communicator (default a fresh comm.Serial).
+	Comm comm.Communicator
+	// Precond is the inner preconditioner M (default identity). For PPCG
+	// this is the preconditioner applied inside the Chebyshev smoothing
+	// steps, as in TeaLeaf.
+	Precond precond.Preconditioner
+	// EigenCGIters is the number of bootstrap CG iterations used to
+	// estimate the extremal eigenvalues before Chebyshev/PPCG take over
+	// (default 20; §III-D).
+	EigenCGIters int
+	// InnerSteps is the PPCG Chebyshev inner-step count per outer
+	// iteration (default 10, TeaLeaf's tl_ppcg_inner_steps).
+	InnerSteps int
+	// HaloDepth is the matrix-powers exchange depth (default 1 = classic
+	// exchange-per-application; §IV-C2). Values >1 are only meaningful
+	// for PPCG and are incompatible with the block-Jacobi preconditioner.
+	HaloDepth int
+	// FusedDots combines the ρ and ‖r‖ reductions of each PCG iteration
+	// into a single allreduce (§VII future work). Affects communication
+	// count only, not results.
+	FusedDots bool
+	// CheckEvery is the Chebyshev convergence-test cadence in iterations
+	// (default 10): the stand-alone Chebyshev solver is reduction-free
+	// except for these periodic checks.
+	CheckEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 10000
+	}
+	if o.Pool == nil {
+		o.Pool = par.Serial
+	}
+	if o.Comm == nil {
+		o.Comm = comm.NewSerial()
+	}
+	if o.Precond == nil {
+		o.Precond = precond.NewNone()
+	}
+	if o.EigenCGIters <= 0 {
+		o.EigenCGIters = 20
+	}
+	if o.InnerSteps <= 0 {
+		o.InnerSteps = 10
+	}
+	if o.HaloDepth <= 0 {
+		o.HaloDepth = 1
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 10
+	}
+	return o
+}
+
+func (o Options) validate(p Problem) error {
+	if p.Op == nil || p.U == nil || p.RHS == nil {
+		return errors.New("solver: problem needs operator, solution and RHS fields")
+	}
+	g := p.Op.Grid
+	if p.U.Grid != g || p.RHS.Grid != g {
+		return errors.New("solver: all problem fields must share the operator's grid")
+	}
+	if o.HaloDepth > g.Halo {
+		return fmt.Errorf("solver: halo depth %d exceeds grid halo %d", o.HaloDepth, g.Halo)
+	}
+	if o.HaloDepth > 1 {
+		if _, isBlock := o.Precond.(*precond.BlockJacobi); isBlock {
+			// §IV-C2: the block preconditioner needs up-to-date whole
+			// strips every application, which would force an exchange per
+			// inner step and cancel the matrix-powers benefit.
+			return errors.New("solver: block-Jacobi preconditioner is incompatible with matrix-powers halo depth > 1")
+		}
+	}
+	return nil
+}
+
+// Result reports a solve's outcome and the op counts the scaling model
+// consumes.
+type Result struct {
+	// Converged reports whether the tolerance was met within MaxIters.
+	Converged bool
+	// Iterations is the number of outer iterations, including any
+	// eigenvalue-bootstrap CG iterations.
+	Iterations int
+	// BootstrapIters is the CG iterations spent estimating eigenvalues
+	// (Chebyshev/PPCG only).
+	BootstrapIters int
+	// TotalInner is the total Chebyshev inner steps (PPCG) or main
+	// Chebyshev iterations (Chebyshev solver).
+	TotalInner int
+	// FinalResidual is the final relative residual ‖r‖/‖r₀‖.
+	FinalResidual float64
+	// History is the relative residual after each outer iteration (as
+	// observed by the solver; the Chebyshev solver only samples it every
+	// CheckEvery iterations).
+	History []float64
+	// Alphas, Betas are the recorded CG step scalars (CG and the
+	// bootstrap phase of Chebyshev/PPCG); they define the Lanczos matrix.
+	Alphas, Betas []float64
+	// Eigen is the extremal eigenvalue estimate used (Chebyshev/PPCG).
+	Eigen *eigen.Estimate
+}
+
+// env bundles the per-solve execution context.
+type env struct {
+	p     *par.Pool
+	c     comm.Communicator
+	tr    *stats.Trace
+	op    *stencil.Operator2D
+	in    grid.Bounds
+	cells int
+}
+
+func newEnv(p Problem, o Options) *env {
+	return &env{
+		p: o.Pool, c: o.Comm, tr: o.Comm.Trace(),
+		op: p.Op, in: p.Op.Grid.Interior(), cells: p.Op.Grid.Cells(),
+	}
+}
+
+// exchange refreshes halos through the communicator.
+func (e *env) exchange(depth int, fields ...*grid.Field2D) error {
+	return e.c.Exchange(depth, fields...)
+}
+
+// dot computes a globally reduced dot product over the interior.
+func (e *env) dot(x, y *grid.Field2D) float64 {
+	e.tr.AddDot(e.cells)
+	return e.c.AllReduceSum(kernels.Dot(e.p, e.in, x, y))
+}
+
+// dot2 computes two globally reduced dot products sharing one reduction.
+func (e *env) dot2(x1, y1, x2, y2 *grid.Field2D) (float64, float64) {
+	e.tr.AddDot(e.cells)
+	e.tr.AddDot(e.cells)
+	a := kernels.Dot(e.p, e.in, x1, y1)
+	b := kernels.Dot(e.p, e.in, x2, y2)
+	return e.c.AllReduceSum2(a, b)
+}
+
+// matvec applies w = A·p over b and traces it.
+func (e *env) matvec(b grid.Bounds, p, w *grid.Field2D) {
+	e.op.Apply(e.p, b, p, w)
+	e.tr.AddMatvec(b.Cells())
+}
+
+// matvecDot fuses w = A·p with the global pw reduction (Listing 1).
+func (e *env) matvecDot(b grid.Bounds, p, w *grid.Field2D) float64 {
+	local := e.op.ApplyDot(e.p, b, p, w)
+	e.tr.AddMatvec(b.Cells())
+	e.tr.AddDot(b.Cells())
+	return e.c.AllReduceSum(local)
+}
+
+// initialResidual exchanges u, computes r = rhs − A·u on the interior and
+// returns the globally reduced ‖r‖².
+func (e *env) initialResidual(u, rhs, r *grid.Field2D) (float64, error) {
+	if err := e.exchange(1, u); err != nil {
+		return 0, err
+	}
+	e.op.Residual(e.p, e.in, u, rhs, r)
+	e.tr.AddMatvec(e.in.Cells())
+	return e.dot(r, r), nil
+}
+
+// applyPrecond applies z = M⁻¹r over b with tracing. Returns z itself,
+// honouring the identity-aliasing convention (None with r==z is free).
+func (e *env) applyPrecond(m precond.Preconditioner, b grid.Bounds, r, z *grid.Field2D) {
+	m.Apply(e.p, b, r, z)
+	if _, isNone := m.(precond.None); !isNone {
+		e.tr.AddPrecond(b.Cells())
+	}
+}
+
+// isNone reports whether m is the identity preconditioner.
+func isNone(m precond.Preconditioner) bool {
+	_, ok := m.(precond.None)
+	return ok
+}
+
+// Solve dispatches on kind.
+func Solve(kind Kind, p Problem, o Options) (Result, error) {
+	switch kind {
+	case KindJacobi:
+		return SolveJacobi(p, o)
+	case KindCG:
+		return SolveCG(p, o)
+	case KindCheby:
+		return SolveChebyshev(p, o)
+	case KindPPCG:
+		return SolvePPCG(p, o)
+	}
+	return Result{}, fmt.Errorf("solver: unknown kind %q", kind)
+}
+
+// relResidual converts a squared norm and baseline into a relative
+// residual, guarding the zero-RHS case.
+func relResidual(rr, rr0 float64) float64 {
+	if rr0 == 0 {
+		return 0
+	}
+	return math.Sqrt(rr / rr0)
+}

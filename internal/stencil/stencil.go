@@ -1,0 +1,285 @@
+// Package stencil implements TeaLeaf's matrix-free linear operator.
+//
+// The implicit backward-Euler discretisation of the linear heat conduction
+// equation on a regular grid produces, per time step, the SPD system
+//
+//	A u = u⁰,   A = I + Δt·L,
+//
+// where L is the 5-point (2D) or 7-point (3D) finite-difference diffusion
+// operator. A is never assembled: only the face conduction coefficient
+// arrays Kx, Ky (and Kz) are stored, and w = A·p is computed directly from
+// the mesh exactly as in Listing 1 of the paper:
+//
+//	w(j,k) = (1 + (Ky(j,k+1)+Ky(j,k)) + (Kx(j+1,k)+Kx(j,k)))·p(j,k)
+//	       − (Ky(j,k+1)·p(j,k+1) + Ky(j,k)·p(j,k−1))
+//	       − (Kx(j+1,k)·p(j+1,k) + Kx(j,k)·p(j−1,k))
+//
+// The diagonal is one plus the sum of the off-diagonal coefficients on the
+// row, making A strictly diagonally dominant and hence SPD.
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+)
+
+// Coefficient selects how the conduction coefficient is derived from the
+// cell-centred density, matching TeaLeaf's tl_coefficient input options.
+type Coefficient int
+
+const (
+	// Conductivity uses w = ρ: conduction proportional to density.
+	Conductivity Coefficient = iota + 1
+	// RecipConductivity uses w = 1/ρ: low-density material conducts
+	// faster — the crooked-pipe configuration, where the evacuated pipe
+	// transports heat ahead of the dense wall material.
+	RecipConductivity
+)
+
+func (c Coefficient) String() string {
+	switch c {
+	case Conductivity:
+		return "conductivity=density"
+	case RecipConductivity:
+		return "conductivity=1/density"
+	}
+	return fmt.Sprintf("coefficient(%d)", int(c))
+}
+
+// PhysicalSides records which sides of a (sub-)grid lie on the physical
+// domain boundary, where the zero-flux condition zeroes the face
+// coefficients. A rank interior to the process grid has none.
+type PhysicalSides struct {
+	Left, Right, Down, Up bool
+}
+
+// AllPhysical is the single-rank / global-grid case.
+var AllPhysical = PhysicalSides{Left: true, Right: true, Down: true, Up: true}
+
+// Operator2D is the matrix-free 2D operator: face coefficient fields on
+// the same padded layout as the solution fields. Kx(j,k) couples cells
+// (j−1,k)↔(j,k); Ky(j,k) couples (j,k−1)↔(j,k).
+type Operator2D struct {
+	Grid   *grid.Grid2D
+	Kx, Ky *grid.Field2D
+	// Rx, Ry are the Δt/Δx², Δt/Δy² scalings baked into Kx, Ky.
+	Rx, Ry float64
+}
+
+// BuildOperator2D derives the face coefficients from the cell-centred
+// density. The density field must have valid halo values wherever the
+// operator will be applied (reflected on physical sides, exchanged across
+// rank boundaries): coefficients are computed over the whole padded
+// region so the matrix-powers kernel can run on extended bounds.
+//
+// The face coefficient is the harmonic-mean construction TeaLeaf uses:
+//
+//	Kx(j,k) = rx · (w(j−1,k)+w(j,k)) / (2·w(j−1,k)·w(j,k))
+//
+// with w the per-cell conduction coefficient, then faces on the physical
+// boundary are zeroed (zero-flux boundary condition).
+func BuildOperator2D(pool *par.Pool, density *grid.Field2D, dt float64, coef Coefficient, phys PhysicalSides) (*Operator2D, error) {
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("stencil: dt = %v must be positive and finite", dt)
+	}
+	if coef != Conductivity && coef != RecipConductivity {
+		return nil, fmt.Errorf("stencil: unknown coefficient mode %d", int(coef))
+	}
+	g := density.Grid
+	op := &Operator2D{
+		Grid: g,
+		Kx:   grid.NewField2D(g),
+		Ky:   grid.NewField2D(g),
+		Rx:   dt / (g.DX * g.DX),
+		Ry:   dt / (g.DY * g.DY),
+	}
+
+	// Per-cell conduction coefficient over the full padded region.
+	w := grid.NewField2D(g)
+	h := g.Halo
+	pool.For(-h, g.NY+h, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := -h; j < g.NX+h; j++ {
+				rho := density.At(j, k)
+				if rho <= 0 || math.IsNaN(rho) {
+					// Density must be physical; poison the coefficient so
+					// the validation pass below reports it.
+					w.Set(j, k, math.NaN())
+					continue
+				}
+				if coef == RecipConductivity {
+					w.Set(j, k, 1/rho)
+				} else {
+					w.Set(j, k, rho)
+				}
+			}
+		}
+	})
+	for _, v := range w.Data {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("stencil: non-positive or NaN density encountered")
+		}
+	}
+
+	// Face coefficients wherever both adjacent cells are addressable.
+	pool.For(-h+1, g.NY+h, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := -h + 1; j < g.NX+h; j++ {
+				wl, wc := w.At(j-1, k), w.At(j, k)
+				op.Kx.Set(j, k, op.Rx*(wl+wc)/(2*wl*wc))
+				wd := w.At(j, k-1)
+				op.Ky.Set(j, k, op.Ry*(wd+wc)/(2*wd*wc))
+			}
+		}
+	})
+
+	// Zero-flux physical boundaries: no conduction through outer faces.
+	if phys.Left {
+		for k := -h; k < g.NY+h; k++ {
+			for j := -h; j <= 0; j++ {
+				op.Kx.Set(j, k, 0)
+			}
+		}
+	}
+	if phys.Right {
+		for k := -h; k < g.NY+h; k++ {
+			for j := g.NX; j < g.NX+h; j++ {
+				op.Kx.Set(j, k, 0)
+			}
+		}
+	}
+	if phys.Down {
+		for j := -h; j < g.NX+h; j++ {
+			for k := -h; k <= 0; k++ {
+				op.Ky.Set(j, k, 0)
+			}
+		}
+	}
+	if phys.Up {
+		for j := -h; j < g.NX+h; j++ {
+			for k := g.NY; k < g.NY+h; k++ {
+				op.Ky.Set(j, k, 0)
+			}
+		}
+	}
+	return op, nil
+}
+
+// Apply computes w = A·p over the cells of b. p must have valid values one
+// cell beyond b on every side (halo-exchanged, reflected, or inside the
+// padded region covered by a deeper exchange).
+func (op *Operator2D) Apply(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	pd, wd := p.Data, w.Data
+	pool.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				i := base + j
+				wd[i] = (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*pd[i] -
+					(ky[i+s]*pd[i+s] + ky[i]*pd[i-s]) -
+					(kx[i+1]*pd[i+1] + kx[i]*pd[i-1])
+			}
+		}
+	})
+}
+
+// ApplyDot is Listing 1 exactly: w = A·p fused with the dot product
+// pw = p·w in a single pass over b.
+func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D) float64 {
+	if b.Empty() {
+		return 0
+	}
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	pd, wd := p.Data, w.Data
+	return pool.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+		var pw float64
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				i := base + j
+				v := (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*pd[i] -
+					(ky[i+s]*pd[i+s] + ky[i]*pd[i-s]) -
+					(kx[i+1]*pd[i+1] + kx[i]*pd[i-1])
+				wd[i] = v
+				pw += pd[i] * v
+			}
+		}
+		return pw
+	})
+}
+
+// Residual computes r = rhs − A·u over b.
+func (op *Operator2D) Residual(pool *par.Pool, b grid.Bounds, u, rhs, r *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	ud, bd, rd := u.Data, rhs.Data, r.Data
+	pool.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				i := base + j
+				au := (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*ud[i] -
+					(ky[i+s]*ud[i+s] + ky[i]*ud[i-s]) -
+					(kx[i+1]*ud[i+1] + kx[i]*ud[i-1])
+				rd[i] = bd[i] - au
+			}
+		}
+	})
+}
+
+// Diagonal writes the matrix diagonal 1 + ΣK over b into d; the
+// point-Jacobi preconditioner is its reciprocal.
+func (op *Operator2D) Diagonal(pool *par.Pool, b grid.Bounds, d *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	dd := d.Data
+	pool.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			base := g.Index(0, k)
+			for j := b.X0; j < b.X1; j++ {
+				i := base + j
+				dd[i] = 1 + (ky[i+s] + ky[i]) + (kx[i+1] + kx[i])
+			}
+		}
+	})
+}
+
+// RowSumCheck returns the maximum |row sum − 1| over b when every face
+// coefficient interior to b's one-cell neighbourhood pairs up: for the
+// global operator the off-diagonal entries cancel the diagonal excess, so
+// row sums are exactly 1 (A·1 = 1). Used by tests and sanity checks.
+func (op *Operator2D) RowSumCheck(pool *par.Pool, b grid.Bounds) float64 {
+	g := op.Grid
+	ones := grid.NewField2D(g)
+	ones.Fill(1)
+	w := grid.NewField2D(g)
+	op.Apply(pool, b, ones, w)
+	var worst float64
+	for k := b.Y0; k < b.Y1; k++ {
+		for j := b.X0; j < b.X1; j++ {
+			if d := math.Abs(w.At(j, k) - 1); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,177 @@
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+)
+
+// Operator3D is the matrix-free 7-point operator for the 3D heat equation,
+// the direct extension of Operator2D with a third coefficient direction.
+type Operator3D struct {
+	Grid       *grid.Grid3D
+	Kx, Ky, Kz *grid.Field3D
+	Rx, Ry, Rz float64
+}
+
+// BuildOperator3D derives 3D face coefficients from the cell-centred
+// density; see BuildOperator2D for the construction. All six outer faces
+// are treated as physical (zero-flux) boundaries: the 3D path currently
+// supports single-rank solves, which is all the paper reports ("the 3D
+// results are similar").
+func BuildOperator3D(pool *par.Pool, density *grid.Field3D, dt float64, coef Coefficient) (*Operator3D, error) {
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("stencil: dt = %v must be positive and finite", dt)
+	}
+	if coef != Conductivity && coef != RecipConductivity {
+		return nil, fmt.Errorf("stencil: unknown coefficient mode %d", int(coef))
+	}
+	g := density.Grid
+	op := &Operator3D{
+		Grid: g,
+		Kx:   grid.NewField3D(g), Ky: grid.NewField3D(g), Kz: grid.NewField3D(g),
+		Rx: dt / (g.DX * g.DX), Ry: dt / (g.DY * g.DY), Rz: dt / (g.DZ * g.DZ),
+	}
+	h := g.Halo
+	w := grid.NewField3D(g)
+	pool.For(-h, g.NZ+h, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := -h; j < g.NY+h; j++ {
+				for i := -h; i < g.NX+h; i++ {
+					rho := density.At(i, j, k)
+					if rho <= 0 || math.IsNaN(rho) {
+						w.Set(i, j, k, math.NaN())
+						continue
+					}
+					if coef == RecipConductivity {
+						w.Set(i, j, k, 1/rho)
+					} else {
+						w.Set(i, j, k, rho)
+					}
+				}
+			}
+		}
+	})
+	for _, v := range w.Data {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("stencil: non-positive or NaN density encountered")
+		}
+	}
+	face := func(a, b float64) float64 { return (a + b) / (2 * a * b) }
+	pool.For(-h+1, g.NZ+h, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := -h + 1; j < g.NY+h; j++ {
+				for i := -h + 1; i < g.NX+h; i++ {
+					wc := w.At(i, j, k)
+					op.Kx.Set(i, j, k, op.Rx*face(w.At(i-1, j, k), wc))
+					op.Ky.Set(i, j, k, op.Ry*face(w.At(i, j-1, k), wc))
+					op.Kz.Set(i, j, k, op.Rz*face(w.At(i, j, k-1), wc))
+				}
+			}
+		}
+	})
+	// Zero-flux on all six physical faces.
+	for k := -h; k < g.NZ+h; k++ {
+		for j := -h; j < g.NY+h; j++ {
+			for i := -h; i <= 0; i++ {
+				op.Kx.Set(i, j, k, 0)
+			}
+			for i := g.NX; i < g.NX+h; i++ {
+				op.Kx.Set(i, j, k, 0)
+			}
+		}
+	}
+	for k := -h; k < g.NZ+h; k++ {
+		for i := -h; i < g.NX+h; i++ {
+			for j := -h; j <= 0; j++ {
+				op.Ky.Set(i, j, k, 0)
+			}
+			for j := g.NY; j < g.NY+h; j++ {
+				op.Ky.Set(i, j, k, 0)
+			}
+		}
+	}
+	for j := -h; j < g.NY+h; j++ {
+		for i := -h; i < g.NX+h; i++ {
+			for k := -h; k <= 0; k++ {
+				op.Kz.Set(i, j, k, 0)
+			}
+			for k := g.NZ; k < g.NZ+h; k++ {
+				op.Kz.Set(i, j, k, 0)
+			}
+		}
+	}
+	return op, nil
+}
+
+// Apply computes w = A·p over the interior.
+func (op *Operator3D) Apply(pool *par.Pool, p, w *grid.Field3D) {
+	g := op.Grid
+	sy := g.NX + 2*g.Halo
+	sz := sy * (g.NY + 2*g.Halo)
+	kx, ky, kz := op.Kx.Data, op.Ky.Data, op.Kz.Data
+	pd, wd := p.Data, w.Data
+	pool.For(0, g.NZ, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				base := g.Index(0, j, k)
+				for i := 0; i < g.NX; i++ {
+					c := base + i
+					diag := 1 + (kx[c+1] + kx[c]) + (ky[c+sy] + ky[c]) + (kz[c+sz] + kz[c])
+					wd[c] = diag*pd[c] -
+						(kx[c+1]*pd[c+1] + kx[c]*pd[c-1]) -
+						(ky[c+sy]*pd[c+sy] + ky[c]*pd[c-sy]) -
+						(kz[c+sz]*pd[c+sz] + kz[c]*pd[c-sz])
+				}
+			}
+		}
+	})
+}
+
+// ApplyDot fuses w = A·p with pw = p·w over the interior.
+func (op *Operator3D) ApplyDot(pool *par.Pool, p, w *grid.Field3D) float64 {
+	g := op.Grid
+	sy := g.NX + 2*g.Halo
+	sz := sy * (g.NY + 2*g.Halo)
+	kx, ky, kz := op.Kx.Data, op.Ky.Data, op.Kz.Data
+	pd, wd := p.Data, w.Data
+	return pool.ForReduce(0, g.NZ, func(z0, z1 int) float64 {
+		var pw float64
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				base := g.Index(0, j, k)
+				for i := 0; i < g.NX; i++ {
+					c := base + i
+					diag := 1 + (kx[c+1] + kx[c]) + (ky[c+sy] + ky[c]) + (kz[c+sz] + kz[c])
+					v := diag*pd[c] -
+						(kx[c+1]*pd[c+1] + kx[c]*pd[c-1]) -
+						(ky[c+sy]*pd[c+sy] + ky[c]*pd[c-sy]) -
+						(kz[c+sz]*pd[c+sz] + kz[c]*pd[c-sz])
+					wd[c] = v
+					pw += pd[c] * v
+				}
+			}
+		}
+		return pw
+	})
+}
+
+// Residual computes r = rhs − A·u over the interior.
+func (op *Operator3D) Residual(pool *par.Pool, u, rhs, r *grid.Field3D) {
+	w := grid.NewField3D(op.Grid)
+	op.Apply(pool, u, w)
+	g := op.Grid
+	pool.For(0, g.NZ, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				base := g.Index(0, j, k)
+				for i := 0; i < g.NX; i++ {
+					c := base + i
+					r.Data[c] = rhs.Data[c] - w.Data[c]
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+)
+
+func randomDensity3D(g *grid.Grid3D, seed int64) *grid.Field3D {
+	d := grid.NewField3D(g)
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				d.Set(i, j, k, 0.1+rng.Float64()*5)
+			}
+		}
+	}
+	d.ReflectHalos(g.Halo)
+	return d
+}
+
+func randomField3D(g *grid.Grid3D, seed int64) *grid.Field3D {
+	f := grid.NewField3D(g)
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				f.Set(i, j, k, rng.Float64()*2-1)
+			}
+		}
+	}
+	return f
+}
+
+func dot3D(a, b *grid.Field3D) float64 {
+	g := a.Grid
+	var s float64
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				s += a.At(i, j, k) * b.At(i, j, k)
+			}
+		}
+	}
+	return s
+}
+
+func TestBuild3DValidation(t *testing.T) {
+	g := grid.UnitGrid3D(4, 4, 4, 1)
+	d := randomDensity3D(g, 1)
+	if _, err := BuildOperator3D(par.Serial, d, -1, Conductivity); err == nil {
+		t.Error("negative dt must error")
+	}
+	if _, err := BuildOperator3D(par.Serial, d, 0.1, Coefficient(0)); err == nil {
+		t.Error("bad coefficient must error")
+	}
+	bad := randomDensity3D(g, 2)
+	bad.Set(0, 0, 0, 0)
+	bad.ReflectHalos(1)
+	if _, err := BuildOperator3D(par.Serial, bad, 0.1, Conductivity); err == nil {
+		t.Error("zero density must error")
+	}
+}
+
+func TestOperator3DRowSumsOne(t *testing.T) {
+	g := grid.UnitGrid3D(6, 5, 4, 1)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 3), 0.05, RecipConductivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := grid.NewField3D(g)
+	ones.Fill(1)
+	w := grid.NewField3D(g)
+	op.Apply(par.Serial, ones, w)
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				if math.Abs(w.At(i, j, k)-1) > 1e-13 {
+					t.Fatalf("row sum at (%d,%d,%d) = %v", i, j, k, w.At(i, j, k))
+				}
+			}
+		}
+	}
+}
+
+func TestOperator3DSymmetricPositive(t *testing.T) {
+	g := grid.UnitGrid3D(5, 5, 5, 1)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 4), 0.03, Conductivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomField3D(g, 5)
+	q := randomField3D(g, 6)
+	ap := grid.NewField3D(g)
+	aq := grid.NewField3D(g)
+	op.Apply(par.Serial, p, ap)
+	op.Apply(par.Serial, q, aq)
+	lhs, rhs := dot3D(ap, q), dot3D(p, aq)
+	if math.Abs(lhs-rhs) > 1e-12*math.Max(1, math.Abs(lhs)) {
+		t.Errorf("asymmetric: %v vs %v", lhs, rhs)
+	}
+	if pap := dot3D(p, ap); pap <= 0 {
+		t.Errorf("<p,Ap> = %v, want > 0", pap)
+	}
+}
+
+func TestApplyDot3DMatches(t *testing.T) {
+	g := grid.UnitGrid3D(6, 6, 6, 1)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 7), 0.02, Conductivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomField3D(g, 8)
+	w1 := grid.NewField3D(g)
+	w2 := grid.NewField3D(g)
+	op.Apply(par.Serial, p, w1)
+	want := dot3D(p, w1)
+	got := op.ApplyDot(par.Serial, p, w2)
+	if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+		t.Errorf("ApplyDot = %v, want %v", got, want)
+	}
+	if w1.MaxDiff(w2) > 1e-14 {
+		t.Error("fused w differs")
+	}
+}
+
+func TestResidual3D(t *testing.T) {
+	g := grid.UnitGrid3D(4, 4, 4, 1)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 9), 0.04, Conductivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := randomField3D(g, 10)
+	rhs := randomField3D(g, 11)
+	r := grid.NewField3D(g)
+	op.Residual(par.Serial, u, rhs, r)
+	au := grid.NewField3D(g)
+	op.Apply(par.Serial, u, au)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				if math.Abs(r.At(i, j, k)+au.At(i, j, k)-rhs.At(i, j, k)) > 1e-13 {
+					t.Fatal("3D residual identity broken")
+				}
+			}
+		}
+	}
+}

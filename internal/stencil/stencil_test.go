@@ -1,0 +1,300 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/kernels"
+	"tealeaf/internal/par"
+)
+
+// uniformDensity builds a density field of constant rho with reflected halos.
+func uniformDensity(g *grid.Grid2D, rho float64) *grid.Field2D {
+	d := grid.NewField2D(g)
+	d.Fill(rho)
+	return d
+}
+
+func randomDensity(g *grid.Grid2D, seed int64) *grid.Field2D {
+	d := grid.NewField2D(g)
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < g.NY; k++ {
+		for j := 0; j < g.NX; j++ {
+			d.Set(j, k, 0.1+rng.Float64()*9.9)
+		}
+	}
+	d.ReflectHalos(g.Halo)
+	return d
+}
+
+func randomField(g *grid.Grid2D, seed int64) *grid.Field2D {
+	f := grid.NewField2D(g)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.Data {
+		f.Data[i] = rng.Float64()*2 - 1
+	}
+	return f
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := grid.UnitGrid2D(4, 4, 2)
+	d := uniformDensity(g, 1)
+	if _, err := BuildOperator2D(par.Serial, d, 0, Conductivity, AllPhysical); err == nil {
+		t.Error("zero dt must error")
+	}
+	if _, err := BuildOperator2D(par.Serial, d, math.NaN(), Conductivity, AllPhysical); err == nil {
+		t.Error("NaN dt must error")
+	}
+	if _, err := BuildOperator2D(par.Serial, d, 0.1, Coefficient(9), AllPhysical); err == nil {
+		t.Error("bad coefficient mode must error")
+	}
+	dBad := uniformDensity(g, 1)
+	dBad.Set(1, 1, -2)
+	if _, err := BuildOperator2D(par.Serial, dBad, 0.1, Conductivity, AllPhysical); err == nil {
+		t.Error("negative density must error")
+	}
+}
+
+func TestCoefficientValuesUniform(t *testing.T) {
+	// For uniform density rho, interior faces carry
+	// Kx = rx·(2rho)/(2rho²) = rx/rho (Conductivity mode).
+	g := grid.MustGrid2D(8, 8, 2, 0, 8, 0, 8) // dx = dy = 1
+	d := uniformDensity(g, 2.0)
+	dt := 0.5
+	op, err := BuildOperator2D(par.Serial, d, dt, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dt / 2.0 // rx/rho with rx = dt/dx² = dt
+	if got := op.Kx.At(3, 3); math.Abs(got-want) > 1e-14 {
+		t.Errorf("interior Kx = %v, want %v", got, want)
+	}
+	// RecipConductivity: w = 1/rho = 0.5 → Kx = rx·(1)/(2·0.25) = 2·rx/… :
+	// rx·(w+w)/(2w²) = rx/w = rx·rho.
+	op2, err := BuildOperator2D(par.Serial, d, dt, RecipConductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := op2.Kx.At(3, 3), dt*2.0; math.Abs(got-want) > 1e-14 {
+		t.Errorf("recip Kx = %v, want %v", got, want)
+	}
+}
+
+func TestPhysicalBoundaryFacesZeroed(t *testing.T) {
+	g := grid.UnitGrid2D(6, 6, 2)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 1), 0.01, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 6; k++ {
+		if op.Kx.At(0, k) != 0 {
+			t.Errorf("left face Kx(0,%d) = %v, want 0", k, op.Kx.At(0, k))
+		}
+		if op.Kx.At(6, k) != 0 {
+			t.Errorf("right face Kx(6,%d) = %v, want 0", k, op.Kx.At(6, k))
+		}
+	}
+	for j := 0; j < 6; j++ {
+		if op.Ky.At(j, 0) != 0 {
+			t.Errorf("bottom face Ky(%d,0) = %v, want 0", j, op.Ky.At(j, 0))
+		}
+		if op.Ky.At(j, 6) != 0 {
+			t.Errorf("top face Ky(%d,6) = %v, want 0", j, op.Ky.At(j, 6))
+		}
+	}
+	// Interior faces are positive.
+	if op.Kx.At(3, 3) <= 0 || op.Ky.At(3, 3) <= 0 {
+		t.Error("interior faces must be positive")
+	}
+}
+
+func TestNoPhysicalSidesKeepsHaloFaces(t *testing.T) {
+	// A rank in the middle of the process grid keeps nonzero coefficients
+	// across its halo: the matrix-powers kernel computes there.
+	g := grid.UnitGrid2D(6, 6, 3)
+	d := randomDensity(g, 2)
+	op, err := BuildOperator2D(par.Serial, d, 0.01, Conductivity, PhysicalSides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kx.At(0, 2) == 0 || op.Kx.At(6, 2) == 0 {
+		t.Error("interior-rank boundary faces must not be zeroed")
+	}
+	if op.Kx.At(-2, 2) == 0 {
+		t.Error("halo faces must carry coefficients for matrix powers")
+	}
+}
+
+func TestRowSumsAreOne(t *testing.T) {
+	// A·1 = 1 for the global operator: off-diagonals cancel the diagonal
+	// excess, row sums are exactly the identity part.
+	g := grid.UnitGrid2D(10, 7, 2)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 3), 0.05, RecipConductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := op.RowSumCheck(par.Serial, g.Interior()); worst > 1e-13 {
+		t.Errorf("max |row sum - 1| = %v", worst)
+	}
+}
+
+func TestOperatorSymmetric(t *testing.T) {
+	// <Ap, q> == <p, Aq> on the interior for the global operator.
+	g := grid.UnitGrid2D(12, 9, 2)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 4), 0.02, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Interior()
+	p := randomField(g, 5)
+	q := randomField(g, 6)
+	// Zero the halos: symmetry holds for vectors supported on the
+	// interior (boundary faces are zero so halo values are never felt,
+	// but zeroing makes the test exact).
+	zeroHalos(p)
+	zeroHalos(q)
+	ap := grid.NewField2D(g)
+	aq := grid.NewField2D(g)
+	op.Apply(par.Serial, b, p, ap)
+	op.Apply(par.Serial, b, q, aq)
+	lhs := kernels.Dot(par.Serial, b, ap, q)
+	rhs := kernels.Dot(par.Serial, b, p, aq)
+	if math.Abs(lhs-rhs) > 1e-12*math.Max(1, math.Abs(lhs)) {
+		t.Errorf("asymmetry: <Ap,q>=%v <p,Aq>=%v", lhs, rhs)
+	}
+}
+
+func zeroHalos(f *grid.Field2D) {
+	g := f.Grid
+	for k := -g.Halo; k < g.NY+g.Halo; k++ {
+		for j := -g.Halo; j < g.NX+g.Halo; j++ {
+			if !g.InInterior(j, k) {
+				f.Set(j, k, 0)
+			}
+		}
+	}
+}
+
+func TestOperatorPositiveDefinite(t *testing.T) {
+	// <p, Ap> > 0 for p ≠ 0: A = I + dt·L with L PSD.
+	g := grid.UnitGrid2D(8, 8, 1)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 7), 0.1, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Interior()
+	f := func(seed int64) bool {
+		p := randomField(g, seed)
+		zeroHalos(p)
+		w := grid.NewField2D(g)
+		op.Apply(par.Serial, b, p, w)
+		pap := kernels.Dot(par.Serial, b, p, w)
+		pp := kernels.Dot(par.Serial, b, p, p)
+		// Also <p,Ap> >= <p,p> since L is PSD.
+		return pap > 0 && pap >= pp-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDotMatchesApply(t *testing.T) {
+	g := grid.UnitGrid2D(14, 11, 2)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 8), 0.03, RecipConductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Interior()
+	p := randomField(g, 9)
+	w1 := grid.NewField2D(g)
+	w2 := grid.NewField2D(g)
+	op.Apply(par.Serial, b, p, w1)
+	want := kernels.Dot(par.Serial, b, p, w1)
+	for name, pool := range map[string]*par.Pool{"serial": par.Serial, "par": par.NewPool(4).WithGrain(1)} {
+		got := op.ApplyDot(pool, b, p, w2)
+		if math.Abs(got-want) > 1e-11*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s: ApplyDot = %v, want %v", name, got, want)
+		}
+		if !w1.ApproxEqual(w2, 1e-13) {
+			t.Errorf("%s: fused w differs", name)
+		}
+	}
+}
+
+func TestResidual(t *testing.T) {
+	g := grid.UnitGrid2D(9, 9, 1)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 10), 0.02, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Interior()
+	u := randomField(g, 11)
+	rhs := randomField(g, 12)
+	r := grid.NewField2D(g)
+	op.Residual(par.Serial, b, u, rhs, r)
+	// r + A·u must equal rhs.
+	au := grid.NewField2D(g)
+	op.Apply(par.Serial, b, u, au)
+	for k := 0; k < g.NY; k++ {
+		for j := 0; j < g.NX; j++ {
+			if math.Abs(r.At(j, k)+au.At(j, k)-rhs.At(j, k)) > 1e-13 {
+				t.Fatalf("residual identity broken at (%d,%d)", j, k)
+			}
+		}
+	}
+}
+
+func TestDiagonalDominance(t *testing.T) {
+	g := grid.UnitGrid2D(10, 10, 1)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 13), 0.08, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := grid.NewField2D(g)
+	op.Diagonal(par.Serial, g.Interior(), d)
+	for k := 0; k < g.NY; k++ {
+		for j := 0; j < g.NX; j++ {
+			off := op.Kx.At(j, k) + op.Kx.At(j+1, k) + op.Ky.At(j, k) + op.Ky.At(j, k+1)
+			if d.At(j, k) <= off {
+				t.Fatalf("row (%d,%d) not strictly dominant: diag %v, off %v", j, k, d.At(j, k), off)
+			}
+			if math.Abs(d.At(j, k)-(1+off)) > 1e-13 {
+				t.Fatalf("diag (%d,%d) = %v, want 1+%v", j, k, d.At(j, k), off)
+			}
+		}
+	}
+}
+
+func TestApplyOnExpandedBounds(t *testing.T) {
+	// Matrix powers: applying A on bounds expanded by d must give the same
+	// interior values as applying on the interior (coefficients and p are
+	// valid in the halo).
+	g := grid.UnitGrid2D(8, 8, 4)
+	d := randomDensity(g, 14)
+	op, err := BuildOperator2D(par.Serial, d, 0.05, Conductivity, PhysicalSides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomField(g, 15)
+	w1 := grid.NewField2D(g)
+	w2 := grid.NewField2D(g)
+	op.Apply(par.Serial, g.Interior(), p, w1)
+	op.Apply(par.Serial, g.Interior().Expand(3, g), p, w2)
+	b := g.Interior()
+	for k := b.Y0; k < b.Y1; k++ {
+		for j := b.X0; j < b.X1; j++ {
+			if math.Abs(w1.At(j, k)-w2.At(j, k)) > 1e-14 {
+				t.Fatalf("expanded-bounds apply differs at (%d,%d)", j, k)
+			}
+		}
+	}
+}
+
+func TestCoefficientString(t *testing.T) {
+	if Conductivity.String() == "" || RecipConductivity.String() == "" || Coefficient(5).String() == "" {
+		t.Error("String must be non-empty")
+	}
+}

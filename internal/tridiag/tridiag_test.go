@@ -1,0 +1,189 @@
+package tridiag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diagDominant builds a random strictly diagonally dominant tridiagonal
+// system of size n, the class the block-Jacobi preconditioner produces.
+func diagDominant(n int, rng *rand.Rand) (a, b, c, d []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	c = make([]float64, n)
+	d = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			a[i] = -rng.Float64()
+		}
+		if i < n-1 {
+			c[i] = -rng.Float64()
+		}
+		b[i] = 1 + math.Abs(a[i]) + math.Abs(c[i]) + rng.Float64()
+		d[i] = rng.Float64()*2 - 1
+	}
+	return
+}
+
+func residualInf(a, b, c, d, x []float64) float64 {
+	y := MatVec(a, b, c, x)
+	var m float64
+	for i := range y {
+		if r := math.Abs(y[i] - d[i]); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func TestThomasSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Sizes 1-4 are the strip sizes the preconditioner actually uses
+	// (truncated strips of 3, 2, 1 at boundaries per §IV-C1).
+	for _, n := range []int{1, 2, 3, 4, 5, 16, 100} {
+		a, b, c, d := diagDominant(n, rng)
+		x, err := Solve(a, b, c, d)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r := residualInf(a, b, c, d, x); r > 1e-12 {
+			t.Errorf("n=%d: residual %v", n, r)
+		}
+	}
+}
+
+func TestThomasKnownSolution(t *testing.T) {
+	// [2 -1; -1 2 -1; -1 2] x = [1 0 1] has solution [1 1 1].
+	a := []float64{0, -1, -1}
+	b := []float64{2, 2, 2}
+	c := []float64{-1, -1, 0}
+	d := []float64{1, 0, 1}
+	x, err := Solve(a, b, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-14 {
+			t.Errorf("x[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestThomasAliasedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, c, d := diagDominant(8, rng)
+	dCopy := append([]float64(nil), d...)
+	w := make([]float64, 8)
+	// x aliases d — allowed by the contract.
+	if err := Thomas(a, b, c, d, d, w); err != nil {
+		t.Fatal(err)
+	}
+	if r := residualInf(a, b, c, dCopy, d); r > 1e-12 {
+		t.Errorf("aliased residual %v", r)
+	}
+}
+
+func TestThomasPreservesInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b, c, d := diagDominant(6, rng)
+	ac := append([]float64(nil), a...)
+	bc := append([]float64(nil), b...)
+	cc := append([]float64(nil), c...)
+	dc := append([]float64(nil), d...)
+	x := make([]float64, 6)
+	w := make([]float64, 6)
+	if err := Thomas(a, b, c, d, x, w); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != ac[i] || b[i] != bc[i] || c[i] != cc[i] || d[i] != dc[i] {
+			t.Fatal("Thomas modified its inputs")
+		}
+	}
+}
+
+func TestThomasErrors(t *testing.T) {
+	if err := Thomas([]float64{0}, []float64{1}, []float64{0}, []float64{1}, []float64{0}, []float64{0, 0}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	// Singular 1x1.
+	if err := Thomas([]float64{0}, []float64{0}, []float64{0}, []float64{1}, []float64{0}, []float64{0}); err != ErrSingular {
+		t.Errorf("zero pivot: got %v, want ErrSingular", err)
+	}
+	// Empty system is trivially solved.
+	if err := Thomas(nil, nil, nil, nil, nil, nil); err != nil {
+		t.Errorf("empty system: %v", err)
+	}
+}
+
+func TestCyclicReductionMatchesThomas(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 9, 31, 32, 33, 100} {
+		a, b, c, d := diagDominant(n, rng)
+		want, err := Solve(a, b, c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CyclicReduction(a, b, c, d)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Errorf("n=%d: x[%d] CR=%v Thomas=%v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCyclicReductionErrors(t *testing.T) {
+	if _, err := CyclicReduction([]float64{0}, []float64{1, 2}, []float64{0}, []float64{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := CyclicReduction([]float64{0}, []float64{0}, []float64{0}, []float64{1}); err != ErrSingular {
+		t.Error("singular must error")
+	}
+	x, err := CyclicReduction(nil, nil, nil, nil)
+	if err != nil || len(x) != 0 {
+		t.Error("empty system must solve trivially")
+	}
+}
+
+func TestSolversAgreeQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed int64, nu uint8) bool {
+		n := int(nu%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c, d := diagDominant(n, rng)
+		xt, err1 := Solve(a, b, c, d)
+		xc, err2 := CyclicReduction(a, b, c, d)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range xt {
+			if math.Abs(xt[i]-xc[i]) > 1e-9 {
+				return false
+			}
+		}
+		return residualInf(a, b, c, d, xt) < 1e-10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := []float64{0, 1, 1}
+	b := []float64{2, 2, 2}
+	c := []float64{1, 1, 0}
+	x := []float64{1, 2, 3}
+	y := MatVec(a, b, c, x)
+	want := []float64{2*1 + 1*2, 1*1 + 2*2 + 1*3, 1*2 + 2*3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
