@@ -35,28 +35,30 @@ func main() {
 }
 
 type config struct {
-	exp    string
-	mesh   int
-	steps  int
-	ladder []int
-	outDir string
-	full   bool
-	inner  int
+	exp      string
+	mesh     int
+	steps    int
+	ladder   []int
+	outDir   string
+	full     bool
+	inner    int
+	benchOut string
 }
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|all")
-		mesh   = flag.Int("mesh", 192, "measured mesh size for fig3 (quick mode)")
-		steps  = flag.Int("steps", 0, "measured steps for fig3/fig4 (0 = per-experiment default)")
-		ladder = flag.String("ladder", "32,48,64,96", "calibration mesh ladder")
-		outDir = flag.String("out", "", "directory for CSV/PPM outputs (optional)")
-		full   = flag.Bool("full", false, "use the paper's full 4000^2 x 375-step measured workload (very slow)")
-		inner  = flag.Int("inner", 10, "PPCG inner steps")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|all")
+		mesh     = flag.Int("mesh", 192, "measured mesh size for fig3 (quick mode)")
+		steps    = flag.Int("steps", 0, "measured steps for fig3/fig4 (0 = per-experiment default)")
+		ladder   = flag.String("ladder", "32,48,64,96", "calibration mesh ladder")
+		outDir   = flag.String("out", "", "directory for CSV/PPM outputs (optional)")
+		full     = flag.Bool("full", false, "use the paper's full 4000^2 x 375-step measured workload (very slow)")
+		inner    = flag.Int("inner", 10, "PPCG inner steps")
+		benchOut = flag.String("benchout", "BENCH_kernels.json", "output path for the -exp bench JSON report")
 	)
 	flag.Parse()
 
-	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner}
+	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut}
 	for _, tok := range strings.Split(*ladder, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
@@ -84,6 +86,7 @@ func run() error {
 		"precond":   precondAblation,
 		"halodepth": haloDepthAblation,
 		"weak":      weakScaling,
+		"bench":     benchExperiment,
 	}
 	if cfg.exp == "all" {
 		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "precond", "halodepth", "weak"} {

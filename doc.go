@@ -20,9 +20,13 @@
 //     convergence.
 //
 // The library lives under internal/; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-versus-measured results. The
-// benchmarks in bench_test.go regenerate every table and figure under
-// `go test -bench`.
+// inventory, including the fused single-reduction solver core
+// (persistent worker pools, fused stencil+BLAS1 kernels, and the
+// Chronopoulos–Gear CG / fused PPCG iteration loops behind
+// solver.Options.Fused). The benchmarks in bench_test.go regenerate
+// every table and figure under `go test -bench`, and
+// `teabench -exp bench` dumps hot-path timings to BENCH_kernels.json
+// so the performance trajectory is machine-readable across changes.
 package tealeaf
 
 // Version identifies this reproduction.

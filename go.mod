@@ -1,0 +1,3 @@
+module tealeaf
+
+go 1.24

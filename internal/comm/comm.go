@@ -32,6 +32,11 @@ type Communicator interface {
 	AllReduceSum(x float64) float64
 	// AllReduceSum2 fuses two sums into one reduction (one latency).
 	AllReduceSum2(x, y float64) (float64, float64)
+	// AllReduceSumN sums each element of vals over all ranks in a single
+	// reduction round — the §VII restructuring that lets a fused solver
+	// iteration pay one allreduce latency for all of its dot products.
+	// The returned slice may alias vals.
+	AllReduceSumN(vals []float64) []float64
 	// AllReduceMax returns the maximum of x over all ranks.
 	AllReduceMax(x float64) float64
 	// Barrier blocks until every rank has entered it.
@@ -95,6 +100,12 @@ func (s *Serial) AllReduceSum(x float64) float64 {
 func (s *Serial) AllReduceSum2(x, y float64) (float64, float64) {
 	s.trace.AddReduction(2)
 	return x, y
+}
+
+// AllReduceSumN implements Communicator.
+func (s *Serial) AllReduceSumN(vals []float64) []float64 {
+	s.trace.AddReduction(len(vals))
+	return vals
 }
 
 // AllReduceMax implements Communicator.

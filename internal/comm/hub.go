@@ -224,6 +224,13 @@ func (c *RankComm) AllReduceSum2(x, y float64) (float64, float64) {
 	return r[0], r[1]
 }
 
+// AllReduceSumN implements Communicator: len(vals) sums, one reduction
+// latency.
+func (c *RankComm) AllReduceSumN(vals []float64) []float64 {
+	c.trace.AddReduction(len(vals))
+	return c.hub.coll.reduce(opSum, vals...)
+}
+
 // AllReduceMax implements Communicator.
 func (c *RankComm) AllReduceMax(x float64) float64 {
 	c.trace.AddReduction(1)

@@ -1,0 +1,299 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+)
+
+// The fusion contract: every fused kernel matches the composition of its
+// unfused equivalents to within 1e-13 (relative), across pool sizes
+// {1, 2, 4, 7} and odd-shaped bounds rectangles. Fused kernels use
+// different accumulator associations than the naive loops, so exact
+// equality is not expected — but 1e-13 over O(10³)-cell rectangles of
+// O(1) values leaves no room for indexing bugs.
+
+// fusionPools is the satellite-test pool ladder.
+func fusionPools() map[string]*par.Pool {
+	return map[string]*par.Pool{
+		"w1": par.NewPool(1),
+		"w2": par.NewPool(2).WithGrain(1),
+		"w4": par.NewPool(4).WithGrain(1),
+		"w7": par.NewPool(7).WithGrain(1),
+	}
+}
+
+// fusionBounds are deliberately odd rectangles (including offsets and
+// single-row/column strips) over a 19×13 halo-2 grid.
+func fusionBounds(g *grid.Grid2D) []grid.Bounds {
+	return []grid.Bounds{
+		g.Interior(),
+		{X0: 1, X1: 18, Y0: 1, Y1: 12},
+		{X0: 3, X1: 10, Y0: 5, Y1: 6},
+		{X0: 7, X1: 8, Y0: 0, Y1: 13},
+		{X0: 0, X1: 5, Y0: 9, Y1: 13},
+		g.Interior().Expand(1, g),
+	}
+}
+
+func close13(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-13*math.Max(1, math.Abs(b))
+}
+
+func fieldsClose13(t *testing.T, name string, got, want *grid.Field2D) {
+	t.Helper()
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-13*math.Max(1, math.Abs(want.Data[i])) {
+			j, k := got.Grid.Coords(i)
+			t.Fatalf("%s: field differs at (%d,%d): %v vs %v", name, j, k, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestPrecondDotMatchesMulDot(t *testing.T) {
+	g := grid.UnitGrid2D(19, 13, 2)
+	minv := testField(g, 31)
+	r := testField(g, 32)
+	for _, b := range fusionBounds(g) {
+		zRef := grid.NewField2D(g)
+		Mul(par.Serial, b, minv, r, zRef)
+		want := Dot(par.Serial, b, r, zRef)
+		for name, p := range fusionPools() {
+			z := grid.NewField2D(g)
+			got := PrecondDot(p, b, minv, r, z)
+			if !close13(got, want) {
+				t.Errorf("%s %v: PrecondDot = %v, want %v", name, b, got, want)
+			}
+			fieldsClose13(t, name, z, zRef)
+		}
+		// nil minv: identity.
+		z := grid.NewField2D(g)
+		got := PrecondDot(par.Serial, b, nil, r, z)
+		if !close13(got, Dot(par.Serial, b, r, r)) {
+			t.Errorf("identity PrecondDot = %v, want r·r", got)
+		}
+	}
+}
+
+func TestAxpyAxpyMatchesTwoAxpys(t *testing.T) {
+	g := grid.UnitGrid2D(19, 13, 2)
+	x1 := testField(g, 41)
+	x2 := testField(g, 42)
+	for _, b := range fusionBounds(g) {
+		for name, p := range fusionPools() {
+			y1Ref, y2Ref := testField(g, 43), testField(g, 44)
+			Axpy(par.Serial, b, 0.7, x1, y1Ref)
+			Axpy(par.Serial, b, -1.3, x2, y2Ref)
+			y1, y2 := testField(g, 43), testField(g, 44)
+			AxpyAxpy(p, b, 0.7, x1, y1, -1.3, x2, y2)
+			fieldsClose13(t, name+" y1", y1, y1Ref)
+			fieldsClose13(t, name+" y2", y2, y2Ref)
+		}
+	}
+}
+
+func TestAxpbyPreMatchesMulAxpby(t *testing.T) {
+	g := grid.UnitGrid2D(19, 13, 2)
+	minv := testField(g, 51)
+	r := testField(g, 52)
+	for _, b := range fusionBounds(g) {
+		for name, p := range fusionPools() {
+			yRef := testField(g, 53)
+			z := grid.NewField2D(g)
+			Mul(par.Serial, b, minv, r, z)
+			tmp := grid.NewField2D(g)
+			Axpby(par.Serial, b, 0.9, yRef, 0.4, z, tmp)
+			Copy(par.Serial, b, yRef, tmp)
+
+			y := testField(g, 53)
+			AxpbyPre(p, b, 0.9, y, 0.4, minv, r)
+			fieldsClose13(t, name, y, yRef)
+
+			// Identity variant.
+			yID := testField(g, 54)
+			yIDRef := testField(g, 54)
+			Axpby(par.Serial, b, 0.9, yIDRef, 0.4, r, tmp)
+			Copy(par.Serial, b, yIDRef, tmp)
+			AxpbyPre(p, b, 0.9, yID, 0.4, nil, r)
+			fieldsClose13(t, name+" identity", yID, yIDRef)
+		}
+	}
+}
+
+func TestFusedCGDirectionsMatchesComposed(t *testing.T) {
+	g := grid.UnitGrid2D(19, 13, 2)
+	minv := testField(g, 61)
+	r := testField(g, 62)
+	w := testField(g, 63)
+	const beta = 0.37
+	for _, b := range fusionBounds(g) {
+		for name, pool := range fusionPools() {
+			// Reference: u = minv⊙r; p = u + β·p; s = w + β·s.
+			u := grid.NewField2D(g)
+			Mul(par.Serial, b, minv, r, u)
+			pRef, sRef := testField(g, 64), testField(g, 65)
+			Xpay(par.Serial, b, u, beta, pRef)
+			Xpay(par.Serial, b, w, beta, sRef)
+
+			p, s := testField(g, 64), testField(g, 65)
+			FusedCGDirections(pool, b, minv, r, w, beta, p, s)
+			fieldsClose13(t, name+" p", p, pRef)
+			fieldsClose13(t, name+" s", s, sRef)
+
+			// Identity variant.
+			pID, sID := testField(g, 66), testField(g, 67)
+			pIDRef, sIDRef := testField(g, 66), testField(g, 67)
+			Xpay(par.Serial, b, r, beta, pIDRef)
+			Xpay(par.Serial, b, w, beta, sIDRef)
+			FusedCGDirections(pool, b, nil, r, w, beta, pID, sID)
+			fieldsClose13(t, name+" p id", pID, pIDRef)
+			fieldsClose13(t, name+" s id", sID, sIDRef)
+		}
+	}
+}
+
+func TestFusedCGUpdateMatchesComposed(t *testing.T) {
+	g := grid.UnitGrid2D(19, 13, 2)
+	minv := testField(g, 71)
+	pv := testField(g, 72)
+	sv := testField(g, 73)
+	const alpha = 0.21
+	for _, b := range fusionBounds(g) {
+		for name, pool := range fusionPools() {
+			// Reference: x += α·p; r −= α·s; u = minv⊙r; γ = r·u; rr = r·r.
+			xRef, rRef := testField(g, 74), testField(g, 75)
+			Axpy(par.Serial, b, alpha, pv, xRef)
+			Axpy(par.Serial, b, -alpha, sv, rRef)
+			u := grid.NewField2D(g)
+			Mul(par.Serial, b, minv, rRef, u)
+			gammaRef := Dot(par.Serial, b, rRef, u)
+			rrRef := Dot(par.Serial, b, rRef, rRef)
+
+			x, r := testField(g, 74), testField(g, 75)
+			gamma, rr := FusedCGUpdate(pool, b, alpha, pv, sv, x, r, minv)
+			if !close13(gamma, gammaRef) || !close13(rr, rrRef) {
+				t.Errorf("%s %v: (γ,rr) = (%v,%v), want (%v,%v)", name, b, gamma, rr, gammaRef, rrRef)
+			}
+			fieldsClose13(t, name+" x", x, xRef)
+			fieldsClose13(t, name+" r", r, rRef)
+
+			// Identity: γ == rr.
+			xID, rID := testField(g, 74), testField(g, 75)
+			gID, rrID := FusedCGUpdate(pool, b, alpha, pv, sv, xID, rID, nil)
+			if gID != rrID {
+				t.Errorf("%s: identity γ %v != rr %v", name, gID, rrID)
+			}
+			if !close13(rrID, rrRef) {
+				t.Errorf("%s: identity rr = %v, want %v", name, rrID, rrRef)
+			}
+		}
+	}
+}
+
+func TestFusedPPCGInnerMatchesComposed(t *testing.T) {
+	g := grid.UnitGrid2D(19, 13, 3)
+	minv := testField(g, 81)
+	w := testField(g, 82)
+	in := g.Interior()
+	const alpha, beta = 0.83, 0.29
+	// Matrix-powers style: extended bounds ⊇ interior, plus the plain
+	// interior case.
+	for _, b := range []grid.Bounds{in, in.Expand(1, g), in.Expand(2, g)} {
+		for name, pool := range fusionPools() {
+			// Reference: rtemp −= w; zscr = minv⊙rtemp; sd = α·sd + β·zscr
+			// (all over b); z += sd (interior only).
+			rtempRef, sdRef, zRef := testField(g, 83), testField(g, 84), testField(g, 85)
+			Axpy(par.Serial, b, -1, w, rtempRef)
+			zscr := grid.NewField2D(g)
+			Mul(par.Serial, b, minv, rtempRef, zscr)
+			tmp := grid.NewField2D(g)
+			Axpby(par.Serial, b, alpha, sdRef, beta, zscr, tmp)
+			Copy(par.Serial, b, sdRef, tmp)
+			Axpy(par.Serial, in, 1, sdRef, zRef)
+
+			rtemp, sd, z := testField(g, 83), testField(g, 84), testField(g, 85)
+			FusedPPCGInner(pool, b, in, alpha, beta, w, rtemp, minv, sd, z)
+			fieldsClose13(t, name+" rtemp", rtemp, rtempRef)
+			fieldsClose13(t, name+" sd", sd, sdRef)
+			fieldsClose13(t, name+" z", z, zRef)
+		}
+	}
+}
+
+func TestFused3DKernelsMatchComposed(t *testing.T) {
+	g3, err := grid.NewGrid3D(11, 7, 5, 1, 0, 1, 0, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed int64) *grid.Field3D {
+		f := grid.NewField3D(g3)
+		rng := newRng(seed)
+		for i := range f.Data {
+			f.Data[i] = rng.Float64()*2 - 1
+		}
+		return f
+	}
+	r, w := mk(1), mk(2)
+	const alpha, beta = 0.31, 0.73
+	for name, pool := range fusionPools() {
+		// Directions: p = r + β·p; s = w + β·s.
+		pRef, sRef := mk(3), mk(4)
+		Xpay3D(par.Serial, r, beta, pRef)
+		Xpay3D(par.Serial, w, beta, sRef)
+		p, s := mk(3), mk(4)
+		FusedCGDirections3D(pool, r, w, beta, p, s)
+		for i := range p.Data {
+			if math.Abs(p.Data[i]-pRef.Data[i]) > 1e-13 || math.Abs(s.Data[i]-sRef.Data[i]) > 1e-13 {
+				t.Fatalf("%s: 3D directions differ at %d", name, i)
+			}
+		}
+
+		// Update: x += α·p; r −= α·s; rr.
+		xRef, rRef := mk(5), mk(6)
+		Axpy3D(par.Serial, alpha, p, xRef)
+		Axpy3D(par.Serial, -alpha, s, rRef)
+		rrRef := Dot3D(par.Serial, rRef, rRef)
+		x, rr2 := mk(5), mk(6)
+		rr := FusedCGUpdate3D(pool, alpha, p, s, x, rr2)
+		if !close13(rr, rrRef) {
+			t.Errorf("%s: 3D rr = %v, want %v", name, rr, rrRef)
+		}
+		for i := range x.Data {
+			if math.Abs(x.Data[i]-xRef.Data[i]) > 1e-13 || math.Abs(rr2.Data[i]-rRef.Data[i]) > 1e-13 {
+				t.Fatalf("%s: 3D update differs at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestDot3DMatchesNaive(t *testing.T) {
+	g3, err := grid.NewGrid3D(9, 6, 4, 2, 0, 1, 0, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := grid.NewField3D(g3), grid.NewField3D(g3)
+	rng := newRng(7)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+		y.Data[i] = rng.Float64()
+	}
+	var want float64
+	for k := 0; k < g3.NZ; k++ {
+		for j := 0; j < g3.NY; j++ {
+			for i := 0; i < g3.NX; i++ {
+				want += x.At(i, j, k) * y.At(i, j, k)
+			}
+		}
+	}
+	for name, pool := range fusionPools() {
+		if got := Dot3D(pool, x, y); !close13(got, want) {
+			t.Errorf("%s: Dot3D = %v, want %v (halo leak?)", name, got, want)
+		}
+	}
+}
+
+// newRng mirrors testField's seeding for 3D fields.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -8,6 +8,19 @@
 // static block schedule. All fields passed to one call must live on the
 // same grid (they do, throughout the solvers: every solver vector is
 // allocated on the rank-local grid).
+//
+// Inner loops are bounds-check-hoisted by re-slicing each row to its
+// exact extent (xs := xd[o : o+n : o+n]) and 4-way unrolled with
+// independent accumulators, which the gc compiler turns into straight-line
+// code with no per-element bounds checks. Reductions keep a fixed
+// accumulator association (4 lanes folded pairwise), so results are
+// bit-reproducible for a fixed worker count — but differ in the last bits
+// from a naive serial sum, which is why tests compare against tolerances.
+//
+// The Fused* kernels combine the multiple BLAS1 passes of one solver
+// iteration into single sweeps, the node-level half of §VII's proposal to
+// restructure the Krylov loop around one reduction per iteration; the
+// matching stencil-fused sweeps live in package stencil.
 package kernels
 
 import (
@@ -17,6 +30,13 @@ import (
 	"tealeaf/internal/par"
 )
 
+// row re-slices one padded row of d to the columns [b.X0, b.X1) of row k.
+// The three-index form pins cap so the compiler can drop bounds checks.
+func row(g *grid.Grid2D, b grid.Bounds, d []float64, k int) []float64 {
+	o := g.Index(b.X0, k)
+	return d[o : o+b.X1-b.X0 : o+b.X1-b.X0]
+}
+
 // Dot returns Σ x·y over the cells of b.
 func Dot(p *par.Pool, b grid.Bounds, x, y *grid.Field2D) float64 {
 	if b.Empty() {
@@ -24,15 +44,24 @@ func Dot(p *par.Pool, b grid.Bounds, x, y *grid.Field2D) float64 {
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
+	n := b.X1 - b.X0
 	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
-		var s float64
+		var s0, s1, s2, s3 float64
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				s += xd[base+j] * yd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				s0 += xs[j] * ys[j]
+				s1 += xs[j+1] * ys[j+1]
+				s2 += xs[j+2] * ys[j+2]
+				s3 += xs[j+3] * ys[j+3]
+			}
+			for ; j < n; j++ {
+				s0 += xs[j] * ys[j]
 			}
 		}
-		return s
+		return (s0 + s1) + (s2 + s3)
 	})
 }
 
@@ -53,11 +82,20 @@ func Axpy(p *par.Pool, b grid.Bounds, alpha float64, x, y *grid.Field2D) {
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				yd[base+j] += alpha * xd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				ys[j] += alpha * xs[j]
+				ys[j+1] += alpha * xs[j+1]
+				ys[j+2] += alpha * xs[j+2]
+				ys[j+3] += alpha * xs[j+3]
+			}
+			for ; j < n; j++ {
+				ys[j] += alpha * xs[j]
 			}
 		}
 	})
@@ -71,11 +109,20 @@ func Xpay(p *par.Pool, b grid.Bounds, x *grid.Field2D, beta float64, y *grid.Fie
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				yd[base+j] = xd[base+j] + beta*yd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				ys[j] = xs[j] + beta*ys[j]
+				ys[j+1] = xs[j+1] + beta*ys[j+1]
+				ys[j+2] = xs[j+2] + beta*ys[j+2]
+				ys[j+3] = xs[j+3] + beta*ys[j+3]
+			}
+			for ; j < n; j++ {
+				ys[j] = xs[j] + beta*ys[j]
 			}
 		}
 	})
@@ -88,11 +135,21 @@ func Axpby(p *par.Pool, b grid.Bounds, alpha float64, x *grid.Field2D, beta floa
 	}
 	g := x.Grid
 	xd, yd, zd := x.Data, y.Data, z.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				zd[base+j] = alpha*xd[base+j] + beta*yd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			zs := row(g, b, zd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				zs[j] = alpha*xs[j] + beta*ys[j]
+				zs[j+1] = alpha*xs[j+1] + beta*ys[j+1]
+				zs[j+2] = alpha*xs[j+2] + beta*ys[j+2]
+				zs[j+3] = alpha*xs[j+3] + beta*ys[j+3]
+			}
+			for ; j < n; j++ {
+				zs[j] = alpha*xs[j] + beta*ys[j]
 			}
 		}
 	})
@@ -121,11 +178,19 @@ func Scale(p *par.Pool, b grid.Bounds, alpha float64, x *grid.Field2D) {
 	}
 	g := x.Grid
 	xd := x.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				xd[base+j] *= alpha
+			xs := row(g, b, xd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				xs[j] *= alpha
+				xs[j+1] *= alpha
+				xs[j+2] *= alpha
+				xs[j+3] *= alpha
+			}
+			for ; j < n; j++ {
+				xs[j] *= alpha
 			}
 		}
 	})
@@ -138,11 +203,20 @@ func ScaleTo(p *par.Pool, b grid.Bounds, alpha float64, src, dst *grid.Field2D) 
 	}
 	g := src.Grid
 	sd, dd := src.Data, dst.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				dd[base+j] = alpha * sd[base+j]
+			ss := row(g, b, sd, k)
+			ds := row(g, b, dd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				ds[j] = alpha * ss[j]
+				ds[j+1] = alpha * ss[j+1]
+				ds[j+2] = alpha * ss[j+2]
+				ds[j+3] = alpha * ss[j+3]
+			}
+			for ; j < n; j++ {
+				ds[j] = alpha * ss[j]
 			}
 		}
 	})
@@ -155,11 +229,12 @@ func Fill(p *par.Pool, b grid.Bounds, v float64, x *grid.Field2D) {
 	}
 	g := x.Grid
 	xd := x.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				xd[base+j] = v
+			xs := row(g, b, xd, k)
+			for j := 0; j < n; j++ {
+				xs[j] = v
 			}
 		}
 	})
@@ -172,11 +247,21 @@ func Sub(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) {
 	}
 	g := x.Grid
 	xd, yd, zd := x.Data, y.Data, z.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				zd[base+j] = xd[base+j] - yd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			zs := row(g, b, zd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				zs[j] = xs[j] - ys[j]
+				zs[j+1] = xs[j+1] - ys[j+1]
+				zs[j+2] = xs[j+2] - ys[j+2]
+				zs[j+3] = xs[j+3] - ys[j+3]
+			}
+			for ; j < n; j++ {
+				zs[j] = xs[j] - ys[j]
 			}
 		}
 	})
@@ -190,11 +275,21 @@ func Mul(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) {
 	}
 	g := x.Grid
 	xd, yd, zd := x.Data, y.Data, z.Data
+	n := b.X1 - b.X0
 	p.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				zd[base+j] = xd[base+j] * yd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			zs := row(g, b, zd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				zs[j] = xs[j] * ys[j]
+				zs[j+1] = xs[j+1] * ys[j+1]
+				zs[j+2] = xs[j+2] * ys[j+2]
+				zs[j+3] = xs[j+3] * ys[j+3]
+			}
+			for ; j < n; j++ {
+				zs[j] = xs[j] * ys[j]
 			}
 		}
 	})
@@ -209,17 +304,28 @@ func AxpyDot(p *par.Pool, b grid.Bounds, alpha float64, x, y *grid.Field2D) floa
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
+	n := b.X1 - b.X0
 	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
-		var s float64
+		var s0, s1 float64
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				v := yd[base+j] + alpha*xd[base+j]
-				yd[base+j] = v
-				s += v * v
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			j := 0
+			for ; j+1 < n; j += 2 {
+				v0 := ys[j] + alpha*xs[j]
+				ys[j] = v0
+				s0 += v0 * v0
+				v1 := ys[j+1] + alpha*xs[j+1]
+				ys[j+1] = v1
+				s1 += v1 * v1
+			}
+			for ; j < n; j++ {
+				v := ys[j] + alpha*xs[j]
+				ys[j] = v
+				s0 += v * v
 			}
 		}
-		return s
+		return s0 + s1
 	})
 }
 
@@ -232,15 +338,349 @@ func Dot2(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) (xy, yz float64) {
 	}
 	g := x.Grid
 	xd, yd, zd := x.Data, y.Data, z.Data
+	n := b.X1 - b.X0
 	return p.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
-		var a, c float64
+		var a0, a1, c0, c1 float64
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				a += xd[base+j] * yd[base+j]
-				c += yd[base+j] * zd[base+j]
+			xs := row(g, b, xd, k)
+			ys := row(g, b, yd, k)
+			zs := row(g, b, zd, k)
+			j := 0
+			for ; j+1 < n; j += 2 {
+				a0 += xs[j] * ys[j]
+				c0 += ys[j] * zs[j]
+				a1 += xs[j+1] * ys[j+1]
+				c1 += ys[j+1] * zs[j+1]
+			}
+			for ; j < n; j++ {
+				a0 += xs[j] * ys[j]
+				c0 += ys[j] * zs[j]
 			}
 		}
-		return a, c
+		return a0 + a1, c0 + c1
+	})
+}
+
+// PrecondDot fuses the diagonal preconditioner application z = minv ⊙ r
+// with the dot product r·z in one sweep (the PCG ρ = (r, M⁻¹r) setup pass
+// without a separate preconditioner sweep). A nil minv selects the
+// identity: z is filled with r (unless z aliases r) and r·r is returned.
+func PrecondDot(p *par.Pool, b grid.Bounds, minv, r, z *grid.Field2D) float64 {
+	if b.Empty() {
+		return 0
+	}
+	if minv == nil {
+		if z != r {
+			Copy(p, b, z, r)
+		}
+		return Dot(p, b, r, r)
+	}
+	g := r.Grid
+	md, rd, zd := minv.Data, r.Data, z.Data
+	n := b.X1 - b.X0
+	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+		var s0, s1 float64
+		for k := k0; k < k1; k++ {
+			ms := row(g, b, md, k)
+			rs := row(g, b, rd, k)
+			zs := row(g, b, zd, k)
+			j := 0
+			for ; j+1 < n; j += 2 {
+				v0 := ms[j] * rs[j]
+				zs[j] = v0
+				s0 += rs[j] * v0
+				v1 := ms[j+1] * rs[j+1]
+				zs[j+1] = v1
+				s1 += rs[j+1] * v1
+			}
+			for ; j < n; j++ {
+				v := ms[j] * rs[j]
+				zs[j] = v
+				s0 += rs[j] * v
+			}
+		}
+		return s0 + s1
+	})
+}
+
+// AxpyAxpy fuses two independent AXPYs into one sweep:
+// y1 += a1*x1 and y2 += a2*x2. It is the fused solution/residual update
+// u += α·p, r −= α·w shared by the Chebyshev and PPCG outer loops.
+func AxpyAxpy(p *par.Pool, b grid.Bounds, a1 float64, x1, y1 *grid.Field2D, a2 float64, x2, y2 *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := x1.Grid
+	x1d, y1d, x2d, y2d := x1.Data, y1.Data, x2.Data, y2.Data
+	n := b.X1 - b.X0
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			x1s := row(g, b, x1d, k)
+			y1s := row(g, b, y1d, k)
+			x2s := row(g, b, x2d, k)
+			y2s := row(g, b, y2d, k)
+			j := 0
+			for ; j+1 < n; j += 2 {
+				y1s[j] += a1 * x1s[j]
+				y2s[j] += a2 * x2s[j]
+				y1s[j+1] += a1 * x1s[j+1]
+				y2s[j+1] += a2 * x2s[j+1]
+			}
+			for ; j < n; j++ {
+				y1s[j] += a1 * x1s[j]
+				y2s[j] += a2 * x2s[j]
+			}
+		}
+	})
+}
+
+// AxpbyPre fuses the diagonal preconditioner into the Chebyshev direction
+// update: y = a*y + beta*(minv ⊙ r) in one sweep (nil minv → identity).
+// This replaces the two-pass z = M⁻¹r; p = α·p + β·z sequence of the
+// Chebyshev main loop.
+func AxpbyPre(p *par.Pool, b grid.Bounds, a float64, y *grid.Field2D, beta float64, minv, r *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := y.Grid
+	yd, rd := y.Data, r.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	p.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			ys := row(g, b, yd, k)
+			rs := row(g, b, rd, k)
+			if md == nil {
+				j := 0
+				for ; j+1 < n; j += 2 {
+					ys[j] = a*ys[j] + beta*rs[j]
+					ys[j+1] = a*ys[j+1] + beta*rs[j+1]
+				}
+				for ; j < n; j++ {
+					ys[j] = a*ys[j] + beta*rs[j]
+				}
+				continue
+			}
+			ms := row(g, b, md, k)
+			j := 0
+			for ; j+1 < n; j += 2 {
+				ys[j] = a*ys[j] + beta*(ms[j]*rs[j])
+				ys[j+1] = a*ys[j+1] + beta*(ms[j+1]*rs[j+1])
+			}
+			for ; j < n; j++ {
+				ys[j] = a*ys[j] + beta*(ms[j]*rs[j])
+			}
+		}
+	})
+}
+
+// FusedCGDirections is pass one of the single-reduction
+// (Chronopoulos–Gear) CG iteration: both direction recurrences in one
+// sweep,
+//
+//	p = (minv ⊙ r) + β·p    (= u + β·p, with the preconditioner folded)
+//	s = w + β·s             (maintains s = A·p without a second matvec)
+//
+// with nil minv selecting the identity (u = r).
+func FusedCGDirections(pl *par.Pool, b grid.Bounds, minv, r, w *grid.Field2D, beta float64, p, s *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := r.Grid
+	rd, wd, pd, sd := r.Data, w.Data, p.Data, s.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	// Each row runs as two narrow bursts (p-recurrence, then
+	// s-recurrence): a 16 KB row stays cache-resident between bursts, and
+	// two-stream bursts sustain measurably higher memory bandwidth than
+	// one four-stream loop on wide grids.
+	pl.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			rs := row(g, b, rd, k)
+			ps := row(g, b, pd, k)
+			if md == nil {
+				j := 0
+				for ; j+3 < n; j += 4 {
+					ps[j] = rs[j] + beta*ps[j]
+					ps[j+1] = rs[j+1] + beta*ps[j+1]
+					ps[j+2] = rs[j+2] + beta*ps[j+2]
+					ps[j+3] = rs[j+3] + beta*ps[j+3]
+				}
+				for ; j < n; j++ {
+					ps[j] = rs[j] + beta*ps[j]
+				}
+			} else {
+				ms := row(g, b, md, k)
+				j := 0
+				for ; j+3 < n; j += 4 {
+					ps[j] = ms[j]*rs[j] + beta*ps[j]
+					ps[j+1] = ms[j+1]*rs[j+1] + beta*ps[j+1]
+					ps[j+2] = ms[j+2]*rs[j+2] + beta*ps[j+2]
+					ps[j+3] = ms[j+3]*rs[j+3] + beta*ps[j+3]
+				}
+				for ; j < n; j++ {
+					ps[j] = ms[j]*rs[j] + beta*ps[j]
+				}
+			}
+			ws := row(g, b, wd, k)
+			ss := row(g, b, sd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				ss[j] = ws[j] + beta*ss[j]
+				ss[j+1] = ws[j+1] + beta*ss[j+1]
+				ss[j+2] = ws[j+2] + beta*ss[j+2]
+				ss[j+3] = ws[j+3] + beta*ss[j+3]
+			}
+			for ; j < n; j++ {
+				ss[j] = ws[j] + beta*ss[j]
+			}
+		}
+	})
+}
+
+// FusedCGUpdate is pass two of the single-reduction CG iteration: the
+// solution and residual updates fused with both dot products the next
+// step scalar needs,
+//
+//	x += α·p;  r −= α·s;  γ = Σ r·(minv ⊙ r);  rr = Σ r·r
+//
+// in one sweep. nil minv selects the identity, for which γ == rr.
+func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv *grid.Field2D) (gamma, rr float64) {
+	if b.Empty() {
+		return 0, 0
+	}
+	g := r.Grid
+	pd, sd, xd, rd := p.Data, s.Data, x.Data, r.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	// Row-fissioned like FusedCGDirections: the x-update burst, then the
+	// r-update burst carrying both dot products (the freshly written r row
+	// is still in cache for the γ accumulation).
+	return pl.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
+		var g0, g1, rr0, rr1 float64
+		for k := k0; k < k1; k++ {
+			ps := row(g, b, pd, k)
+			xs := row(g, b, xd, k)
+			j := 0
+			for ; j+3 < n; j += 4 {
+				xs[j] += alpha * ps[j]
+				xs[j+1] += alpha * ps[j+1]
+				xs[j+2] += alpha * ps[j+2]
+				xs[j+3] += alpha * ps[j+3]
+			}
+			for ; j < n; j++ {
+				xs[j] += alpha * ps[j]
+			}
+			ss := row(g, b, sd, k)
+			rs := row(g, b, rd, k)
+			if md == nil {
+				j = 0
+				for ; j+1 < n; j += 2 {
+					v0 := rs[j] - alpha*ss[j]
+					rs[j] = v0
+					rr0 += v0 * v0
+					v1 := rs[j+1] - alpha*ss[j+1]
+					rs[j+1] = v1
+					rr1 += v1 * v1
+				}
+				for ; j < n; j++ {
+					v := rs[j] - alpha*ss[j]
+					rs[j] = v
+					rr0 += v * v
+				}
+				continue
+			}
+			ms := row(g, b, md, k)
+			j = 0
+			for ; j+1 < n; j += 2 {
+				v0 := rs[j] - alpha*ss[j]
+				rs[j] = v0
+				g0 += ms[j] * v0 * v0
+				rr0 += v0 * v0
+				v1 := rs[j+1] - alpha*ss[j+1]
+				rs[j+1] = v1
+				g1 += ms[j+1] * v1 * v1
+				rr1 += v1 * v1
+			}
+			for ; j < n; j++ {
+				v := rs[j] - alpha*ss[j]
+				rs[j] = v
+				g0 += ms[j] * v * v
+				rr0 += v * v
+			}
+		}
+		if md == nil {
+			return rr0 + rr1, rr0 + rr1
+		}
+		return g0 + g1, rr0 + rr1
+	})
+}
+
+// FusedPPCGInner is the fused Chebyshev inner step of PPCG: the residual
+// update, the (folded diagonal) preconditioner application, the
+// three-term direction recurrence and the correction accumulation in one
+// sweep instead of four,
+//
+//	rtemp −= w
+//	sd     = α·sd + β·(minv ⊙ rtemp)     over b (matrix-powers bounds)
+//	z     += sd                           over in (the interior) only
+//
+// b must contain in; rows outside in update rtemp/sd but not z, exactly
+// as the unfused schedule does on extended matrix-powers bounds. nil minv
+// selects the identity preconditioner.
+func FusedPPCGInner(pl *par.Pool, b, in grid.Bounds, alpha, beta float64, w, rtemp, minv, sd, z *grid.Field2D) {
+	if b.Empty() {
+		return
+	}
+	g := rtemp.Grid
+	wd, rd, sdd, zd := w.Data, rtemp.Data, sd.Data, z.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	// Column offsets of the interior within b's row slices.
+	zlo, zhi := in.X0-b.X0, in.X1-b.X0
+	pl.For(b.Y0, b.Y1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			ws := row(g, b, wd, k)
+			rs := row(g, b, rd, k)
+			ss := row(g, b, sdd, k)
+			if md == nil {
+				for j := 0; j < n; j++ {
+					v := rs[j] - ws[j]
+					rs[j] = v
+					ss[j] = alpha*ss[j] + beta*v
+				}
+			} else {
+				ms := row(g, b, md, k)
+				for j := 0; j < n; j++ {
+					v := rs[j] - ws[j]
+					rs[j] = v
+					ss[j] = alpha*ss[j] + beta*(ms[j]*v)
+				}
+			}
+			if k >= in.Y0 && k < in.Y1 {
+				zs := row(g, in, zd, k)
+				sz := ss[zlo:zhi]
+				j := 0
+				for ; j+1 < len(sz); j += 2 {
+					zs[j] += sz[j]
+					zs[j+1] += sz[j+1]
+				}
+				for ; j < len(sz); j++ {
+					zs[j] += sz[j]
+				}
+			}
+		}
 	})
 }

@@ -1,0 +1,160 @@
+package kernels
+
+import (
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+)
+
+// The 3D variants operate on the full interior of a Field3D (the 3D path
+// supports single-rank solves only, matching the paper's "the 3D results
+// are similar" evaluation) and parallelise over z-planes. Inner loops use
+// the same re-slicing and unrolling scheme as the 2D kernels.
+
+// row3 re-slices the interior x-extent of row (j,k) of d.
+func row3(g *grid.Grid3D, d []float64, j, k int) []float64 {
+	o := g.Index(0, j, k)
+	return d[o : o+g.NX : o+g.NX]
+}
+
+// Dot3D returns Σ x·y over the interior.
+func Dot3D(p *par.Pool, x, y *grid.Field3D) float64 {
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	n := g.NX
+	return p.ForReduce(0, g.NZ, func(z0, z1 int) float64 {
+		var s0, s1, s2, s3 float64
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				xs := row3(g, xd, j, k)
+				ys := row3(g, yd, j, k)
+				i := 0
+				for ; i+3 < n; i += 4 {
+					s0 += xs[i] * ys[i]
+					s1 += xs[i+1] * ys[i+1]
+					s2 += xs[i+2] * ys[i+2]
+					s3 += xs[i+3] * ys[i+3]
+				}
+				for ; i < n; i++ {
+					s0 += xs[i] * ys[i]
+				}
+			}
+		}
+		return (s0 + s1) + (s2 + s3)
+	})
+}
+
+// Axpy3D computes y += alpha*x over the interior.
+func Axpy3D(p *par.Pool, alpha float64, x, y *grid.Field3D) {
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	n := g.NX
+	p.For(0, g.NZ, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				xs := row3(g, xd, j, k)
+				ys := row3(g, yd, j, k)
+				i := 0
+				for ; i+3 < n; i += 4 {
+					ys[i] += alpha * xs[i]
+					ys[i+1] += alpha * xs[i+1]
+					ys[i+2] += alpha * xs[i+2]
+					ys[i+3] += alpha * xs[i+3]
+				}
+				for ; i < n; i++ {
+					ys[i] += alpha * xs[i]
+				}
+			}
+		}
+	})
+}
+
+// Xpay3D computes y = x + beta*y over the interior.
+func Xpay3D(p *par.Pool, x *grid.Field3D, beta float64, y *grid.Field3D) {
+	g := x.Grid
+	xd, yd := x.Data, y.Data
+	n := g.NX
+	p.For(0, g.NZ, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				xs := row3(g, xd, j, k)
+				ys := row3(g, yd, j, k)
+				i := 0
+				for ; i+3 < n; i += 4 {
+					ys[i] = xs[i] + beta*ys[i]
+					ys[i+1] = xs[i+1] + beta*ys[i+1]
+					ys[i+2] = xs[i+2] + beta*ys[i+2]
+					ys[i+3] = xs[i+3] + beta*ys[i+3]
+				}
+				for ; i < n; i++ {
+					ys[i] = xs[i] + beta*ys[i]
+				}
+			}
+		}
+	})
+}
+
+// FusedCGDirections3D is the 3D (unpreconditioned) variant of
+// FusedCGDirections: p = r + β·p and s = w + β·s in one sweep.
+func FusedCGDirections3D(pl *par.Pool, r, w *grid.Field3D, beta float64, p, s *grid.Field3D) {
+	g := r.Grid
+	rd, wd, pd, sd := r.Data, w.Data, p.Data, s.Data
+	n := g.NX
+	pl.For(0, g.NZ, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				rs := row3(g, rd, j, k)
+				ws := row3(g, wd, j, k)
+				ps := row3(g, pd, j, k)
+				ss := row3(g, sd, j, k)
+				i := 0
+				for ; i+1 < n; i += 2 {
+					ps[i] = rs[i] + beta*ps[i]
+					ss[i] = ws[i] + beta*ss[i]
+					ps[i+1] = rs[i+1] + beta*ps[i+1]
+					ss[i+1] = ws[i+1] + beta*ss[i+1]
+				}
+				for ; i < n; i++ {
+					ps[i] = rs[i] + beta*ps[i]
+					ss[i] = ws[i] + beta*ss[i]
+				}
+			}
+		}
+	})
+}
+
+// FusedCGUpdate3D is the 3D (unpreconditioned) variant of FusedCGUpdate:
+// x += α·p, r −= α·s and rr = Σ r·r in one sweep.
+func FusedCGUpdate3D(pl *par.Pool, alpha float64, p, s, x, r *grid.Field3D) float64 {
+	g := r.Grid
+	pd, sd, xd, rd := p.Data, s.Data, x.Data, r.Data
+	n := g.NX
+	return pl.ForReduce(0, g.NZ, func(z0, z1 int) float64 {
+		var rr0, rr1 float64
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				ps := row3(g, pd, j, k)
+				ss := row3(g, sd, j, k)
+				xs := row3(g, xd, j, k)
+				rs := row3(g, rd, j, k)
+				i := 0
+				for ; i+1 < n; i += 2 {
+					xs[i] += alpha * ps[i]
+					v0 := rs[i] - alpha*ss[i]
+					rs[i] = v0
+					rr0 += v0 * v0
+					xs[i+1] += alpha * ps[i+1]
+					v1 := rs[i+1] - alpha*ss[i+1]
+					rs[i+1] = v1
+					rr1 += v1 * v1
+				}
+				for ; i < n; i++ {
+					xs[i] += alpha * ps[i]
+					v := rs[i] - alpha*ss[i]
+					rs[i] = v
+					rr0 += v * v
+				}
+			}
+		}
+		return rr0 + rr1
+	})
+}

@@ -95,6 +95,34 @@ func (m *Jacobi) Apply(pool *par.Pool, b grid.Bounds, r, z *grid.Field2D) {
 // Name implements Preconditioner.
 func (m *Jacobi) Name() string { return "jac_diag" }
 
+// InvDiag returns the precomputed 1/diag(A) field, valid over the padded
+// region minus its outermost layer. It implements DiagonalFoldable: the
+// fused solver loops fold this field directly into their sweeps instead
+// of calling Apply.
+func (m *Jacobi) InvDiag() *grid.Field2D { return m.invDiag }
+
+// DiagonalFoldable is implemented by preconditioners that are a pure
+// diagonal scaling z = d ⊙ r. The fused single-reduction solver paths
+// fold such preconditioners into their stencil and update sweeps for
+// free, instead of spending a separate grid pass on Apply. None is
+// foldable with a nil field (identity).
+type DiagonalFoldable interface {
+	InvDiag() *grid.Field2D
+}
+
+// FoldableDiag returns (diagonal-field, true) if m can be folded into
+// fused sweeps: nil for the identity, the inverse diagonal for Jacobi.
+// Block preconditioners are not foldable.
+func FoldableDiag(m Preconditioner) (*grid.Field2D, bool) {
+	if _, isNone := m.(None); isNone {
+		return nil, true
+	}
+	if f, ok := m.(DiagonalFoldable); ok {
+		return f.InvDiag(), true
+	}
+	return nil, false
+}
+
 // DefaultBlockSize is TeaLeaf's JAC_BLOCK_SIZE: strips of four cells.
 const DefaultBlockSize = 4
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tealeaf/internal/grid"
+	"tealeaf/internal/kernels"
 	"tealeaf/internal/stencil"
 )
 
@@ -18,38 +19,83 @@ type Problem3D struct {
 }
 
 // SolveCG3D runs plain conjugate gradients on a 3D problem with reflective
-// physical boundaries.
+// physical boundaries. The default fused path mirrors the 2D
+// single-reduction loop: three sweeps over the volume per iteration, with
+// every dot product produced by a fused kernel.
 func SolveCG3D(p Problem3D, o Options) (Result, error) {
 	o = o.withDefaults()
 	if p.Op == nil || p.U == nil || p.RHS == nil {
 		return Result{}, errors.New("solver: 3D problem needs operator, solution and RHS fields")
 	}
+	if o.Fused {
+		return solveCG3DFused(p, o)
+	}
+	return solveCG3DClassic(p, o)
+}
+
+// solveCG3DFused is the unpreconditioned Chronopoulos–Gear loop in 3D:
+//
+//	sweep 1: p = r + β·p;  s = w + β·s
+//	sweep 2: x += α·p; r −= α·s; rr = r·r
+//	sweep 3: w = A·r;  δ = r·w  (and ‖w‖² as a breakdown sentinel)
+func solveCG3DFused(p Problem3D, o Options) (Result, error) {
 	g := p.Op.Grid
 	pool := o.Pool
 	var result Result
 
-	dot := func(a, b *grid.Field3D) float64 {
-		var s float64
-		for k := 0; k < g.NZ; k++ {
-			for j := 0; j < g.NY; j++ {
-				base := g.Index(0, j, k)
-				for i := 0; i < g.NX; i++ {
-					s += a.Data[base+i] * b.Data[base+i]
-				}
-			}
-		}
-		return s
+	r := grid.NewField3D(g)
+	w := grid.NewField3D(g)
+	pv := grid.NewField3D(g)
+	sv := grid.NewField3D(g)
+
+	p.U.ReflectHalos(1)
+	p.Op.Residual(pool, p.U, p.RHS, r)
+	rr0 := kernels.Dot3D(pool, r, r)
+	if rr0 == 0 {
+		result.Converged = true
+		return result, nil
 	}
-	axpy := func(alpha float64, x, y *grid.Field3D) {
-		for k := 0; k < g.NZ; k++ {
-			for j := 0; j < g.NY; j++ {
-				base := g.Index(0, j, k)
-				for i := 0; i < g.NX; i++ {
-					y.Data[base+i] += alpha * x.Data[base+i]
-				}
-			}
-		}
+	r.ReflectHalos(1)
+	delta, ww := p.Op.ApplyDot2(pool, r, w)
+	if delta <= 0 || math.IsNaN(ww) {
+		result.FinalResidual = 1
+		return result, nil
 	}
+
+	alpha := rr0 / delta
+	beta := 0.0
+	rr := rr0
+	for it := 0; it < o.MaxIters; it++ {
+		kernels.FusedCGDirections3D(pool, r, w, beta, pv, sv)
+		rrNew := kernels.FusedCGUpdate3D(pool, alpha, pv, sv, p.U, r)
+		r.ReflectHalos(1)
+		deltaNew, wwNew := p.Op.ApplyDot2(pool, r, w)
+
+		result.Iterations++
+		rel := relResidual(rrNew, rr0)
+		result.History = append(result.History, rel)
+		result.FinalResidual = rel
+		if rel <= o.Tol {
+			result.Converged = true
+			return result, nil
+		}
+		betaNew := rrNew / rr
+		denom := deltaNew - betaNew*rrNew/alpha
+		if denom <= 0 || math.IsNaN(denom) || math.IsNaN(wwNew) {
+			break
+		}
+		rr = rrNew
+		beta, alpha = betaNew, rrNew/denom
+	}
+	return result, nil
+}
+
+// solveCG3DClassic is the seed's 3D CG, kept as the reference path behind
+// Options.DisableFused, now on the shared 3D kernels.
+func solveCG3DClassic(p Problem3D, o Options) (Result, error) {
+	g := p.Op.Grid
+	pool := o.Pool
+	var result Result
 
 	r := grid.NewField3D(g)
 	w := grid.NewField3D(g)
@@ -57,7 +103,7 @@ func SolveCG3D(p Problem3D, o Options) (Result, error) {
 
 	p.U.ReflectHalos(1)
 	p.Op.Residual(pool, p.U, p.RHS, r)
-	rr0 := dot(r, r)
+	rr0 := kernels.Dot3D(pool, r, r)
 	if rr0 == 0 {
 		result.Converged = true
 		return result, nil
@@ -72,9 +118,9 @@ func SolveCG3D(p Problem3D, o Options) (Result, error) {
 			break
 		}
 		alpha := rr / pw
-		axpy(alpha, pv, p.U)
-		axpy(-alpha, w, r)
-		rrNew := dot(r, r)
+		kernels.Axpy3D(pool, alpha, pv, p.U)
+		kernels.Axpy3D(pool, -alpha, w, r)
+		rrNew := kernels.Dot3D(pool, r, r)
 		beta := rrNew / rr
 		rr = rrNew
 		result.Iterations++
@@ -85,15 +131,7 @@ func SolveCG3D(p Problem3D, o Options) (Result, error) {
 			result.Converged = true
 			break
 		}
-		// p = r + beta*p
-		for k := 0; k < g.NZ; k++ {
-			for j := 0; j < g.NY; j++ {
-				base := g.Index(0, j, k)
-				for i := 0; i < g.NX; i++ {
-					pv.Data[base+i] = r.Data[base+i] + beta*pv.Data[base+i]
-				}
-			}
-		}
+		kernels.Xpay3D(pool, r, beta, pv)
 	}
 	return result, nil
 }

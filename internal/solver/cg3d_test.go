@@ -127,3 +127,26 @@ func TestSolveCG3DIterationsGrowWithMesh(t *testing.T) {
 		prev = res.Iterations
 	}
 }
+
+func TestFusedMatchesUnfusedCG3D(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		pool := par.NewPool(workers).WithGrain(1)
+		pf := buildProblem3D(t, 14, 66)
+		pu := buildProblem3D(t, 14, 66)
+		resF, err := SolveCG3D(pf, Options{Tol: 1e-10, Pool: pool})
+		if err != nil || !resF.Converged {
+			t.Fatalf("w%d fused: %v (converged=%v)", workers, err, resF.Converged)
+		}
+		resU, err := SolveCG3D(pu, Options{Tol: 1e-10, Pool: pool, DisableFused: true})
+		if err != nil || !resU.Converged {
+			t.Fatalf("w%d unfused: %v", workers, err)
+		}
+		if d := resF.Iterations - resU.Iterations; d < -1 || d > 1 {
+			t.Errorf("w%d: fused %d iterations vs unfused %d (want ±1)", workers, resF.Iterations, resU.Iterations)
+		}
+		if d := pf.U.MaxDiff(pu.U); d > 1e-8 {
+			t.Errorf("w%d: solutions differ by %v", workers, d)
+		}
+		pool.Close()
+	}
+}

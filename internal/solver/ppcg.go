@@ -8,6 +8,7 @@ import (
 	"tealeaf/internal/grid"
 	"tealeaf/internal/halo"
 	"tealeaf/internal/kernels"
+	"tealeaf/internal/precond"
 )
 
 // SolvePPCG runs the paper's headline solver: CG preconditioned by a
@@ -21,6 +22,12 @@ import (
 // (§IV-C2): one depth-d exchange buys d inner applications computed on
 // extended bounds that shrink by one cell per step, trading a little
 // redundant computation for d× fewer messages.
+//
+// On the fused path (Options.Fused with a diagonal-foldable inner
+// preconditioner) each inner step is two sweeps — the matvec plus one
+// fused residual-update/preconditioner/direction/accumulate kernel —
+// versus five unfused, and the outer updates and dot products use the
+// fused two-in-one kernels.
 func SolvePPCG(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {
@@ -92,10 +99,16 @@ func SolvePPCG(p Problem, o Options) (Result, error) {
 			break
 		}
 		alpha := rz / pw
-		kernels.Axpy(e.p, in, alpha, pvec, p.U)
-		kernels.Axpy(e.p, in, -alpha, w, r)
-		e.tr.AddVectorPass(in.Cells())
-		e.tr.AddVectorPass(in.Cells())
+		if o.Fused {
+			// u += α·p and r −= α·w share one sweep.
+			kernels.AxpyAxpy(e.p, in, alpha, pvec, p.U, -alpha, w, r)
+			e.tr.AddVectorPass(in.Cells())
+		} else {
+			kernels.Axpy(e.p, in, alpha, pvec, p.U)
+			kernels.Axpy(e.p, in, -alpha, w, r)
+			e.tr.AddVectorPass(in.Cells())
+			e.tr.AddVectorPass(in.Cells())
+		}
 
 		if err := inner.apply(r); err != nil {
 			return result, err
@@ -103,8 +116,8 @@ func SolvePPCG(p Problem, o Options) (Result, error) {
 		result.TotalInner += o.InnerSteps
 
 		var rzNew, rrNew float64
-		if o.FusedDots {
-			rzNew, rrNew = e.dot2(r, z, r, r)
+		if o.Fused || o.FusedDots {
+			rzNew, rrNew = e.dotPair(z, r)
 		} else {
 			rzNew = e.dot(r, z)
 			rrNew = e.dot(r, r)
@@ -138,14 +151,20 @@ type innerSolver struct {
 	sd     *grid.Field2D
 	zscr   *grid.Field2D
 	w      *grid.Field2D
+	// minv is the folded diagonal preconditioner for the fused step (nil
+	// identity); fused reports whether the fused kernel path is usable.
+	minv  *grid.Field2D
+	fused bool
 }
 
 func newInnerSolver(e *env, o Options, sched *cheby.Schedule, powers *halo.Schedule,
 	z, rtemp, sd, zscr *grid.Field2D) *innerSolver {
+	minv, foldable := precond.FoldableDiag(o.Precond)
 	return &innerSolver{
 		e: e, o: o, sched: sched, powers: powers,
 		z: z, rtemp: rtemp, sd: sd, zscr: zscr,
-		w: grid.NewField2D(z.Grid),
+		w:    grid.NewField2D(z.Grid),
+		minv: minv, fused: o.Fused && foldable,
 	}
 }
 
@@ -157,7 +176,8 @@ func newInnerSolver(e *env, o Options, sched *cheby.Schedule, powers *halo.Sched
 //	    sd    ← α_k·sd + β_k·M⁻¹rtemp
 //	    z     ← z + sd              (interior only)
 //
-// leaving the polynomial-preconditioned residual in s.z.
+// leaving the polynomial-preconditioned residual in s.z. On the fused
+// path everything after the matvec is one sweep (FusedPPCGInner).
 func (s *innerSolver) apply(r *grid.Field2D) error {
 	e := s.e
 	in := e.in
@@ -167,9 +187,15 @@ func (s *innerSolver) apply(r *grid.Field2D) error {
 	s.rtemp.CopyFrom(r)
 	e.tr.AddVectorPass(in.Cells())
 
-	e.applyPrecond(s.o.Precond, in, s.rtemp, s.zscr)
-	kernels.ScaleTo(e.p, in, 1/s.sched.Theta, s.zscr, s.sd)
-	e.tr.AddVectorPass(in.Cells())
+	if s.fused {
+		// sd = (M⁻¹rtemp)/θ with the preconditioner folded, then z = sd.
+		kernels.AxpbyPre(e.p, in, 0, s.sd, 1/s.sched.Theta, s.minv, s.rtemp)
+		e.tr.AddVectorPass(in.Cells())
+	} else {
+		e.applyPrecond(s.o.Precond, in, s.rtemp, s.zscr)
+		kernels.ScaleTo(e.p, in, 1/s.sched.Theta, s.zscr, s.sd)
+		e.tr.AddVectorPass(in.Cells())
+	}
 	kernels.Copy(e.p, in, s.z, s.sd)
 	e.tr.AddVectorPass(in.Cells())
 
@@ -196,15 +222,23 @@ func (s *innerSolver) apply(r *grid.Field2D) error {
 			needExchange = false
 		}
 
-		e.matvec(b, s.sd, s.w)
-		kernels.Axpy(e.p, b, -1, s.w, s.rtemp) // rtemp -= A·sd
-		e.tr.AddVectorPass(b.Cells())
-
-		e.applyPrecond(s.o.Precond, b, s.rtemp, s.zscr)
 		step2 := step
 		if step2 >= s.sched.Steps() {
 			step2 = s.sched.Steps() - 1
 		}
+
+		e.matvec(b, s.sd, s.w)
+		if s.fused {
+			kernels.FusedPPCGInner(e.p, b, in, s.sched.Alpha[step2], s.sched.Beta[step2],
+				s.w, s.rtemp, s.minv, s.sd, s.z)
+			e.tr.AddVectorPass(b.Cells())
+			continue
+		}
+
+		kernels.Axpy(e.p, b, -1, s.w, s.rtemp) // rtemp -= A·sd
+		e.tr.AddVectorPass(b.Cells())
+
+		e.applyPrecond(s.o.Precond, b, s.rtemp, s.zscr)
 		axpbyInPlace(e, b, s.sched.Alpha[step2], s.sd, s.sched.Beta[step2], s.zscr)
 
 		kernels.Axpy(e.p, in, 1, s.sd, s.z) // z += sd (interior)

@@ -1,0 +1,151 @@
+package solver
+
+import (
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
+)
+
+// This file freezes the seed's CG iteration — loop structure AND kernel
+// style (closure-free simple loops, no re-slicing, no unrolling, one
+// reduction per dot product) — as a reference baseline for the perf
+// trajectory. Benchmarks and `teabench -exp bench` measure it alongside
+// the current fused and unfused paths, so BENCH_kernels.json records how
+// far the hot path has moved from the seed on the same machine. It is
+// deliberately not wired into Solve: the only supported callers are
+// benchmarks.
+
+// SeedBenchCG carries the per-solve fields of the reference iteration.
+type SeedBenchCG struct {
+	p       Problem
+	m       precond.Preconditioner
+	isNone  bool
+	r, w, z *grid.Field2D
+	pvec    *grid.Field2D
+	rz, rr0 float64
+}
+
+// NewSeedBenchCG builds the reference state and runs the seed CG setup.
+func NewSeedBenchCG(p Problem, m precond.Preconditioner) *SeedBenchCG {
+	g := p.Op.Grid
+	s := &SeedBenchCG{
+		p: p, m: m, isNone: isNone(m),
+		r: grid.NewField2D(g), w: grid.NewField2D(g), pvec: grid.NewField2D(g),
+	}
+	s.z = s.r
+	if !s.isNone {
+		s.z = grid.NewField2D(g)
+	}
+	p.U.ReflectHalos(1)
+	in := g.Interior()
+	seedResidual(p, s.r)
+	s.rr0 = seedDot(s.r, s.r)
+	if !s.isNone {
+		m.Apply(par.Serial, in, s.r, s.z)
+	}
+	seedCopy(s.pvec, s.z)
+	s.rz = seedDot(s.r, s.z)
+	return s
+}
+
+// Iterate runs n seed-style CG iterations (never converging on purpose;
+// callers pick n small enough to stay numerically sane).
+func (s *SeedBenchCG) Iterate(n int) {
+	g := s.p.Op.Grid
+	in := g.Interior()
+	for it := 0; it < n; it++ {
+		s.pvec.ReflectHalos(1)
+		pw := seedMatvecDot(s.p.Op.Kx.Data, s.p.Op.Ky.Data, g, s.pvec, s.w)
+		if pw == 0 {
+			return
+		}
+		alpha := s.rz / pw
+		seedAxpy(alpha, s.pvec, s.p.U)
+		seedAxpy(-alpha, s.w, s.r)
+		if !s.isNone {
+			s.m.Apply(par.Serial, in, s.r, s.z)
+		}
+		rzNew := seedDot(s.r, s.z)
+		seedDot(s.r, s.r) // the unfused ‖r‖ reduction
+		beta := rzNew / s.rz
+		s.rz = rzNew
+		seedXpay(s.z, beta, s.pvec)
+	}
+}
+
+// seedResidual, seedDot, seedAxpy, seedXpay, seedCopy and seedMatvecDot
+// replicate the seed kernels exactly: plain nested loops over
+// g.Index(0, k)+j with no bounds-check hoisting.
+
+func seedResidual(p Problem, r *grid.Field2D) {
+	g := p.Op.Grid
+	s := g.Stride()
+	kx, ky := p.Op.Kx.Data, p.Op.Ky.Data
+	ud, bd, rd := p.U.Data, p.RHS.Data, r.Data
+	for k := 0; k < g.NY; k++ {
+		base := g.Index(0, k)
+		for j := 0; j < g.NX; j++ {
+			i := base + j
+			au := (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*ud[i] -
+				(ky[i+s]*ud[i+s] + ky[i]*ud[i-s]) -
+				(kx[i+1]*ud[i+1] + kx[i]*ud[i-1])
+			rd[i] = bd[i] - au
+		}
+	}
+}
+
+func seedDot(x, y *grid.Field2D) float64 {
+	g := x.Grid
+	var sum float64
+	for k := 0; k < g.NY; k++ {
+		base := g.Index(0, k)
+		for j := 0; j < g.NX; j++ {
+			sum += x.Data[base+j] * y.Data[base+j]
+		}
+	}
+	return sum
+}
+
+func seedAxpy(alpha float64, x, y *grid.Field2D) {
+	g := x.Grid
+	for k := 0; k < g.NY; k++ {
+		base := g.Index(0, k)
+		for j := 0; j < g.NX; j++ {
+			y.Data[base+j] += alpha * x.Data[base+j]
+		}
+	}
+}
+
+func seedXpay(x *grid.Field2D, beta float64, y *grid.Field2D) {
+	g := x.Grid
+	for k := 0; k < g.NY; k++ {
+		base := g.Index(0, k)
+		for j := 0; j < g.NX; j++ {
+			y.Data[base+j] = x.Data[base+j] + beta*y.Data[base+j]
+		}
+	}
+}
+
+func seedCopy(dst, src *grid.Field2D) {
+	if dst != src {
+		copy(dst.Data, src.Data)
+	}
+}
+
+func seedMatvecDot(kx, ky []float64, g *grid.Grid2D, p, w *grid.Field2D) float64 {
+	s := g.Stride()
+	pd, wd := p.Data, w.Data
+	var pw float64
+	for k := 0; k < g.NY; k++ {
+		base := g.Index(0, k)
+		for j := 0; j < g.NX; j++ {
+			i := base + j
+			v := (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*pd[i] -
+				(ky[i+s]*pd[i+s] + ky[i]*pd[i-s]) -
+				(kx[i+1]*pd[i+1] + kx[i]*pd[i-1])
+			wd[i] = v
+			pw += pd[i] * v
+		}
+	}
+	return pw
+}

@@ -89,8 +89,23 @@ type Options struct {
 	HaloDepth int
 	// FusedDots combines the ρ and ‖r‖ reductions of each PCG iteration
 	// into a single allreduce (§VII future work). Affects communication
-	// count only, not results.
+	// count only, not results. It applies to the unfused loops; the fused
+	// loops always share one reduction round.
 	FusedDots bool
+	// Fused reports whether the fused single-reduction iteration loops
+	// are in effect (default on): a Chronopoulos–Gear CG whose iteration
+	// is three grid sweeps and one reduction round, with diagonal
+	// preconditioners folded into the sweeps, and fused Chebyshev/PPCG
+	// inner updates. The field is DERIVED: withDefaults sets it to
+	// !DisableFused, so assigning Fused directly has no effect — the one
+	// and only opt-out knob is DisableFused (this keeps the zero Options
+	// value defaulting to on). Preconditioners that are not pure diagonal
+	// scalings (block-Jacobi), and folded preconditioners on halo-1 grids
+	// in multi-rank runs, fall back to the unfused loops regardless.
+	Fused bool
+	// DisableFused forces the original multi-pass solver loops; it is
+	// how equivalence tests and benchmarks select the reference path.
+	DisableFused bool
 	// CheckEvery is the Chebyshev convergence-test cadence in iterations
 	// (default 10): the stand-alone Chebyshev solver is reduction-free
 	// except for these periodic checks.
@@ -125,6 +140,7 @@ func (o Options) withDefaults() Options {
 	if o.CheckEvery <= 0 {
 		o.CheckEvery = 10
 	}
+	o.Fused = !o.DisableFused
 	return o
 }
 
@@ -205,13 +221,12 @@ func (e *env) dot(x, y *grid.Field2D) float64 {
 	return e.c.AllReduceSum(kernels.Dot(e.p, e.in, x, y))
 }
 
-// dot2 computes two globally reduced dot products sharing one reduction.
-func (e *env) dot2(x1, y1, x2, y2 *grid.Field2D) (float64, float64) {
+// dotPair computes (r·z, r·r) in a single grid sweep and a single
+// reduction round, the fused form of the ρ/‖r‖ pair every PCG iteration
+// needs.
+func (e *env) dotPair(z, r *grid.Field2D) (rz, rr float64) {
 	e.tr.AddDot(e.cells)
-	e.tr.AddDot(e.cells)
-	a := kernels.Dot(e.p, e.in, x1, y1)
-	b := kernels.Dot(e.p, e.in, x2, y2)
-	return e.c.AllReduceSum2(a, b)
+	return e.c.AllReduceSum2(kernels.Dot2(e.p, e.in, z, r, r))
 }
 
 // matvec applies w = A·p over b and traces it.

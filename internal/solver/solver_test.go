@@ -378,7 +378,7 @@ func TestParseKind(t *testing.T) {
 func TestCGTraceCounts(t *testing.T) {
 	p := buildProblem(t, 16, 16, 1, 17)
 	c := comm.NewSerial()
-	res, err := SolveCG(p, Options{Tol: 1e-9, Comm: c})
+	res, err := SolveCG(p, Options{Tol: 1e-9, Comm: c, DisableFused: true})
 	if err != nil || !res.Converged {
 		t.Fatal(err)
 	}
@@ -396,6 +396,43 @@ func TestCGTraceCounts(t *testing.T) {
 	wantRed := 2*res.Iterations + 2
 	if tr.Reductions != wantRed {
 		t.Errorf("reductions = %d, want %d", tr.Reductions, wantRed)
+	}
+}
+
+func TestFusedCGTraceCounts(t *testing.T) {
+	// The acceptance profile of the fused single-reduction CG: per
+	// iteration at most 3 grid sweeps (1 matvec + 2 vector passes) and
+	// exactly 1 reduction round, versus ≥5 sweeps and 2–3 rounds unfused.
+	for _, precondName := range []string{"none", "jac_diag"} {
+		p := buildProblem(t, 16, 16, 1, 17)
+		c := comm.NewSerial()
+		o := Options{Tol: 1e-9, Comm: c}
+		if precondName == "jac_diag" {
+			o.Precond = precond.NewJacobi(par.Serial, p.Op)
+		}
+		res, err := SolveCG(p, o)
+		if err != nil || !res.Converged {
+			t.Fatalf("%s: %v (converged=%v)", precondName, err, res.Converged)
+		}
+		tr := c.Trace()
+		iters := res.Iterations
+		// Startup: 1 residual matvec + 1 fused init matvec; then 1 per
+		// iteration.
+		if tr.Matvecs != iters+2 {
+			t.Errorf("%s: matvecs = %d, want %d", precondName, tr.Matvecs, iters+2)
+		}
+		sweeps := tr.Matvecs + tr.VectorPasses + tr.Dots + tr.PrecondApplies
+		if perIter := float64(sweeps-2) / float64(iters); perIter > 3 {
+			t.Errorf("%s: %.2f grid sweeps per iteration, want <= 3", precondName, perIter)
+		}
+		// Exactly one reduction round per iteration, +1 at startup.
+		if tr.Reductions != iters+1 {
+			t.Errorf("%s: reductions = %d, want %d", precondName, tr.Reductions, iters+1)
+		}
+		// One halo exchange per iteration (of r), +2 at startup (u, r).
+		if tr.HaloExchanges != iters+2 {
+			t.Errorf("%s: exchanges = %d, want %d", precondName, tr.HaloExchanges, iters+2)
+		}
 	}
 }
 
@@ -459,5 +496,144 @@ func TestRelResidual(t *testing.T) {
 	}
 	if math.IsNaN(relResidual(0, 4)) {
 		t.Error("zero numerator must not NaN")
+	}
+}
+
+// fusedPrecondFor builds the named preconditioner for a problem.
+func fusedPrecondFor(name string, p Problem) precond.Preconditioner {
+	switch name {
+	case "jac_diag":
+		return precond.NewJacobi(par.Serial, p.Op)
+	case "jac_block":
+		return precond.NewBlockJacobi(par.Serial, p.Op, 0)
+	}
+	return precond.NewNone()
+}
+
+func TestFusedMatchesUnfusedCG(t *testing.T) {
+	// The fused single-reduction CG and the classic multi-pass CG must
+	// converge to the same solution in the same iteration count (±1),
+	// for every foldable preconditioner and across pool sizes.
+	for _, precondName := range []string{"none", "jac_diag", "jac_block"} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			pool := par.NewPool(workers).WithGrain(1)
+			pf := buildProblem(t, 33, 27, 1, 99)
+			pu := buildProblem(t, 33, 27, 1, 99)
+			resF, err := SolveCG(pf, Options{Tol: 1e-10, Pool: pool, Precond: fusedPrecondFor(precondName, pf)})
+			if err != nil || !resF.Converged {
+				t.Fatalf("%s w%d fused: %v (converged=%v)", precondName, workers, err, resF.Converged)
+			}
+			resU, err := SolveCG(pu, Options{Tol: 1e-10, Pool: pool, Precond: fusedPrecondFor(precondName, pu), DisableFused: true})
+			if err != nil || !resU.Converged {
+				t.Fatalf("%s w%d unfused: %v", precondName, workers, err)
+			}
+			dIter := resF.Iterations - resU.Iterations
+			if dIter < -1 || dIter > 1 {
+				t.Errorf("%s w%d: fused %d iterations vs unfused %d (want ±1)",
+					precondName, workers, resF.Iterations, resU.Iterations)
+			}
+			if d := pf.U.MaxDiff(pu.U); d > 1e-8 {
+				t.Errorf("%s w%d: solutions differ by %v", precondName, workers, d)
+			}
+			pool.Close()
+		}
+	}
+}
+
+func TestFusedMatchesUnfusedChebyshev(t *testing.T) {
+	pf := buildProblem(t, 24, 24, 1, 55)
+	pu := buildProblem(t, 24, 24, 1, 55)
+	mf := precond.NewJacobi(par.Serial, pf.Op)
+	mu := precond.NewJacobi(par.Serial, pu.Op)
+	resF, err := SolveChebyshev(pf, Options{Tol: 1e-9, EigenCGIters: 8, Precond: mf})
+	if err != nil || !resF.Converged {
+		t.Fatalf("fused: %v (converged=%v)", err, resF.Converged)
+	}
+	resU, err := SolveChebyshev(pu, Options{Tol: 1e-9, EigenCGIters: 8, Precond: mu, DisableFused: true})
+	if err != nil || !resU.Converged {
+		t.Fatalf("unfused: %v", err)
+	}
+	// The Chebyshev convergence test runs every CheckEvery iterations, so
+	// allow one cadence of slack on the iteration count.
+	if d := resF.Iterations - resU.Iterations; d < -10 || d > 10 {
+		t.Errorf("iterations: fused %d vs unfused %d", resF.Iterations, resU.Iterations)
+	}
+	if d := pf.U.MaxDiff(pu.U); d > 1e-7 {
+		t.Errorf("solutions differ by %v", d)
+	}
+}
+
+func TestFusedMatchesUnfusedPPCG(t *testing.T) {
+	for _, precondName := range []string{"none", "jac_diag"} {
+		for _, depth := range []int{1, 2} {
+			pf := buildProblem(t, 30, 26, 2, 77)
+			pu := buildProblem(t, 30, 26, 2, 77)
+			of := Options{Tol: 1e-10, EigenCGIters: 8, InnerSteps: 6, HaloDepth: depth,
+				Precond: fusedPrecondFor(precondName, pf)}
+			ou := of
+			ou.Precond = fusedPrecondFor(precondName, pu)
+			ou.DisableFused = true
+			resF, err := SolvePPCG(pf, of)
+			if err != nil || !resF.Converged {
+				t.Fatalf("%s d%d fused: %v (converged=%v)", precondName, depth, err, resF.Converged)
+			}
+			resU, err := SolvePPCG(pu, ou)
+			if err != nil || !resU.Converged {
+				t.Fatalf("%s d%d unfused: %v", precondName, depth, err)
+			}
+			dIter := resF.Iterations - resU.Iterations
+			if dIter < -1 || dIter > 1 {
+				t.Errorf("%s d%d: fused %d iterations vs unfused %d (want ±1)",
+					precondName, depth, resF.Iterations, resU.Iterations)
+			}
+			if d := pf.U.MaxDiff(pu.U); d > 1e-8 {
+				t.Errorf("%s d%d: solutions differ by %v", precondName, depth, d)
+			}
+		}
+	}
+}
+
+func TestFusedCGIsDefault(t *testing.T) {
+	o := Options{}.withDefaults()
+	if !o.Fused {
+		t.Error("zero Options must default Fused to on")
+	}
+	o = Options{DisableFused: true}.withDefaults()
+	if o.Fused {
+		t.Error("DisableFused must turn the fused path off")
+	}
+}
+
+// fakeMultiRank wraps comm.Serial but reports two ranks, so dispatch
+// decisions that depend on Comm.Size() can be tested without a hub.
+type fakeMultiRank struct{ *comm.Serial }
+
+func (fakeMultiRank) Size() int { return 2 }
+
+func TestFusedJacobiFoldRequiresHaloOnMultiRank(t *testing.T) {
+	// precond.NewJacobi cannot evaluate the matrix diagonal on the
+	// outermost padded layer, so on a halo-1 grid the ring the fused
+	// matvec would read is invalid. Multi-rank runs must fall back to the
+	// classic loop (which exchanges pvec instead); halo>=2 grids may fuse.
+	for _, tc := range []struct {
+		halo      int
+		wantFused bool
+	}{
+		{1, false},
+		{2, true},
+	} {
+		p := buildProblem(t, 16, 16, tc.halo, 21)
+		c := &fakeMultiRank{comm.NewSerial()}
+		res, err := SolveCG(p, Options{Tol: 1e-9, Comm: c, Precond: precond.NewJacobi(par.Serial, p.Op)})
+		if err != nil || !res.Converged {
+			t.Fatalf("halo=%d: %v (converged=%v)", tc.halo, err, res.Converged)
+		}
+		// The fused engine produces every dot product inside fused sweeps
+		// (Dots == 0); the classic engine records standalone dot passes.
+		gotFused := c.Trace().Dots == 0
+		if gotFused != tc.wantFused {
+			t.Errorf("halo=%d: fused=%v (dots=%d), want fused=%v",
+				tc.halo, gotFused, c.Trace().Dots, tc.wantFused)
+		}
 	}
 }

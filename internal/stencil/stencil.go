@@ -168,6 +168,32 @@ func BuildOperator2D(pool *par.Pool, density *grid.Field2D, dt float64, coef Coe
 	return op, nil
 }
 
+// stencilRows bundles the re-sliced rows the 5-point kernels read for one
+// grid row k over columns [b.X0, b.X1): face coefficients, and the centre
+// row of p extended one cell each side (ps[j] = p(X0+j−1), ps[j+1] =
+// centre, ps[j+2] = east) plus the north/south rows. The three-index
+// re-slices let the compiler hoist every bounds check out of the j loop.
+type stencilRows struct {
+	kxs      []float64 // kxs[j] = Kx(X0+j), kxs[j+1] = Kx(X0+j+1)
+	kyn, kys []float64 // north/south face Ky rows
+	pn, pso  []float64 // north/south p rows
+	pc       []float64 // centre p row, extended [X0-1, X1+1)
+}
+
+func sliceStencilRows(g *grid.Grid2D, b grid.Bounds, kx, ky, p []float64, k int) stencilRows {
+	s := g.Stride()
+	o := g.Index(b.X0, k)
+	n := b.X1 - b.X0
+	return stencilRows{
+		kxs: kx[o : o+n+1],
+		kyn: ky[o+s : o+s+n],
+		kys: ky[o : o+n],
+		pn:  p[o+s : o+s+n],
+		pso: p[o-s : o-s+n],
+		pc:  p[o-1 : o+n+1],
+	}
+}
+
 // Apply computes w = A·p over the cells of b. p must have valid values one
 // cell beyond b on every side (halo-exchanged, reflected, or inside the
 // padded region covered by a deeper exchange).
@@ -179,21 +205,46 @@ func (op *Operator2D) Apply(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D) {
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	pd, wd := p.Data, w.Data
+	n := b.X1 - b.X0
 	pool.For(b.Y0, b.Y1, func(k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				i := base + j
-				wd[i] = (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*pd[i] -
-					(ky[i+s]*pd[i+s] + ky[i]*pd[i-s]) -
-					(kx[i+1]*pd[i+1] + kx[i]*pd[i-1])
+			o := g.Index(b.X0, k)
+			kxs := kx[o : o+n+1]
+			kyn := ky[o+s : o+s+n]
+			kys := ky[o : o+n]
+			pn := pd[o+s : o+s+n]
+			pso := pd[o-s : o-s+n]
+			pc := pd[o-1 : o+n+1]
+			ws := wd[o : o+n : o+n]
+			j := 0
+			for ; j+3 < n; j += 4 {
+				v0 := (1+(kyn[j]+kys[j])+(kxs[j+1]+kxs[j]))*pc[j+1] -
+					(kyn[j]*pn[j] + kys[j]*pso[j]) -
+					(kxs[j+1]*pc[j+2] + kxs[j]*pc[j])
+				v1 := (1+(kyn[j+1]+kys[j+1])+(kxs[j+2]+kxs[j+1]))*pc[j+2] -
+					(kyn[j+1]*pn[j+1] + kys[j+1]*pso[j+1]) -
+					(kxs[j+2]*pc[j+3] + kxs[j+1]*pc[j+1])
+				v2 := (1+(kyn[j+2]+kys[j+2])+(kxs[j+3]+kxs[j+2]))*pc[j+3] -
+					(kyn[j+2]*pn[j+2] + kys[j+2]*pso[j+2]) -
+					(kxs[j+3]*pc[j+4] + kxs[j+2]*pc[j+2])
+				v3 := (1+(kyn[j+3]+kys[j+3])+(kxs[j+4]+kxs[j+3]))*pc[j+4] -
+					(kyn[j+3]*pn[j+3] + kys[j+3]*pso[j+3]) -
+					(kxs[j+4]*pc[j+5] + kxs[j+3]*pc[j+3])
+				ws[j], ws[j+1], ws[j+2], ws[j+3] = v0, v1, v2, v3
+			}
+			for ; j < n; j++ {
+				ws[j] = (1+(kyn[j]+kys[j])+(kxs[j+1]+kxs[j]))*pc[j+1] -
+					(kyn[j]*pn[j] + kys[j]*pso[j]) -
+					(kxs[j+1]*pc[j+2] + kxs[j]*pc[j])
 			}
 		}
 	})
 }
 
 // ApplyDot is Listing 1 exactly: w = A·p fused with the dot product
-// pw = p·w in a single pass over b.
+// pw = p·w in a single pass over b. The inner loop is the hottest in the
+// whole solver, so it is written with local re-sliced rows (bounds checks
+// hoisted) and 4-way unrolling.
 func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D) float64 {
 	if b.Empty() {
 		return 0
@@ -202,21 +253,239 @@ func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	pd, wd := p.Data, w.Data
+	n := b.X1 - b.X0
 	return pool.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
-		var pw float64
+		var pw0, pw1, pw2, pw3 float64
 		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := b.X0; j < b.X1; j++ {
-				i := base + j
-				v := (1+(ky[i+s]+ky[i])+(kx[i+1]+kx[i]))*pd[i] -
-					(ky[i+s]*pd[i+s] + ky[i]*pd[i-s]) -
-					(kx[i+1]*pd[i+1] + kx[i]*pd[i-1])
-				wd[i] = v
-				pw += pd[i] * v
+			o := g.Index(b.X0, k)
+			kxs := kx[o : o+n+1]
+			kyn := ky[o+s : o+s+n]
+			kys := ky[o : o+n]
+			pn := pd[o+s : o+s+n]
+			pso := pd[o-s : o-s+n]
+			pc := pd[o-1 : o+n+1]
+			ws := wd[o : o+n : o+n]
+			j := 0
+			for ; j+3 < n; j += 4 {
+				pc0, pc1, pc2, pc3 := pc[j+1], pc[j+2], pc[j+3], pc[j+4]
+				v0 := (1+(kyn[j]+kys[j])+(kxs[j+1]+kxs[j]))*pc0 -
+					(kyn[j]*pn[j] + kys[j]*pso[j]) -
+					(kxs[j+1]*pc[j+2] + kxs[j]*pc[j])
+				v1 := (1+(kyn[j+1]+kys[j+1])+(kxs[j+2]+kxs[j+1]))*pc1 -
+					(kyn[j+1]*pn[j+1] + kys[j+1]*pso[j+1]) -
+					(kxs[j+2]*pc[j+3] + kxs[j+1]*pc[j+1])
+				v2 := (1+(kyn[j+2]+kys[j+2])+(kxs[j+3]+kxs[j+2]))*pc2 -
+					(kyn[j+2]*pn[j+2] + kys[j+2]*pso[j+2]) -
+					(kxs[j+3]*pc[j+4] + kxs[j+2]*pc[j+2])
+				v3 := (1+(kyn[j+3]+kys[j+3])+(kxs[j+4]+kxs[j+3]))*pc3 -
+					(kyn[j+3]*pn[j+3] + kys[j+3]*pso[j+3]) -
+					(kxs[j+4]*pc[j+5] + kxs[j+3]*pc[j+3])
+				ws[j], ws[j+1], ws[j+2], ws[j+3] = v0, v1, v2, v3
+				pw0 += pc0 * v0
+				pw1 += pc1 * v1
+				pw2 += pc2 * v2
+				pw3 += pc3 * v3
+			}
+			for ; j < n; j++ {
+				pc0 := pc[j+1]
+				v := (1+(kyn[j]+kys[j])+(kxs[j+1]+kxs[j]))*pc0 -
+					(kyn[j]*pn[j] + kys[j]*pso[j]) -
+					(kxs[j+1]*pc[j+2] + kxs[j]*pc[j])
+				ws[j] = v
+				pw0 += pc0 * v
 			}
 		}
-		return pw
+		return (pw0 + pw1) + (pw2 + pw3)
 	})
+}
+
+// ApplyDot2 computes w = A·p fused with the two dot products p·w and w·w
+// in one sweep — the §VII "one reduction" building block for pipelined
+// Krylov variants, and a free divergence sentinel (w·w blowing up flags a
+// breakdown one iteration earlier than p·w alone).
+func (op *Operator2D) ApplyDot2(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D) (pw, ww float64) {
+	if b.Empty() {
+		return 0, 0
+	}
+	g := op.Grid
+	kx, ky := op.Kx.Data, op.Ky.Data
+	pd, wd := p.Data, w.Data
+	n := b.X1 - b.X0
+	return pool.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
+		var pw0, pw1, ww0, ww1 float64
+		for k := k0; k < k1; k++ {
+			r := sliceStencilRows(g, b, kx, ky, pd, k)
+			o := g.Index(b.X0, k)
+			ws := wd[o : o+n : o+n]
+			j := 0
+			for ; j+1 < n; j += 2 {
+				pc0 := r.pc[j+1]
+				v0 := (1+(r.kyn[j]+r.kys[j])+(r.kxs[j+1]+r.kxs[j]))*pc0 -
+					(r.kyn[j]*r.pn[j] + r.kys[j]*r.pso[j]) -
+					(r.kxs[j+1]*r.pc[j+2] + r.kxs[j]*r.pc[j])
+				ws[j] = v0
+				pw0 += pc0 * v0
+				ww0 += v0 * v0
+				pc1 := r.pc[j+2]
+				v1 := (1+(r.kyn[j+1]+r.kys[j+1])+(r.kxs[j+2]+r.kxs[j+1]))*pc1 -
+					(r.kyn[j+1]*r.pn[j+1] + r.kys[j+1]*r.pso[j+1]) -
+					(r.kxs[j+2]*r.pc[j+3] + r.kxs[j+1]*r.pc[j+1])
+				ws[j+1] = v1
+				pw1 += pc1 * v1
+				ww1 += v1 * v1
+			}
+			for ; j < n; j++ {
+				pc := r.pc[j+1]
+				v := (1+(r.kyn[j]+r.kys[j])+(r.kxs[j+1]+r.kxs[j]))*pc -
+					(r.kyn[j]*r.pn[j] + r.kys[j]*r.pso[j]) -
+					(r.kxs[j+1]*r.pc[j+2] + r.kxs[j]*r.pc[j])
+				ws[j] = v
+				pw0 += pc * v
+				ww0 += v * v
+			}
+		}
+		return pw0 + pw1, ww0 + ww1
+	})
+}
+
+// ApplyPreDot is the matvec pass of the fused single-reduction CG: with
+// u = minv ⊙ r the (folded diagonal-)preconditioned residual, it computes
+// w = A·u and returns uw = Σ u·w in one sweep, never materialising u.
+// r (and minv) must be valid one cell beyond b on every side. nil minv
+// selects the identity (u = r), reducing to ApplyDot.
+func (op *Operator2D) ApplyPreDot(pool *par.Pool, b grid.Bounds, minv, r, w *grid.Field2D) float64 {
+	if minv == nil {
+		return op.ApplyDot(pool, b, r, w)
+	}
+	if b.Empty() {
+		return 0
+	}
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	md, rd, wd := minv.Data, r.Data, w.Data
+	n := b.X1 - b.X0
+	// Each worker keeps a rolling three-row window of u = minv ⊙ r
+	// (extended one cell left/right), so every product is computed once
+	// and m, r stream through exactly one read each — the buffer rows
+	// stay L1-resident across the stencil evaluation.
+	width := n + 2
+	return pool.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+		buf := make([]float64, 3*width)
+		us := buf[0*width : 1*width : 1*width] // row k−1
+		uc := buf[1*width : 2*width : 2*width] // row k
+		un := buf[2*width : 3*width : 3*width] // row k+1
+		fill := func(dst []float64, k int) {
+			o := g.Index(b.X0-1, k)
+			ms := md[o : o+width : o+width]
+			rs := rd[o:][:width:width]
+			j := 0
+			for ; j+3 < width; j += 4 {
+				dst[j] = ms[j] * rs[j]
+				dst[j+1] = ms[j+1] * rs[j+1]
+				dst[j+2] = ms[j+2] * rs[j+2]
+				dst[j+3] = ms[j+3] * rs[j+3]
+			}
+			for ; j < width; j++ {
+				dst[j] = ms[j] * rs[j]
+			}
+		}
+		fill(us, k0-1)
+		fill(uc, k0)
+		var uw0, uw1 float64
+		for k := k0; k < k1; k++ {
+			fill(un, k+1)
+			o := g.Index(b.X0, k)
+			kxs := kx[o : o+n+1]
+			kyn := ky[o+s : o+s+n]
+			kys := ky[o : o+n]
+			ws := wd[o : o+n : o+n]
+			j := 0
+			for ; j+1 < n; j += 2 {
+				uc0 := uc[j+1]
+				v0 := (1+(kyn[j]+kys[j])+(kxs[j+1]+kxs[j]))*uc0 -
+					(kyn[j]*un[j+1] + kys[j]*us[j+1]) -
+					(kxs[j+1]*uc[j+2] + kxs[j]*uc[j])
+				ws[j] = v0
+				uw0 += uc0 * v0
+				uc1 := uc[j+2]
+				v1 := (1+(kyn[j+1]+kys[j+1])+(kxs[j+2]+kxs[j+1]))*uc1 -
+					(kyn[j+1]*un[j+2] + kys[j+1]*us[j+2]) -
+					(kxs[j+2]*uc[j+3] + kxs[j+1]*uc[j+1])
+				ws[j+1] = v1
+				uw1 += uc1 * v1
+			}
+			for ; j < n; j++ {
+				uc0 := uc[j+1]
+				v := (1+(kyn[j]+kys[j])+(kxs[j+1]+kxs[j]))*uc0 -
+					(kyn[j]*un[j+1] + kys[j]*us[j+1]) -
+					(kxs[j+1]*uc[j+2] + kxs[j]*uc[j])
+				ws[j] = v
+				uw0 += uc0 * v
+			}
+			us, uc, un = uc, un, us
+		}
+		return uw0 + uw1
+	})
+}
+
+// ApplyPreDotInit is ApplyPreDot extended with the two extra dot products
+// the fused CG loop needs to start up: it returns (γ, δ, rr) =
+// (Σ r·u, Σ u·w, Σ r·r) for u = minv ⊙ r, w = A·u, in one sweep. It runs
+// once per solve, so it trades a little per-element work for not needing
+// separate Dot passes before the first iteration.
+func (op *Operator2D) ApplyPreDotInit(pool *par.Pool, b grid.Bounds, minv, r, w *grid.Field2D) (gamma, delta, rr float64) {
+	if b.Empty() {
+		return 0, 0, 0
+	}
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	rd, wd := r.Data, w.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	out := pool.ForReduceN(3, b.Y0, b.Y1, func(k0, k1 int, acc []float64) {
+		var ga, de, rs float64
+		for k := k0; k < k1; k++ {
+			rrw := sliceStencilRows(g, b, kx, ky, rd, k)
+			o := g.Index(b.X0, k)
+			ws := wd[o : o+n : o+n]
+			if md == nil {
+				for j := 0; j < n; j++ {
+					rc := rrw.pc[j+1]
+					v := (1+(rrw.kyn[j]+rrw.kys[j])+(rrw.kxs[j+1]+rrw.kxs[j]))*rc -
+						(rrw.kyn[j]*rrw.pn[j] + rrw.kys[j]*rrw.pso[j]) -
+						(rrw.kxs[j+1]*rrw.pc[j+2] + rrw.kxs[j]*rrw.pc[j])
+					ws[j] = v
+					ga += rc * rc
+					de += rc * v
+					rs += rc * rc
+				}
+				continue
+			}
+			mn := md[o+s : o+s+n]
+			mso := md[o-s : o-s+n]
+			mc := md[o-1 : o+n+1]
+			for j := 0; j < n; j++ {
+				rc := rrw.pc[j+1]
+				uc := mc[j+1] * rc
+				v := (1+(rrw.kyn[j]+rrw.kys[j])+(rrw.kxs[j+1]+rrw.kxs[j]))*uc -
+					(rrw.kyn[j]*(mn[j]*rrw.pn[j]) + rrw.kys[j]*(mso[j]*rrw.pso[j])) -
+					(rrw.kxs[j+1]*(mc[j+2]*rrw.pc[j+2]) + rrw.kxs[j]*(mc[j]*rrw.pc[j]))
+				ws[j] = v
+				ga += rc * uc
+				de += uc * v
+				rs += rc * rc
+			}
+		}
+		acc[0] += ga
+		acc[1] += de
+		acc[2] += rs
+	})
+	return out[0], out[1], out[2]
 }
 
 // Residual computes r = rhs − A·u over b.

@@ -158,6 +158,68 @@ func (op *Operator3D) ApplyDot(pool *par.Pool, p, w *grid.Field3D) float64 {
 	})
 }
 
+// ApplyDot2 computes w = A·p fused with the two dot products p·w and w·w
+// over the interior in one sweep — the 3D variant of the 2D
+// Operator2D.ApplyDot2, used by the fused single-reduction CG (p·w feeds
+// the Chronopoulos–Gear step scalar, w·w is a free breakdown sentinel).
+func (op *Operator3D) ApplyDot2(pool *par.Pool, p, w *grid.Field3D) (pw, ww float64) {
+	g := op.Grid
+	sy := g.NX + 2*g.Halo
+	sz := sy * (g.NY + 2*g.Halo)
+	kx, ky, kz := op.Kx.Data, op.Ky.Data, op.Kz.Data
+	pd, wd := p.Data, w.Data
+	n := g.NX
+	return pool.ForReduce2(0, g.NZ, func(z0, z1 int) (float64, float64) {
+		var pw0, pw1, ww0, ww1 float64
+		for k := z0; k < z1; k++ {
+			for j := 0; j < g.NY; j++ {
+				o := g.Index(0, j, k)
+				kxs := kx[o : o+n+1]
+				kyn := ky[o+sy : o+sy+n]
+				kys := ky[o : o+n]
+				kzu := kz[o+sz : o+sz+n]
+				kzd := kz[o : o+n]
+				pn := pd[o+sy : o+sy+n]
+				pso := pd[o-sy : o-sy+n]
+				pu := pd[o+sz : o+sz+n]
+				pl := pd[o-sz : o-sz+n]
+				pc := pd[o-1 : o+n+1]
+				ws := wd[o : o+n : o+n]
+				i := 0
+				for ; i+1 < n; i += 2 {
+					c0 := pc[i+1]
+					v0 := (1+(kxs[i+1]+kxs[i])+(kyn[i]+kys[i])+(kzu[i]+kzd[i]))*c0 -
+						(kxs[i+1]*pc[i+2] + kxs[i]*pc[i]) -
+						(kyn[i]*pn[i] + kys[i]*pso[i]) -
+						(kzu[i]*pu[i] + kzd[i]*pl[i])
+					ws[i] = v0
+					pw0 += c0 * v0
+					ww0 += v0 * v0
+					c1 := pc[i+2]
+					v1 := (1+(kxs[i+2]+kxs[i+1])+(kyn[i+1]+kys[i+1])+(kzu[i+1]+kzd[i+1]))*c1 -
+						(kxs[i+2]*pc[i+3] + kxs[i+1]*pc[i+1]) -
+						(kyn[i+1]*pn[i+1] + kys[i+1]*pso[i+1]) -
+						(kzu[i+1]*pu[i+1] + kzd[i+1]*pl[i+1])
+					ws[i+1] = v1
+					pw1 += c1 * v1
+					ww1 += v1 * v1
+				}
+				for ; i < n; i++ {
+					c := pc[i+1]
+					v := (1+(kxs[i+1]+kxs[i])+(kyn[i]+kys[i])+(kzu[i]+kzd[i]))*c -
+						(kxs[i+1]*pc[i+2] + kxs[i]*pc[i]) -
+						(kyn[i]*pn[i] + kys[i]*pso[i]) -
+						(kzu[i]*pu[i] + kzd[i]*pl[i])
+					ws[i] = v
+					pw0 += c * v
+					ww0 += v * v
+				}
+			}
+		}
+		return pw0 + pw1, ww0 + ww1
+	})
+}
+
 // Residual computes r = rhs − A·u over the interior.
 func (op *Operator3D) Residual(pool *par.Pool, u, rhs, r *grid.Field3D) {
 	w := grid.NewField3D(op.Grid)

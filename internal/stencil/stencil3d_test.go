@@ -150,3 +150,32 @@ func TestResidual3D(t *testing.T) {
 		}
 	}
 }
+
+func TestApplyDot23DMatches(t *testing.T) {
+	g, err := grid.NewGrid3D(9, 7, 6, 1, 0, 1, 0, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 41), 0.05, Conductivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomField3D(g, 42)
+	p.ReflectHalos(1)
+	w1 := grid.NewField3D(g)
+	op.Apply(par.Serial, p, w1)
+	wantPW := dot3D(p, w1)
+	wantWW := dot3D(w1, w1)
+	for _, workers := range []int{1, 2, 4, 7} {
+		pool := par.NewPool(workers).WithGrain(1)
+		w2 := grid.NewField3D(g)
+		pw, ww := op.ApplyDot2(pool, p, w2)
+		if math.Abs(pw-wantPW) > 1e-12*math.Max(1, math.Abs(wantPW)) ||
+			math.Abs(ww-wantWW) > 1e-12*math.Max(1, math.Abs(wantWW)) {
+			t.Errorf("workers=%d: ApplyDot2 = (%v,%v), want (%v,%v)", workers, pw, ww, wantPW, wantWW)
+		}
+		if w1.MaxDiff(w2) > 1e-13 {
+			t.Errorf("workers=%d: fused w differs", workers)
+		}
+	}
+}

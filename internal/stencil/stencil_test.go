@@ -298,3 +298,105 @@ func TestCoefficientString(t *testing.T) {
 		t.Error("String must be non-empty")
 	}
 }
+
+func TestApplyDot2MatchesApply(t *testing.T) {
+	g := grid.UnitGrid2D(17, 13, 2)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 21), 0.03, RecipConductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomField(g, 22)
+	w1 := grid.NewField2D(g)
+	for _, b := range []grid.Bounds{g.Interior(), {X0: 1, X1: 16, Y0: 3, Y1: 8}} {
+		op.Apply(par.Serial, b, p, w1)
+		wantPW := kernels.Dot(par.Serial, b, p, w1)
+		wantWW := kernels.Dot(par.Serial, b, w1, w1)
+		for name, pool := range map[string]*par.Pool{
+			"w1": par.NewPool(1), "w2": par.NewPool(2).WithGrain(1),
+			"w4": par.NewPool(4).WithGrain(1), "w7": par.NewPool(7).WithGrain(1),
+		} {
+			w2 := grid.NewField2D(g)
+			pw, ww := op.ApplyDot2(pool, b, p, w2)
+			if math.Abs(pw-wantPW) > 1e-12*math.Max(1, math.Abs(wantPW)) ||
+				math.Abs(ww-wantWW) > 1e-12*math.Max(1, math.Abs(wantWW)) {
+				t.Errorf("%s %v: ApplyDot2 = (%v,%v), want (%v,%v)", name, b, pw, ww, wantPW, wantWW)
+			}
+			for k := b.Y0; k < b.Y1; k++ {
+				for j := b.X0; j < b.X1; j++ {
+					if math.Abs(w2.At(j, k)-w1.At(j, k)) > 1e-13 {
+						t.Fatalf("%s: w differs at (%d,%d)", name, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyPreDotMatchesComposed(t *testing.T) {
+	g := grid.UnitGrid2D(15, 11, 2)
+	op, err := BuildOperator2D(par.Serial, randomDensity(g, 31), 0.04, Conductivity, AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A positive diagonal-scaling field valid over the padded-1 region,
+	// like precond.Jacobi's inverse diagonal.
+	minv := grid.NewField2D(g)
+	rng := rand.New(rand.NewSource(32))
+	for k := -g.Halo + 1; k < g.NY+g.Halo-1; k++ {
+		for j := -g.Halo + 1; j < g.NX+g.Halo-1; j++ {
+			minv.Set(j, k, 0.2+rng.Float64())
+		}
+	}
+	r := randomField(g, 33)
+	in := g.Interior()
+
+	// Reference: u = minv⊙r over the one-cell-extended interior, then
+	// w = A·u and the dots over the interior.
+	u := grid.NewField2D(g)
+	ext := in.Expand(1, g)
+	kernels.Mul(par.Serial, ext, minv, r, u)
+	wRef := grid.NewField2D(g)
+	op.Apply(par.Serial, in, u, wRef)
+	wantUW := kernels.Dot(par.Serial, in, u, wRef)
+	wantGamma := kernels.Dot(par.Serial, in, r, u)
+	wantRR := kernels.Dot(par.Serial, in, r, r)
+
+	for name, pool := range map[string]*par.Pool{
+		"w1": par.NewPool(1), "w2": par.NewPool(2).WithGrain(1),
+		"w4": par.NewPool(4).WithGrain(1), "w7": par.NewPool(7).WithGrain(1),
+	} {
+		w := grid.NewField2D(g)
+		uw := op.ApplyPreDot(pool, in, minv, r, w)
+		if math.Abs(uw-wantUW) > 1e-12*math.Max(1, math.Abs(wantUW)) {
+			t.Errorf("%s: ApplyPreDot = %v, want %v", name, uw, wantUW)
+		}
+		for k := in.Y0; k < in.Y1; k++ {
+			for j := in.X0; j < in.X1; j++ {
+				if math.Abs(w.At(j, k)-wRef.At(j, k)) > 1e-13*math.Max(1, math.Abs(wRef.At(j, k))) {
+					t.Fatalf("%s: w differs at (%d,%d): %v vs %v", name, j, k, w.At(j, k), wRef.At(j, k))
+				}
+			}
+		}
+
+		w2 := grid.NewField2D(g)
+		gamma, delta, rr := op.ApplyPreDotInit(pool, in, minv, r, w2)
+		if math.Abs(gamma-wantGamma) > 1e-12*math.Max(1, math.Abs(wantGamma)) ||
+			math.Abs(delta-wantUW) > 1e-12*math.Max(1, math.Abs(wantUW)) ||
+			math.Abs(rr-wantRR) > 1e-12*math.Max(1, math.Abs(wantRR)) {
+			t.Errorf("%s: ApplyPreDotInit = (%v,%v,%v), want (%v,%v,%v)",
+				name, gamma, delta, rr, wantGamma, wantUW, wantRR)
+		}
+	}
+
+	// nil minv: identity reduces to ApplyDot / (r·r, r·Ar, r·r).
+	w := grid.NewField2D(g)
+	wantID := op.ApplyDot(par.Serial, in, r, w)
+	w2 := grid.NewField2D(g)
+	if got := op.ApplyPreDot(par.Serial, in, nil, r, w2); math.Abs(got-wantID) > 1e-12*math.Abs(wantID) {
+		t.Errorf("identity ApplyPreDot = %v, want %v", got, wantID)
+	}
+	gamma, delta, rr := op.ApplyPreDotInit(par.Serial, in, nil, r, w2)
+	if gamma != rr || math.Abs(delta-wantID) > 1e-12*math.Abs(wantID) {
+		t.Errorf("identity ApplyPreDotInit = (%v,%v,%v)", gamma, delta, rr)
+	}
+}
