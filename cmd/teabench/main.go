@@ -17,9 +17,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"tealeaf/internal/core"
 	"tealeaf/internal/eigen"
+	"tealeaf/internal/grid"
 	"tealeaf/internal/machine"
 	"tealeaf/internal/model"
 	"tealeaf/internal/output"
@@ -87,9 +89,10 @@ func run() error {
 		"halodepth": haloDepthAblation,
 		"weak":      weakScaling,
 		"bench":     benchExperiment,
+		"scale3d":   scale3D,
 	}
 	if cfg.exp == "all" {
-		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "precond", "halodepth", "weak"} {
+		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "precond", "halodepth", "weak", "scale3d"} {
 			if err := exps[name](cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -376,6 +379,77 @@ func haloDepthAblation(cfg config) error {
 	}
 	fmt.Printf("best depth: GPU=%d, CPU=%d (paper: benefit grows to 16 on GPUs, plateaus ~8 on CPUs)\n\n", bestGPU, bestCPU)
 	return nil
+}
+
+// ---- 3D strong scaling: the distributed 7-point PPCG path, measured ----
+
+// scale3D sweeps goroutine-rank counts and matrix-powers halo depths on
+// the 3D two-state benchmark, verifying every configuration reproduces
+// the single-rank energy field and reporting measured wall time. This is
+// the paper's scenario-diversity axis: the full solver feature set
+// (fusion, point-Jacobi, deep halos, multi-rank) on the 7-point operator.
+func scale3D(cfg config) error {
+	n := 24
+	steps := 2
+	if cfg.full {
+		n, steps = 64, 5
+	}
+	fmt.Printf("== 3D strong scaling: %d^3 two-state benchmark, PPCG + jac_diag, %d steps ==\n", n, steps)
+
+	fmt.Printf("%-8s %-10s %-8s %-12s %-12s %-14s\n", "ranks", "layout", "depth", "time (s)", "iters", "max|ΔE| vs 1")
+	type row struct {
+		ranks, depth int
+		secs         float64
+	}
+	var rows []row
+	// The first sweep cell (1 rank, depth 1) doubles as the reference
+	// every other configuration is checked against.
+	var ref *core.DistResult3D
+	for _, ranks := range []int{1, 2, 4, 8} {
+		px, py, pz := grid.FactorNearCube(ranks, n, n, n)
+		for _, depth := range []int{1, 2, 4} {
+			start := time.Now()
+			res, err := run3DConfig(n, steps, px, py, pz, depth)
+			if err != nil {
+				return fmt.Errorf("ranks=%d depth=%d: %w", ranks, depth, err)
+			}
+			secs := time.Since(start).Seconds()
+			if ref == nil {
+				ref = res
+			}
+			diff := res.Energy.MaxDiff(ref.Energy)
+			fmt.Printf("%-8d %dx%dx%-6d %-8d %-12.3f %-12d %-14.2e\n",
+				ranks, px, py, pz, depth, secs, res.Summary.TotalIterations, diff)
+			if diff > 1e-8 {
+				return fmt.Errorf("ranks=%d depth=%d: energy diverged from single-rank by %v", ranks, depth, diff)
+			}
+			rows = append(rows, row{ranks, depth, secs})
+		}
+	}
+	fmt.Println()
+	if cfg.outDir != "" {
+		f, err := os.Create(filepath.Join(cfg.outDir, "scale3d.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := fmt.Fprintln(f, "ranks,halo_depth,seconds"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(f, "%d,%d,%.6f\n", r.ranks, r.depth, r.secs); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s\n\n", f.Name())
+	}
+	return nil
+}
+
+func run3DConfig(n, steps, px, py, pz, depth int) (*core.DistResult3D, error) {
+	d := problem.BenchmarkDeck3D(n)
+	d.HaloDepth = depth
+	return core.RunDistributed3D(d, px, py, pz, steps, 1)
 }
 
 // ---- Weak scaling: the sweep the paper omits, quantified ----

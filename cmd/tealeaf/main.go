@@ -35,9 +35,11 @@ func main() {
 func run() error {
 	var (
 		mesh    = flag.Int("mesh", 128, "built-in crooked-pipe mesh size (used when no deck file is given)")
+		dims    = flag.Int("dims", 0, "override deck dimensionality (3 selects the 7-point solve path; the built-in 3D deck is the two-state benchmark)")
 		steps   = flag.Int("steps", 0, "number of time steps to run (0 = deck's end_time/end_step)")
 		px      = flag.Int("px", 1, "ranks in x (goroutine ranks)")
 		py      = flag.Int("py", 1, "ranks in y")
+		pz      = flag.Int("pz", 1, "ranks in z (3D runs only)")
 		workers = flag.Int("workers", 1, "worker threads per rank (hybrid mode)")
 		solver  = flag.String("solver", "", "override deck solver (cg|ppcg|chebyshev|jacobi)")
 		depth   = flag.Int("halo-depth", 0, "override matrix-powers halo depth")
@@ -59,8 +61,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	} else if *dims == 3 {
+		d = problem.BenchmarkDeck3D(*mesh)
 	} else {
 		d = problem.CrookedPipeDeck(*mesh, *mesh)
+	}
+	if *dims > 0 {
+		d.Dims = *dims
 	}
 	if *solver != "" {
 		d.Solver = *solver
@@ -71,6 +78,10 @@ func run() error {
 	nSteps := *steps
 	if nSteps <= 0 {
 		nSteps = d.Steps()
+	}
+
+	if d.Dims == 3 {
+		return run3D(d, nSteps, *px, *py, *pz, *workers, *quiet)
 	}
 
 	fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
@@ -136,6 +147,47 @@ func run() error {
 			"energy": inst.Energy, "density": inst.Density, "u": inst.U,
 		})
 	}
+	return nil
+}
+
+// run3D drives a dims=3 deck end-to-end: the 7-point operator, the 3D
+// fused solvers, and (with -px/-py/-pz > 1) the distributed 3D rank layer.
+func run3D(d *deck.Deck, nSteps, px, py, pz, workers int, quiet bool) error {
+	fmt.Printf("TeaLeaf (Go): %dx%dx%d cells (3D), solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
+		d.XCells, d.YCells, d.ZCells, d.Solver, orNone(d.Precond), d.Eps, d.InitialTimestep, nSteps)
+
+	if px*py*pz > 1 {
+		fmt.Printf("decomposition: %dx%dx%d ranks, %d workers/rank\n", px, py, pz, workers)
+		res, err := core.RunDistributed3D(d, px, py, pz, nSteps, workers)
+		if err != nil {
+			return err
+		}
+		printSummary(res.Summary)
+		return nil
+	}
+
+	inst, err := core.NewSerial3D(d, par.NewPool(workers))
+	if err != nil {
+		return err
+	}
+	var totalIters, totalInner int
+	for s := 0; s < nSteps; s++ {
+		res, err := inst.Step()
+		if err != nil {
+			return err
+		}
+		totalIters += res.Iterations
+		totalInner += res.TotalInner
+		if !quiet {
+			fmt.Printf("step %4d  time %8.4f  iters %5d  inner %6d  residual %.3e\n",
+				s+1, inst.Time(), res.Iterations, res.TotalInner, res.FinalResidual)
+		}
+	}
+	sum := inst.Summarise()
+	sum.TotalIterations = totalIters
+	sum.TotalInner = totalInner
+	printSummary(sum)
+	fmt.Printf("comm trace: %s\n", inst.Comm.Trace())
 	return nil
 }
 

@@ -5,19 +5,27 @@
 // the communication-avoiding Chebyshev polynomially preconditioned CG
 // (CPPCG) — for the implicit linear heat-conduction equation on regular
 // 2D/3D grids, with block-Jacobi preconditioning, the matrix-powers
-// deep-halo kernel, a goroutine/channel MPI substitute, a geometric
-// multigrid baseline standing in for PETSc CG + Hypre BoomerAMG, and an
-// analytic strong-scaling model of the paper's three evaluation machines
-// (Titan, Piz Daint, Spruce).
+// deep-halo kernel, a goroutine/channel MPI substitute (rectangular 2D
+// partitions and box 3D partitions with a three-phase six-face
+// exchange), a geometric multigrid baseline standing in for PETSc CG +
+// Hypre BoomerAMG, and an analytic strong-scaling model of the paper's
+// three evaluation machines (Titan, Piz Daint, Spruce).
+//
+// Both dimensionalities run the full solver feature set: the fused
+// single-reduction CG/Chebyshev/PPCG loops, diagonal preconditioner
+// folding, matrix-powers deep halos and multi-rank execution are
+// available through solver.Solve (2D) and solver.Solve3D, driven by
+// core.RunDistributed / core.RunDistributed3D from dims=2/dims=3 input
+// decks.
 //
 // Entry points:
 //
 //   - cmd/tealeaf — run an input deck (tea.in dialect), serially or over
-//     goroutine ranks.
+//     goroutine ranks (-px/-py, plus -pz and -dims 3 for the 3D path).
 //   - cmd/teabench — regenerate Table I and Figures 3–8 plus the ablation
-//     studies.
+//     studies and the 3D strong-scaling sweep (-exp scale3d).
 //   - examples/ — quickstart, crooked pipe, scaling study, mesh
-//     convergence.
+//     convergence, heat3d (distributed 3D PPCG).
 //
 // The library lives under internal/; see DESIGN.md for the system
 // inventory, including the fused single-reduction solver core

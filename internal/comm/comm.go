@@ -28,6 +28,10 @@ type Communicator interface {
 	// data across internal boundaries, reflective (zero-flux) mirrors on
 	// physical boundaries. depth must not exceed the fields' grid halo.
 	Exchange(depth int, fields ...*grid.Field2D) error
+	// Exchange3D is Exchange for 3D fields: six faces, with edge and
+	// corner halo cells made coherent by the three-phase ordering.
+	// Multi-rank communicators must have been built over a Partition3D.
+	Exchange3D(depth int, fields ...*grid.Field3D) error
 	// AllReduceSum returns the sum of x over all ranks.
 	AllReduceSum(x float64) float64
 	// AllReduceSum2 fuses two sums into one reduction (one latency).
@@ -35,7 +39,8 @@ type Communicator interface {
 	// AllReduceSumN sums each element of vals over all ranks in a single
 	// reduction round — the §VII restructuring that lets a fused solver
 	// iteration pay one allreduce latency for all of its dot products.
-	// The returned slice may alias vals.
+	// The returned slice may alias vals; it never aliases another rank's
+	// result, so callers may mutate it freely.
 	AllReduceSumN(vals []float64) []float64
 	// AllReduceMax returns the maximum of x over all ranks.
 	AllReduceMax(x float64) float64
@@ -43,6 +48,8 @@ type Communicator interface {
 	Barrier()
 	// Physical reports which sides of this rank touch the domain boundary.
 	Physical() PhysicalSides
+	// Physical3D is Physical for the six faces of a 3D sub-domain.
+	Physical3D() PhysicalSides3D
 	// Trace returns this rank's communication trace (never nil).
 	Trace() *stats.Trace
 }
@@ -51,6 +58,11 @@ type Communicator interface {
 // sits below stencil in the dependency order).
 type PhysicalSides struct {
 	Left, Right, Down, Up bool
+}
+
+// PhysicalSides3D is PhysicalSides for the six faces of a 3D sub-domain.
+type PhysicalSides3D struct {
+	Left, Right, Down, Up, Back, Front bool
 }
 
 // Serial is the single-rank communicator: halo exchanges reduce to
@@ -75,13 +87,57 @@ func (s *Serial) Physical() PhysicalSides {
 	return PhysicalSides{Left: true, Right: true, Down: true, Up: true}
 }
 
-// Exchange implements Communicator by reflecting all four sides.
+// Physical3D implements Communicator: every face is the domain boundary.
+func (s *Serial) Physical3D() PhysicalSides3D {
+	return PhysicalSides3D{Left: true, Right: true, Down: true, Up: true, Back: true, Front: true}
+}
+
+// Exchange implements Communicator by reflecting all four sides. It
+// validates exactly as the multi-rank exchange does — depth against the
+// halo, and a shared grid shape across all fields — so a mixed-shape
+// multi-field exchange fails identically single- and multi-rank.
 func (s *Serial) Exchange(depth int, fields ...*grid.Field2D) error {
 	if len(fields) == 0 {
 		return nil
 	}
-	if depth < 1 || depth > fields[0].Grid.Halo {
-		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, fields[0].Grid.Halo)
+	g := fields[0].Grid
+	if depth < 1 || depth > g.Halo {
+		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	}
+	if depth > g.NX || depth > g.NY {
+		// A zero-flux mirror deeper than the domain would read outside the
+		// interior — reject it like the multi-rank exchange does for
+		// sub-domains thinner than the depth.
+		return fmt.Errorf("comm: exchange depth %d exceeds the domain extent %dx%d", depth, g.NX, g.NY)
+	}
+	for _, f := range fields {
+		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.Halo != g.Halo {
+			return fmt.Errorf("comm: all fields in one exchange must share grid shape")
+		}
+	}
+	for _, f := range fields {
+		f.ReflectHalos(depth)
+	}
+	s.trace.AddExchange(depth, 0, 0)
+	return nil
+}
+
+// Exchange3D implements Communicator by reflecting all six faces.
+func (s *Serial) Exchange3D(depth int, fields ...*grid.Field3D) error {
+	if len(fields) == 0 {
+		return nil
+	}
+	g := fields[0].Grid
+	if depth < 1 || depth > g.Halo {
+		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	}
+	if depth > g.NX || depth > g.NY || depth > g.NZ {
+		return fmt.Errorf("comm: exchange depth %d exceeds the domain extent %dx%dx%d", depth, g.NX, g.NY, g.NZ)
+	}
+	for _, f := range fields {
+		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.NZ != g.NZ || f.Grid.Halo != g.Halo {
+			return fmt.Errorf("comm: all fields in one exchange must share grid shape")
+		}
 	}
 	for _, f := range fields {
 		f.ReflectHalos(depth)

@@ -8,31 +8,43 @@ import (
 	"tealeaf/internal/stats"
 )
 
-// Hub owns the shared state of a multi-rank run: the partition, the
-// point-to-point mailboxes, and the collective accumulator. Create one Hub
-// per distributed solve, obtain one RankComm per rank with Comm, and run
-// each rank in its own goroutine.
+// Hub owns the shared state of a multi-rank run: the partition (2D or
+// 3D), the point-to-point mailboxes, and the collective accumulator.
+// Create one Hub per distributed solve, obtain one RankComm per rank with
+// Comm, and run each rank in its own goroutine.
 type Hub struct {
-	part *grid.Partition
+	part  *grid.Partition   // set for 2D runs
+	part3 *grid.Partition3D // set for 3D runs
 	// mail[rank][side] delivers messages that arrive at rank from the
 	// given direction. Buffered so a rank can post all its sends for a
 	// phase before draining its receives.
 	mail [][]chan []float64
 	coll *collective
 	gat  chan gatherMsg
+	gat3 chan gatherMsg3
 }
 
-// NewHub builds the communication fabric for the given partition.
+// NewHub builds the communication fabric for the given 2D partition.
 func NewHub(part *grid.Partition) *Hub {
-	n := part.Ranks()
+	return newHub(part, nil, part.Ranks())
+}
+
+// NewHub3D builds the communication fabric for the given 3D partition.
+func NewHub3D(part3 *grid.Partition3D) *Hub {
+	return newHub(nil, part3, part3.Ranks())
+}
+
+func newHub(part *grid.Partition, part3 *grid.Partition3D, n int) *Hub {
 	h := &Hub{
-		part: part,
-		mail: make([][]chan []float64, n),
-		coll: newCollective(n),
-		gat:  make(chan gatherMsg, n),
+		part:  part,
+		part3: part3,
+		mail:  make([][]chan []float64, n),
+		coll:  newCollective(n),
+		gat:   make(chan gatherMsg, n),
+		gat3:  make(chan gatherMsg3, n),
 	}
 	for r := 0; r < n; r++ {
-		h.mail[r] = make([]chan []float64, grid.NumSides)
+		h.mail[r] = make([]chan []float64, grid.NumSides3D)
 		for s := range h.mail[r] {
 			h.mail[r][s] = make(chan []float64, 2)
 		}
@@ -40,13 +52,24 @@ func NewHub(part *grid.Partition) *Hub {
 	return h
 }
 
-// Partition returns the partition the hub was built for.
+// Ranks returns the hub's rank count.
+func (h *Hub) Ranks() int {
+	if h.part3 != nil {
+		return h.part3.Ranks()
+	}
+	return h.part.Ranks()
+}
+
+// Partition returns the 2D partition the hub was built for (nil for 3D hubs).
 func (h *Hub) Partition() *grid.Partition { return h.part }
+
+// Partition3D returns the 3D partition the hub was built for (nil for 2D hubs).
+func (h *Hub) Partition3D() *grid.Partition3D { return h.part3 }
 
 // Comm returns the communicator endpoint for the given rank.
 func (h *Hub) Comm(rank int) *RankComm {
-	if rank < 0 || rank >= h.part.Ranks() {
-		panic(fmt.Sprintf("comm: rank %d outside [0,%d)", rank, h.part.Ranks()))
+	if rank < 0 || rank >= h.Ranks() {
+		panic(fmt.Sprintf("comm: rank %d outside [0,%d)", rank, h.Ranks()))
 	}
 	return &RankComm{hub: h, rank: rank}
 }
@@ -65,19 +88,40 @@ var _ Communicator = (*RankComm)(nil)
 func (c *RankComm) Rank() int { return c.rank }
 
 // Size implements Communicator.
-func (c *RankComm) Size() int { return c.hub.part.Ranks() }
+func (c *RankComm) Size() int { return c.hub.Ranks() }
 
 // Trace implements Communicator.
 func (c *RankComm) Trace() *stats.Trace { return &c.trace }
 
-// Physical implements Communicator.
+// Physical implements Communicator. The hub must have been built over a
+// 2D partition.
 func (c *RankComm) Physical() PhysicalSides {
 	p := c.hub.part
+	if p == nil {
+		panic("comm: Physical called on a 3D-partition communicator; use Physical3D")
+	}
 	return PhysicalSides{
 		Left:  p.OnBoundary(c.rank, grid.Left),
 		Right: p.OnBoundary(c.rank, grid.Right),
 		Down:  p.OnBoundary(c.rank, grid.Down),
 		Up:    p.OnBoundary(c.rank, grid.Up),
+	}
+}
+
+// Physical3D implements Communicator. The hub must have been built over a
+// 3D partition.
+func (c *RankComm) Physical3D() PhysicalSides3D {
+	p := c.hub.part3
+	if p == nil {
+		panic("comm: Physical3D called on a 2D-partition communicator; use Physical")
+	}
+	return PhysicalSides3D{
+		Left:  p.OnBoundary(c.rank, grid.Left),
+		Right: p.OnBoundary(c.rank, grid.Right),
+		Down:  p.OnBoundary(c.rank, grid.Down),
+		Up:    p.OnBoundary(c.rank, grid.Up),
+		Back:  p.OnBoundary(c.rank, grid.Back),
+		Front: p.OnBoundary(c.rank, grid.Front),
 	}
 }
 
@@ -91,9 +135,20 @@ func (c *RankComm) Exchange(depth int, fields ...*grid.Field2D) error {
 	if len(fields) == 0 {
 		return nil
 	}
+	if c.hub.part == nil {
+		return fmt.Errorf("comm: 2D exchange on a 3D-partition communicator")
+	}
 	g := fields[0].Grid
 	if depth < 1 || depth > g.Halo {
 		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	}
+	// A sub-domain thinner than the depth cannot supply its neighbour's
+	// halo from interior cells: packing would send stale halo data.
+	// Validate against the partition-wide minimum so every rank reaches
+	// the same verdict (a per-rank check could leave peers deadlocked on
+	// their mailboxes).
+	if mnx, mny := c.hub.part.MinExtent(); depth > mnx || depth > mny {
+		return fmt.Errorf("comm: exchange depth %d exceeds the smallest sub-domain extent %dx%d", depth, mnx, mny)
 	}
 	for _, f := range fields {
 		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.Halo != g.Halo {
@@ -242,16 +297,17 @@ func (c *RankComm) Barrier() { c.hub.coll.reduce(opSum) }
 
 // collective is a generation-counted all-reduce accumulator. Every rank
 // calls reduce once per generation; the last arrival publishes the result
-// and releases the waiters. Results are stable until every rank of the
-// *next* generation has arrived, which cannot happen before all waiters of
-// this generation have returned.
+// and releases the waiters. The published result is stable until every
+// rank of the *next* generation has arrived, which cannot happen before
+// all waiters of this generation have returned.
 type collective struct {
-	n    int
-	mu   sync.Mutex
-	cnt  int
-	acc  []float64
-	res  []float64
-	done chan struct{}
+	n     int
+	mu    sync.Mutex
+	cnt   int
+	width int
+	acc   []float64
+	res   []float64
+	done  chan struct{}
 }
 
 func newCollective(n int) *collective { return &collective{n: n} }
@@ -263,12 +319,23 @@ const (
 	opMax
 )
 
+// reduce combines vals across all ranks and writes the result back into
+// this caller's vals slice, returning it. Every rank receives its own
+// backing array (never the shared accumulator): AllReduceSumN documents
+// that callers may mutate the returned slice, so handing out one shared
+// slice would let rank A's mutation corrupt rank B's result.
 func (c *collective) reduce(op reduceOp, vals ...float64) []float64 {
 	c.mu.Lock()
 	if c.cnt == 0 {
+		c.width = len(vals)
 		c.acc = append(c.acc[:0], vals...)
 		c.done = make(chan struct{})
 	} else {
+		if len(vals) != c.width {
+			c.mu.Unlock()
+			panic(fmt.Sprintf("comm: collective value-count mismatch: this rank contributed %d values but the generation started with %d (every rank must pass the same number of values to each reduction)",
+				len(vals), c.width))
+		}
 		for i, v := range vals {
 			switch op {
 			case opSum:
@@ -285,14 +352,15 @@ func (c *collective) reduce(op reduceOp, vals ...float64) []float64 {
 		c.cnt = 0
 		c.res = append([]float64(nil), c.acc...)
 		close(c.done)
-		res := c.res
+		copy(vals, c.res)
 		c.mu.Unlock()
-		return res
+		return vals
 	}
 	done := c.done
 	c.mu.Unlock()
 	<-done
-	return c.res
+	copy(vals, c.res)
+	return vals
 }
 
 // gatherMsg carries one rank's interior block to rank 0.
@@ -306,6 +374,9 @@ type gatherMsg struct {
 // rank must call it. Used for output and verification, not in solver inner
 // loops.
 func (c *RankComm) GatherInterior(local *grid.Field2D, dst *grid.Field2D) error {
+	if c.hub.part == nil {
+		return fmt.Errorf("comm: 2D gather on a 3D-partition communicator")
+	}
 	ext := c.hub.part.ExtentOf(c.rank)
 	g := local.Grid
 	if g.NX != ext.NX() || g.NY != ext.NY() {

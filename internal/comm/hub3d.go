@@ -1,0 +1,284 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"tealeaf/internal/grid"
+)
+
+// Exchange3D implements Communicator for 3D fields with the three-phase
+// extension of the 2D two-phase scheme: x-direction slabs over interior
+// rows and planes, then y-direction slabs spanning the freshly filled
+// x-halos, then z-direction slabs spanning both — so every edge and
+// corner halo cell receives its diagonal neighbour's data without
+// explicit diagonal messages, exactly as TeaLeaf's update_halo ordering
+// generalises to 3D. Physical faces are filled by zero-flux mirroring in
+// the same phase order.
+func (c *RankComm) Exchange3D(depth int, fields ...*grid.Field3D) error {
+	if len(fields) == 0 {
+		return nil
+	}
+	if c.hub.part3 == nil {
+		return fmt.Errorf("comm: 3D exchange on a 2D-partition communicator")
+	}
+	g := fields[0].Grid
+	if depth < 1 || depth > g.Halo {
+		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	}
+	// As in the 2D exchange: a sub-domain thinner than the depth cannot
+	// supply its neighbour's halo from interior cells. The partition-wide
+	// minimum keeps the verdict identical on every rank.
+	if mnx, mny, mnz := c.hub.part3.MinExtent(); depth > mnx || depth > mny || depth > mnz {
+		return fmt.Errorf("comm: exchange depth %d exceeds the smallest sub-domain extent %dx%dx%d", depth, mnx, mny, mnz)
+	}
+	for _, f := range fields {
+		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.NZ != g.NZ || f.Grid.Halo != g.Halo {
+			return fmt.Errorf("comm: all fields in one exchange must share grid shape")
+		}
+	}
+	part := c.hub.part3
+	phys := c.Physical3D()
+	left := part.Neighbor(c.rank, grid.Left)
+	right := part.Neighbor(c.rank, grid.Right)
+	down := part.Neighbor(c.rank, grid.Down)
+	up := part.Neighbor(c.rank, grid.Up)
+	back := part.Neighbor(c.rank, grid.Back)
+	front := part.Neighbor(c.rank, grid.Front)
+
+	messages := 0
+	var bytes int64
+	send := func(to int, side grid.Side, msg []float64) {
+		c.hub.mail[to][side] <- msg
+		messages++
+		bytes += int64(len(msg) * 8)
+	}
+
+	// --- Phase X (interior rows and planes) ---
+	for _, f := range fields {
+		f.ReflectHalosSides(depth, phys.Left, phys.Right, false, false, false, false)
+	}
+	// Send before receive: the buffered mailboxes make this deadlock-free.
+	if right >= 0 {
+		send(right, grid.Left, packX3(fields, g.NX-depth, g.NX, depth))
+	}
+	if left >= 0 {
+		send(left, grid.Right, packX3(fields, 0, depth, depth))
+	}
+	if left >= 0 {
+		unpackX3(fields, <-c.hub.mail[c.rank][grid.Left], -depth, 0, depth)
+	}
+	if right >= 0 {
+		unpackX3(fields, <-c.hub.mail[c.rank][grid.Right], g.NX, g.NX+depth, depth)
+	}
+
+	// --- Phase Y (spans the x-halos filled above) ---
+	for _, f := range fields {
+		f.ReflectHalosSides(depth, false, false, phys.Down, phys.Up, false, false)
+	}
+	if up >= 0 {
+		send(up, grid.Down, packY3(fields, g.NY-depth, g.NY, depth))
+	}
+	if down >= 0 {
+		send(down, grid.Up, packY3(fields, 0, depth, depth))
+	}
+	if down >= 0 {
+		unpackY3(fields, <-c.hub.mail[c.rank][grid.Down], -depth, 0, depth)
+	}
+	if up >= 0 {
+		unpackY3(fields, <-c.hub.mail[c.rank][grid.Up], g.NY, g.NY+depth, depth)
+	}
+
+	// --- Phase Z (spans the x- and y-halos filled above) ---
+	for _, f := range fields {
+		f.ReflectHalosSides(depth, false, false, false, false, phys.Back, phys.Front)
+	}
+	if front >= 0 {
+		send(front, grid.Back, packZ3(fields, g.NZ-depth, g.NZ, depth))
+	}
+	if back >= 0 {
+		send(back, grid.Front, packZ3(fields, 0, depth, depth))
+	}
+	if back >= 0 {
+		unpackZ3(fields, <-c.hub.mail[c.rank][grid.Back], -depth, 0, depth)
+	}
+	if front >= 0 {
+		unpackZ3(fields, <-c.hub.mail[c.rank][grid.Front], g.NZ, g.NZ+depth, depth)
+	}
+
+	c.trace.AddExchange(depth, messages, bytes)
+	return nil
+}
+
+// packX3 packs x-slabs [x0,x1) over interior rows and planes of every field.
+func packX3(fields []*grid.Field3D, x0, x1, depth int) []float64 {
+	g := fields[0].Grid
+	msg := make([]float64, 0, len(fields)*(x1-x0)*g.NY*g.NZ)
+	for _, f := range fields {
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				msg = append(msg, f.Row(j, k, x0, x1)...)
+			}
+		}
+	}
+	return msg
+}
+
+func unpackX3(fields []*grid.Field3D, msg []float64, x0, x1, depth int) {
+	g := fields[0].Grid
+	pos := 0
+	w := x1 - x0
+	for _, f := range fields {
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				copy(f.Row(j, k, x0, x1), msg[pos:pos+w])
+				pos += w
+			}
+		}
+	}
+}
+
+// packY3 packs y-slabs [y0,y1) over interior planes, spanning
+// [-depth, NX+depth) in x: the x-halo columns carry the xy-edge data.
+func packY3(fields []*grid.Field3D, y0, y1, depth int) []float64 {
+	g := fields[0].Grid
+	w := g.NX + 2*depth
+	msg := make([]float64, 0, len(fields)*(y1-y0)*w*g.NZ)
+	for _, f := range fields {
+		for k := 0; k < g.NZ; k++ {
+			for j := y0; j < y1; j++ {
+				msg = append(msg, f.Row(j, k, -depth, g.NX+depth)...)
+			}
+		}
+	}
+	return msg
+}
+
+func unpackY3(fields []*grid.Field3D, msg []float64, y0, y1, depth int) {
+	g := fields[0].Grid
+	w := g.NX + 2*depth
+	pos := 0
+	for _, f := range fields {
+		for k := 0; k < g.NZ; k++ {
+			for j := y0; j < y1; j++ {
+				copy(f.Row(j, k, -depth, g.NX+depth), msg[pos:pos+w])
+				pos += w
+			}
+		}
+	}
+}
+
+// packZ3 packs z-slabs [z0,z1) spanning the x- and y-halos: the halo rows
+// and columns carry the xz/yz-edge and corner data.
+func packZ3(fields []*grid.Field3D, z0, z1, depth int) []float64 {
+	g := fields[0].Grid
+	w := g.NX + 2*depth
+	h := g.NY + 2*depth
+	msg := make([]float64, 0, len(fields)*(z1-z0)*w*h)
+	for _, f := range fields {
+		for k := z0; k < z1; k++ {
+			for j := -depth; j < g.NY+depth; j++ {
+				msg = append(msg, f.Row(j, k, -depth, g.NX+depth)...)
+			}
+		}
+	}
+	return msg
+}
+
+func unpackZ3(fields []*grid.Field3D, msg []float64, z0, z1, depth int) {
+	g := fields[0].Grid
+	w := g.NX + 2*depth
+	pos := 0
+	for _, f := range fields {
+		for k := z0; k < z1; k++ {
+			for j := -depth; j < g.NY+depth; j++ {
+				copy(f.Row(j, k, -depth, g.NX+depth), msg[pos:pos+w])
+				pos += w
+			}
+		}
+	}
+}
+
+// gatherMsg3 carries one rank's interior block to rank 0.
+type gatherMsg3 struct {
+	extent grid.Extent3D
+	data   []float64 // x-fastest, extent.NX() wide rows
+}
+
+// GatherInterior3D assembles the ranks' interior blocks into the provided
+// global field on rank 0 (dst may be nil on other ranks). Collective:
+// every rank must call it. Used for output and verification, not in
+// solver inner loops.
+func (c *RankComm) GatherInterior3D(local *grid.Field3D, dst *grid.Field3D) error {
+	if c.hub.part3 == nil {
+		return fmt.Errorf("comm: 3D gather on a 2D-partition communicator")
+	}
+	ext := c.hub.part3.ExtentOf(c.rank)
+	g := local.Grid
+	if g.NX != ext.NX() || g.NY != ext.NY() || g.NZ != ext.NZ() {
+		return fmt.Errorf("comm: local field %dx%dx%d does not match extent %dx%dx%d",
+			g.NX, g.NY, g.NZ, ext.NX(), ext.NY(), ext.NZ())
+	}
+	data := make([]float64, 0, ext.Cells())
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			data = append(data, local.Row(j, k, 0, g.NX)...)
+		}
+	}
+	ch := c.hub.gat3
+	ch <- gatherMsg3{extent: ext, data: data}
+	if c.rank != 0 {
+		// The trailing barrier keeps consecutive gathers from interleaving.
+		c.Barrier()
+		return nil
+	}
+	p := c.hub.part3
+	var err error
+	switch {
+	case dst == nil:
+		err = fmt.Errorf("comm: rank 0 needs a destination field")
+	case dst.Grid.NX != p.NX || dst.Grid.NY != p.NY || dst.Grid.NZ != p.NZ:
+		err = fmt.Errorf("comm: destination %dx%dx%d does not match global %dx%dx%d",
+			dst.Grid.NX, dst.Grid.NY, dst.Grid.NZ, p.NX, p.NY, p.NZ)
+	}
+	// Drain even on error so the other ranks' barrier is released.
+	for i := 0; i < c.Size(); i++ {
+		m := <-ch
+		if err != nil {
+			continue
+		}
+		pos := 0
+		w := m.extent.NX()
+		for k := m.extent.Z0; k < m.extent.Z1; k++ {
+			for j := m.extent.Y0; j < m.extent.Y1; j++ {
+				copy(dst.Row(j, k, m.extent.X0, m.extent.X1), m.data[pos:pos+w])
+				pos += w
+			}
+		}
+	}
+	c.Barrier()
+	return err
+}
+
+// Run3D launches fn on every rank of the 3D partition in its own
+// goroutine and waits for all of them; the returned error is the first
+// non-nil error by rank order. This is the `mpirun` of the 3D path.
+func Run3D(part3 *grid.Partition3D, fn func(c *RankComm) error) error {
+	h := NewHub3D(part3)
+	errs := make([]error, part3.Ranks())
+	var wg sync.WaitGroup
+	for r := 0; r < part3.Ranks(); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(h.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

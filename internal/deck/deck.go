@@ -31,16 +31,23 @@ type State struct {
 	Density  float64
 	Energy   float64
 	Geometry Geometry
-	// Rectangle extents.
+	// Rectangle extents. On a 3D deck a rectangle is a box; a state whose
+	// z-range is empty (ZMax <= ZMin, the zero value) spans the whole
+	// domain in z, so 2D state definitions extrude naturally.
 	XMin, XMax, YMin, YMax float64
-	// Circle/point location and radius.
-	CX, CY, Radius float64
+	ZMin, ZMax             float64
+	// Circle/point location and radius (sphere centre in 3D).
+	CX, CY, CZ, Radius float64
 }
 
 // Deck is a parsed input deck.
 type Deck struct {
-	XCells, YCells         int
+	// Dims selects the spatial dimensionality: 2 (default) or 3. A 3D
+	// deck additionally uses ZCells and the z extents.
+	Dims                   int
+	XCells, YCells, ZCells int
 	XMin, XMax, YMin, YMax float64
+	ZMin, ZMax             float64
 
 	InitialTimestep float64
 	EndTime         float64
@@ -64,8 +71,9 @@ type Deck struct {
 // implicit values): a 10×10 unit-square-style domain, CG solver, eps 1e-10.
 func Default() *Deck {
 	return &Deck{
-		XCells: 10, YCells: 10,
-		XMin: 0, XMax: 10, YMin: 0, YMax: 10,
+		Dims:   2,
+		XCells: 10, YCells: 10, ZCells: 10,
+		XMin: 0, XMax: 10, YMin: 0, YMax: 10, ZMin: 0, ZMax: 10,
 		InitialTimestep: 0.04,
 		EndTime:         10,
 		EndStep:         2147483647,
@@ -144,6 +152,14 @@ func (d *Deck) parseLine(line string) error {
 		return d.setInt(&d.XCells, val)
 	case "y_cells":
 		return d.setInt(&d.YCells, val)
+	case "z_cells":
+		return d.setInt(&d.ZCells, val)
+	case "dims":
+		return d.setInt(&d.Dims, val)
+	case "zmin":
+		return d.setFloat(&d.ZMin, val)
+	case "zmax":
+		return d.setFloat(&d.ZMax, val)
 	case "xmin":
 		return d.setFloat(&d.XMin, val)
 	case "xmax":
@@ -239,12 +255,18 @@ func (d *Deck) parseState(line string) error {
 			err = parseFloatInto(&st.YMin, val)
 		case "ymax":
 			err = parseFloatInto(&st.YMax, val)
+		case "zmin":
+			err = parseFloatInto(&st.ZMin, val)
+		case "zmax":
+			err = parseFloatInto(&st.ZMax, val)
 		case "radius":
 			err = parseFloatInto(&st.Radius, val)
 		case "xcentre", "xcenter":
 			err = parseFloatInto(&st.CX, val)
 		case "ycentre", "ycenter":
 			err = parseFloatInto(&st.CY, val)
+		case "zcentre", "zcenter":
+			err = parseFloatInto(&st.CZ, val)
 		default:
 			err = fmt.Errorf("unknown attribute %q", key)
 		}
@@ -276,13 +298,26 @@ func parseFloatInto(dst *float64, val string) error {
 	return nil
 }
 
-// Validate checks deck consistency.
+// Validate checks deck consistency. It never mutates the deck: a shared
+// *Deck is validated concurrently by every rank goroutine of a
+// distributed run. A zero Dims (zero-value decks built in code) is read
+// as 2D.
 func (d *Deck) Validate() error {
+	dims := d.Dims
+	if dims == 0 {
+		dims = 2
+	}
 	switch {
+	case dims != 2 && dims != 3:
+		return fmt.Errorf("deck: dims must be 2 or 3, got %d", d.Dims)
 	case d.XCells <= 0 || d.YCells <= 0:
 		return fmt.Errorf("deck: cell counts must be positive (%d x %d)", d.XCells, d.YCells)
+	case dims == 3 && d.ZCells <= 0:
+		return fmt.Errorf("deck: z_cells must be positive for a 3D deck, got %d", d.ZCells)
 	case d.XMax <= d.XMin || d.YMax <= d.YMin:
 		return fmt.Errorf("deck: domain extents must be non-empty")
+	case dims == 3 && d.ZMax <= d.ZMin:
+		return fmt.Errorf("deck: z extents must be non-empty for a 3D deck")
 	case d.InitialTimestep <= 0:
 		return fmt.Errorf("deck: initial_timestep must be positive")
 	case d.EndTime <= 0 && d.EndStep <= 0:

@@ -239,3 +239,61 @@ func TestParseShippedDeck(t *testing.T) {
 		t.Errorf("steps = %d", d.Steps())
 	}
 }
+
+func TestParse3DDeck(t *testing.T) {
+	d, err := ParseString(`
+*tea
+dims=3
+x_cells=16
+y_cells=12
+z_cells=8
+xmin=0.0
+xmax=4.0
+ymin=0.0
+ymax=3.0
+zmin=0.0
+zmax=2.0
+initial_timestep=0.01
+end_step=3
+tl_use_ppcg
+state 1 density=10 energy=0.01
+state 2 density=0.1 energy=20 geometry=rectangle xmin=0 xmax=1 ymin=0 ymax=1 zmin=0 zmax=1
+state 3 density=0.2 energy=5 geometry=circle xcentre=2 ycentre=1.5 zcentre=1 radius=0.5
+*endtea
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dims != 3 || d.ZCells != 8 || d.ZMin != 0 || d.ZMax != 2 {
+		t.Errorf("3D geometry not parsed: %+v", d)
+	}
+	if d.States[1].ZMin != 0 || d.States[1].ZMax != 1 {
+		t.Errorf("state z-range not parsed: %+v", d.States[1])
+	}
+	if d.States[2].CZ != 1 {
+		t.Errorf("state zcentre not parsed: %+v", d.States[2])
+	}
+}
+
+func TestValidate3DDeck(t *testing.T) {
+	d := Default()
+	d.Dims = 3
+	d.ZCells = 0
+	d.States = []State{{Index: 1, Density: 1, Energy: 1}}
+	if err := d.Validate(); err == nil {
+		t.Error("3D deck without z_cells must fail validation")
+	}
+	d.ZCells = 4
+	d.ZMin, d.ZMax = 1, 1
+	if err := d.Validate(); err == nil {
+		t.Error("empty z extent must fail validation")
+	}
+	d.ZMax = 2
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid 3D deck rejected: %v", err)
+	}
+	d.Dims = 4
+	if err := d.Validate(); err == nil {
+		t.Error("dims=4 must fail validation")
+	}
+}

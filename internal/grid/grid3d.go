@@ -78,6 +78,33 @@ func (g *Grid3D) CellCenter(i, j, k int) (x, y, z float64) {
 		g.ZMin + (float64(k)+0.5)*g.DZ
 }
 
+// VertexX returns the x coordinate of the low face of column i.
+func (g *Grid3D) VertexX(i int) float64 { return g.XMin + float64(i)*g.DX }
+
+// VertexY returns the y coordinate of the low face of row j.
+func (g *Grid3D) VertexY(j int) float64 { return g.YMin + float64(j)*g.DY }
+
+// VertexZ returns the z coordinate of the low face of plane k.
+func (g *Grid3D) VertexZ(k int) float64 { return g.ZMin + float64(k)*g.DZ }
+
+// CellVolume returns the volume of one cell.
+func (g *Grid3D) CellVolume() float64 { return g.DX * g.DY * g.DZ }
+
+// Sub returns the geometry of the box sub-grid covering interior cells
+// [x0,x1) × [y0,y1) × [z0,z1) of g, with the same halo depth and cell
+// widths. The sub-grid carries true physical coordinates so its cell
+// centres coincide with the parent's — the per-rank grid of the
+// distributed 3D solvers.
+func (g *Grid3D) Sub(x0, x1, y0, y1, z0, z1 int) (*Grid3D, error) {
+	if x0 < 0 || y0 < 0 || z0 < 0 || x1 > g.NX || y1 > g.NY || z1 > g.NZ ||
+		x0 >= x1 || y0 >= y1 || z0 >= z1 {
+		return nil, fmt.Errorf("grid: 3D sub-extent [%d,%d)x[%d,%d)x[%d,%d) outside %dx%dx%d",
+			x0, x1, y0, y1, z0, z1, g.NX, g.NY, g.NZ)
+	}
+	return NewGrid3D(x1-x0, y1-y0, z1-z0, g.Halo,
+		g.VertexX(x0), g.VertexX(x1), g.VertexY(y0), g.VertexY(y1), g.VertexZ(z0), g.VertexZ(z1))
+}
+
 func (g *Grid3D) String() string {
 	return fmt.Sprintf("Grid3D(%dx%dx%d, halo=%d)", g.NX, g.NY, g.NZ, g.Halo)
 }
@@ -156,37 +183,71 @@ func (f *Field3D) MaxDiff(o *Field3D) float64 {
 	return m
 }
 
+// Row returns the slice of storage covering cells [x0,x1) of row (j,k).
+// The slice aliases the field's data.
+func (f *Field3D) Row(j, k, x0, x1 int) []float64 {
+	base := f.Grid.Index(x0, j, k)
+	return f.Data[base : base+(x1-x0)]
+}
+
 // ReflectHalos fills halo cells by mirroring interior cells on all six
 // faces (zero-flux boundary), edges and corners included.
 func (f *Field3D) ReflectHalos(depth int) {
+	f.ReflectHalosSides(depth, true, true, true, true, true, true)
+}
+
+// ReflectHalosSides mirrors only the requested sides (used on ranks whose
+// sub-domain touches the physical boundary on some sides only). The fill
+// order — x faces over interior rows, then y faces spanning the x halos,
+// then z faces spanning both — matches the three-phase exchange, so edge
+// and corner halo cells are coherent for deep stencils.
+func (f *Field3D) ReflectHalosSides(depth int, left, right, down, up, back, front bool) {
 	g := f.Grid
 	if depth > g.Halo {
 		depth = g.Halo
 	}
 	// X faces.
-	for k := 0; k < g.NZ; k++ {
-		for j := 0; j < g.NY; j++ {
-			for d := 1; d <= depth; d++ {
-				f.Set(-d, j, k, f.At(d-1, j, k))
-				f.Set(g.NX-1+d, j, k, f.At(g.NX-d, j, k))
+	if left || right {
+		for k := -depth; k < g.NZ+depth; k++ {
+			for j := -depth; j < g.NY+depth; j++ {
+				for d := 1; d <= depth; d++ {
+					if left {
+						f.Set(-d, j, k, f.At(d-1, j, k))
+					}
+					if right {
+						f.Set(g.NX-1+d, j, k, f.At(g.NX-d, j, k))
+					}
+				}
 			}
 		}
 	}
 	// Y faces (spanning x halos).
-	for k := 0; k < g.NZ; k++ {
-		for d := 1; d <= depth; d++ {
-			for i := -depth; i < g.NX+depth; i++ {
-				f.Set(i, -d, k, f.At(i, d-1, k))
-				f.Set(i, g.NY-1+d, k, f.At(i, g.NY-d, k))
+	if down || up {
+		for k := -depth; k < g.NZ+depth; k++ {
+			for d := 1; d <= depth; d++ {
+				for i := -depth; i < g.NX+depth; i++ {
+					if down {
+						f.Set(i, -d, k, f.At(i, d-1, k))
+					}
+					if up {
+						f.Set(i, g.NY-1+d, k, f.At(i, g.NY-d, k))
+					}
+				}
 			}
 		}
 	}
 	// Z faces (spanning x and y halos).
-	for d := 1; d <= depth; d++ {
-		for j := -depth; j < g.NY+depth; j++ {
-			for i := -depth; i < g.NX+depth; i++ {
-				f.Set(i, j, -d, f.At(i, j, d-1))
-				f.Set(i, j, g.NZ-1+d, f.At(i, j, g.NZ-d))
+	if back || front {
+		for d := 1; d <= depth; d++ {
+			for j := -depth; j < g.NY+depth; j++ {
+				for i := -depth; i < g.NX+depth; i++ {
+					if back {
+						f.Set(i, j, -d, f.At(i, j, d-1))
+					}
+					if front {
+						f.Set(i, j, g.NZ-1+d, f.At(i, j, g.NZ-d))
+					}
+				}
 			}
 		}
 	}

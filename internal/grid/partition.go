@@ -17,7 +17,7 @@ const (
 	NumSides
 )
 
-// Opposite returns the facing side (Left<->Right, Down<->Up).
+// Opposite returns the facing side (Left<->Right, Down<->Up, Back<->Front).
 func (s Side) Opposite() Side {
 	switch s {
 	case Left:
@@ -28,6 +28,10 @@ func (s Side) Opposite() Side {
 		return Up
 	case Up:
 		return Down
+	case Back:
+		return Front
+	case Front:
+		return Back
 	}
 	panic(fmt.Sprintf("grid: invalid side %d", int(s)))
 }
@@ -42,6 +46,10 @@ func (s Side) String() string {
 		return "down"
 	case Up:
 		return "up"
+	case Back:
+		return "back"
+	case Front:
+		return "front"
 	}
 	return fmt.Sprintf("side(%d)", int(s))
 }
@@ -171,6 +179,12 @@ func searchSplit(s []int, v int) int {
 // OnBoundary reports whether rank r's sub-domain touches the physical
 // domain boundary on side s.
 func (p *Partition) OnBoundary(r int, s Side) bool { return p.Neighbor(r, s) == -1 }
+
+// MinExtent returns the smallest per-rank cell counts in each dimension.
+// Remainder cells go to low-index ranks, so the minimum is the floor
+// division — identical on every rank, which lets collective operations
+// validate against it without diverging.
+func (p *Partition) MinExtent() (nx, ny int) { return p.NX / p.PX, p.NY / p.PY }
 
 func (p *Partition) String() string {
 	return fmt.Sprintf("Partition(%dx%d cells over %dx%d ranks)", p.NX, p.NY, p.PX, p.PY)

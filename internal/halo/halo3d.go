@@ -1,0 +1,112 @@
+package halo
+
+import (
+	"fmt"
+
+	"tealeaf/internal/grid"
+)
+
+// Sides3D mirrors the six-neighbour adjacency of a 3D rank: true means
+// there is a neighbour on that face (so the halo there carries fresh data
+// and bounds may extend into it).
+type Sides3D struct {
+	Left, Right, Down, Up, Back, Front bool
+}
+
+// NoNeighbors3D is the single-rank case: nothing extends.
+var NoNeighbors3D = Sides3D{}
+
+// Schedule3D is the 3D matrix-powers schedule (§IV-C2 on the 7-point
+// operator): after a depth-d exchange the first application runs on
+// bounds extended d−1 cells into neighbour halos, shrinking by one cell
+// per application until the extension is exhausted and a fresh exchange
+// is required. Faces on the physical boundary never extend.
+type Schedule3D struct {
+	depth     int
+	g         *grid.Grid3D
+	interior  grid.Bounds3D
+	adj       Sides3D
+	remaining int
+	cur       grid.Bounds3D
+}
+
+// NewSchedule3D builds a matrix-powers schedule for the given rank-local
+// 3D grid, exchange depth, and neighbour adjacency. depth must fit in the
+// grid's halo allocation.
+func NewSchedule3D(g *grid.Grid3D, depth int, adj Sides3D) (*Schedule3D, error) {
+	if depth < 1 || depth > g.Halo {
+		return nil, fmt.Errorf("halo: schedule depth %d outside [1,%d]", depth, g.Halo)
+	}
+	s := &Schedule3D{depth: depth, g: g, interior: g.Interior(), adj: adj}
+	// Until the first exchange, no extension is valid.
+	s.remaining = 0
+	return s, nil
+}
+
+// Depth returns the exchange depth.
+func (s *Schedule3D) Depth() int { return s.depth }
+
+// extended returns the fully extended bounds right after an exchange.
+func (s *Schedule3D) extended() grid.Bounds3D {
+	ext := s.depth - 1
+	l, r, d, u, b, f := 0, 0, 0, 0, 0, 0
+	if s.adj.Left {
+		l = ext
+	}
+	if s.adj.Right {
+		r = ext
+	}
+	if s.adj.Down {
+		d = ext
+	}
+	if s.adj.Up {
+		u = ext
+	}
+	if s.adj.Back {
+		b = ext
+	}
+	if s.adj.Front {
+		f = ext
+	}
+	return s.interior.ExpandSides(l, r, d, u, b, f, s.g)
+}
+
+// Refill marks a fresh depth-d exchange: the next d applications may run
+// on progressively shrinking extended bounds.
+func (s *Schedule3D) Refill() {
+	s.remaining = s.depth
+	s.cur = s.extended()
+}
+
+// Next returns the bounds for the next matrix application and true, or a
+// zero Bounds3D and false if the halo is exhausted and Refill (after an
+// exchange) is required first.
+func (s *Schedule3D) Next() (grid.Bounds3D, bool) {
+	if s.remaining == 0 {
+		return grid.Bounds3D{}, false
+	}
+	b := s.cur
+	s.remaining--
+	s.cur = s.cur.ShrinkToward(1, s.interior)
+	return b, true
+}
+
+// Remaining returns how many applications are left before a Refill is needed.
+func (s *Schedule3D) Remaining() int { return s.remaining }
+
+// StepsPerExchange returns the number of matrix applications one exchange
+// buys, which is the depth.
+func (s *Schedule3D) StepsPerExchange() int { return s.depth }
+
+// RedundantCells returns the total number of cell updates a full cycle of
+// depth applications performs beyond depth× the interior — the redundant
+// computation the 3D matrix-powers kernel trades for fewer messages.
+func (s *Schedule3D) RedundantCells() int {
+	total := 0
+	b := s.extended()
+	for i := 0; i < s.depth; i++ {
+		total += b.Cells()
+		b = b.ShrinkToward(1, s.interior)
+	}
+	return total - s.depth*s.interior.Cells()
+}

@@ -237,35 +237,73 @@ func TestFused3DKernelsMatchComposed(t *testing.T) {
 		return f
 	}
 	r, w := mk(1), mk(2)
+	in := g3.Interior()
 	const alpha, beta = 0.31, 0.73
 	for name, pool := range fusionPools() {
 		// Directions: p = r + β·p; s = w + β·s.
 		pRef, sRef := mk(3), mk(4)
-		Xpay3D(par.Serial, r, beta, pRef)
-		Xpay3D(par.Serial, w, beta, sRef)
+		Xpay3D(par.Serial, in, r, beta, pRef)
+		Xpay3D(par.Serial, in, w, beta, sRef)
 		p, s := mk(3), mk(4)
-		FusedCGDirections3D(pool, r, w, beta, p, s)
+		FusedCGDirections3D(pool, in, nil, r, w, beta, p, s)
 		for i := range p.Data {
 			if math.Abs(p.Data[i]-pRef.Data[i]) > 1e-13 || math.Abs(s.Data[i]-sRef.Data[i]) > 1e-13 {
 				t.Fatalf("%s: 3D directions differ at %d", name, i)
 			}
 		}
 
-		// Update: x += α·p; r −= α·s; rr.
+		// Update: x += α·p; r −= α·s; rr (identity: γ == rr).
 		xRef, rRef := mk(5), mk(6)
-		Axpy3D(par.Serial, alpha, p, xRef)
-		Axpy3D(par.Serial, -alpha, s, rRef)
-		rrRef := Dot3D(par.Serial, rRef, rRef)
+		Axpy3D(par.Serial, in, alpha, p, xRef)
+		Axpy3D(par.Serial, in, -alpha, s, rRef)
+		rrRef := Dot3D(par.Serial, in, rRef, rRef)
 		x, rr2 := mk(5), mk(6)
-		rr := FusedCGUpdate3D(pool, alpha, p, s, x, rr2)
-		if !close13(rr, rrRef) {
-			t.Errorf("%s: 3D rr = %v, want %v", name, rr, rrRef)
+		gamma, rr := FusedCGUpdate3D(pool, in, alpha, p, s, x, rr2, nil)
+		if !close13(rr, rrRef) || !close13(gamma, rrRef) {
+			t.Errorf("%s: 3D (γ,rr) = (%v,%v), want %v", name, gamma, rr, rrRef)
 		}
 		for i := range x.Data {
 			if math.Abs(x.Data[i]-xRef.Data[i]) > 1e-13 || math.Abs(rr2.Data[i]-rRef.Data[i]) > 1e-13 {
 				t.Fatalf("%s: 3D update differs at %d", name, i)
 			}
 		}
+
+		// Folded diagonal: p = m⊙r + β·p and γ = Σ m·r·r.
+		minv := mk(7)
+		for i := range minv.Data {
+			minv.Data[i] = 0.5 + math.Abs(minv.Data[i])
+		}
+		pm, sm := mk(8), mk(9)
+		pmRef, smRef := mk(8), mk(9)
+		u := mk(10)
+		for i := range u.Data {
+			u.Data[i] = minv.Data[i] * r.Data[i]
+		}
+		Xpay3D(par.Serial, in, u, beta, pmRef)
+		Xpay3D(par.Serial, in, w, beta, smRef)
+		FusedCGDirections3D(pool, in, minv, r, w, beta, pm, sm)
+		fields3Close13(t, name+" folded p", pm, pmRef)
+		fields3Close13(t, name+" folded s", sm, smRef)
+
+		xm, rm := mk(11), mk(12)
+		xmRef, rmRef := mk(11), mk(12)
+		Axpy3D(par.Serial, in, alpha, pm, xmRef)
+		Axpy3D(par.Serial, in, -alpha, sm, rmRef)
+		var gammaRef float64
+		for k := 0; k < g3.NZ; k++ {
+			for j := 0; j < g3.NY; j++ {
+				for i := 0; i < g3.NX; i++ {
+					v := rmRef.At(i, j, k)
+					gammaRef += minv.At(i, j, k) * v * v
+				}
+			}
+		}
+		gammaM, _ := FusedCGUpdate3D(pool, in, alpha, pm, sm, xm, rm, minv)
+		if !close13(gammaM, gammaRef) {
+			t.Errorf("%s: folded γ = %v, want %v", name, gammaM, gammaRef)
+		}
+		fields3Close13(t, name+" folded x", xm, xmRef)
+		fields3Close13(t, name+" folded r", rm, rmRef)
 	}
 }
 
@@ -289,7 +327,7 @@ func TestDot3DMatchesNaive(t *testing.T) {
 		}
 	}
 	for name, pool := range fusionPools() {
-		if got := Dot3D(pool, x, y); !close13(got, want) {
+		if got := Dot3D(pool, g3.Interior(), x, y); !close13(got, want) {
 			t.Errorf("%s: Dot3D = %v, want %v (halo leak?)", name, got, want)
 		}
 	}
@@ -297,3 +335,99 @@ func TestDot3DMatchesNaive(t *testing.T) {
 
 // newRng mirrors testField's seeding for 3D fields.
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// fields3Close13 asserts two 3D fields agree to 1e-13 everywhere.
+func fields3Close13(t *testing.T, name string, got, want *grid.Field3D) {
+	t.Helper()
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-13 {
+			t.Fatalf("%s: differs at %d: %v vs %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestFusedPPCGInner3DMatchesComposed checks the fused 3D inner step
+// against the composed sequence on extended bounds with a folded diagonal.
+func TestFusedPPCGInner3DMatchesComposed(t *testing.T) {
+	g3 := grid.UnitGrid3D(8, 7, 6, 2)
+	in := g3.Interior()
+	b := in.ExpandSides(1, 1, 0, 1, 1, 1, g3)
+	mk := func(seed int64) *grid.Field3D {
+		f := grid.NewField3D(g3)
+		rng := newRng(seed)
+		for i := range f.Data {
+			f.Data[i] = rng.Float64()*2 - 1
+		}
+		return f
+	}
+	const alpha, beta = 0.42, 0.58
+	for name, pool := range fusionPools() {
+		w, minv := mk(20), mk(21)
+		for i := range minv.Data {
+			minv.Data[i] = 0.5 + math.Abs(minv.Data[i])
+		}
+		rtRef, sdRef, zRef := mk(22), mk(23), mk(24)
+		rt, sd, z := mk(22), mk(23), mk(24)
+
+		// Composed reference.
+		Axpy3D(par.Serial, b, -1, w, rtRef)
+		zscr := grid.NewField3D(g3)
+		for k := b.Z0; k < b.Z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				for i := b.X0; i < b.X1; i++ {
+					zscr.Set(i, j, k, minv.At(i, j, k)*rtRef.At(i, j, k))
+					sdRef.Set(i, j, k, alpha*sdRef.At(i, j, k)+beta*zscr.At(i, j, k))
+				}
+			}
+		}
+		Axpy3D(par.Serial, in, 1, sdRef, zRef)
+
+		FusedPPCGInner3D(pool, b, in, alpha, beta, w, rt, minv, sd, z)
+		fields3Close13(t, name+" rtemp", rt, rtRef)
+		fields3Close13(t, name+" sd", sd, sdRef)
+		fields3Close13(t, name+" z", z, zRef)
+	}
+}
+
+// TestAxpbyPre3DAndDot23D covers the remaining fused 3D BLAS1 kernels.
+func TestAxpbyPre3DAndDot23D(t *testing.T) {
+	g3 := grid.UnitGrid3D(9, 5, 4, 1)
+	in := g3.Interior()
+	mk := func(seed int64) *grid.Field3D {
+		f := grid.NewField3D(g3)
+		rng := newRng(seed)
+		for i := range f.Data {
+			f.Data[i] = rng.Float64()*2 - 1
+		}
+		return f
+	}
+	for name, pool := range fusionPools() {
+		y, r, minv := mk(30), mk(31), mk(32)
+		yRef := y.Clone()
+		const a, be = 0.7, -0.3
+		for k := 0; k < g3.NZ; k++ {
+			for j := 0; j < g3.NY; j++ {
+				for i := 0; i < g3.NX; i++ {
+					yRef.Set(i, j, k, a*yRef.At(i, j, k)+be*(minv.At(i, j, k)*r.At(i, j, k)))
+				}
+			}
+		}
+		AxpbyPre3D(pool, in, a, y, be, minv, r)
+		fields3Close13(t, name+" axpbypre", y, yRef)
+
+		x, yy, zz := mk(33), mk(34), mk(35)
+		var wantXY, wantYZ float64
+		for k := 0; k < g3.NZ; k++ {
+			for j := 0; j < g3.NY; j++ {
+				for i := 0; i < g3.NX; i++ {
+					wantXY += x.At(i, j, k) * yy.At(i, j, k)
+					wantYZ += yy.At(i, j, k) * zz.At(i, j, k)
+				}
+			}
+		}
+		xy, yz := Dot23D(pool, in, x, yy, zz)
+		if !close13(xy, wantXY) || !close13(yz, wantYZ) {
+			t.Errorf("%s: Dot23D = (%v,%v), want (%v,%v)", name, xy, yz, wantXY, wantYZ)
+		}
+	}
+}

@@ -5,28 +5,32 @@ import (
 	"tealeaf/internal/par"
 )
 
-// The 3D variants operate on the full interior of a Field3D (the 3D path
-// supports single-rank solves only, matching the paper's "the 3D results
-// are similar" evaluation) and parallelise over z-planes. Inner loops use
-// the same re-slicing and unrolling scheme as the 2D kernels.
+// The 3D variants operate on a Bounds3D box of a Field3D — the interior
+// for plain solver sweeps, matrix-powers extended bounds for the deep-halo
+// inner loops — and parallelise over z-planes. Inner loops use the same
+// re-slicing and unrolling scheme as the 2D kernels.
 
-// row3 re-slices the interior x-extent of row (j,k) of d.
-func row3(g *grid.Grid3D, d []float64, j, k int) []float64 {
-	o := g.Index(0, j, k)
-	return d[o : o+g.NX : o+g.NX]
+// row3 re-slices columns [b.X0, b.X1) of row (j,k) of d.
+func row3(g *grid.Grid3D, b grid.Bounds3D, d []float64, j, k int) []float64 {
+	o := g.Index(b.X0, j, k)
+	n := b.X1 - b.X0
+	return d[o : o+n : o+n]
 }
 
-// Dot3D returns Σ x·y over the interior.
-func Dot3D(p *par.Pool, x, y *grid.Field3D) float64 {
+// Dot3D returns Σ x·y over b.
+func Dot3D(p *par.Pool, b grid.Bounds3D, x, y *grid.Field3D) float64 {
+	if b.Empty() {
+		return 0
+	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
-	n := g.NX
-	return p.ForReduce(0, g.NZ, func(z0, z1 int) float64 {
+	n := b.X1 - b.X0
+	return p.ForReduce(b.Z0, b.Z1, func(z0, z1 int) float64 {
 		var s0, s1, s2, s3 float64
 		for k := z0; k < z1; k++ {
-			for j := 0; j < g.NY; j++ {
-				xs := row3(g, xd, j, k)
-				ys := row3(g, yd, j, k)
+			for j := b.Y0; j < b.Y1; j++ {
+				xs := row3(g, b, xd, j, k)
+				ys := row3(g, b, yd, j, k)
 				i := 0
 				for ; i+3 < n; i += 4 {
 					s0 += xs[i] * ys[i]
@@ -43,16 +47,53 @@ func Dot3D(p *par.Pool, x, y *grid.Field3D) float64 {
 	})
 }
 
-// Axpy3D computes y += alpha*x over the interior.
-func Axpy3D(p *par.Pool, alpha float64, x, y *grid.Field3D) {
+// Dot23D computes the pair (x·y, y·z) over b in one sweep and one
+// traversal of y — the 3D variant of Dot2, used for the fused (r·z, r·r)
+// pair of each PCG iteration.
+func Dot23D(p *par.Pool, b grid.Bounds3D, x, y, z *grid.Field3D) (xy, yz float64) {
+	if b.Empty() {
+		return 0, 0
+	}
+	g := x.Grid
+	xd, yd, zd := x.Data, y.Data, z.Data
+	n := b.X1 - b.X0
+	return p.ForReduce2(b.Z0, b.Z1, func(z0, z1 int) (float64, float64) {
+		var a0, a1, c0, c1 float64
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				xs := row3(g, b, xd, j, k)
+				ys := row3(g, b, yd, j, k)
+				zs := row3(g, b, zd, j, k)
+				i := 0
+				for ; i+1 < n; i += 2 {
+					a0 += xs[i] * ys[i]
+					c0 += ys[i] * zs[i]
+					a1 += xs[i+1] * ys[i+1]
+					c1 += ys[i+1] * zs[i+1]
+				}
+				for ; i < n; i++ {
+					a0 += xs[i] * ys[i]
+					c0 += ys[i] * zs[i]
+				}
+			}
+		}
+		return a0 + a1, c0 + c1
+	})
+}
+
+// Axpy3D computes y += alpha*x over b.
+func Axpy3D(p *par.Pool, b grid.Bounds3D, alpha float64, x, y *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
-	n := g.NX
-	p.For(0, g.NZ, func(z0, z1 int) {
+	n := b.X1 - b.X0
+	p.For(b.Z0, b.Z1, func(z0, z1 int) {
 		for k := z0; k < z1; k++ {
-			for j := 0; j < g.NY; j++ {
-				xs := row3(g, xd, j, k)
-				ys := row3(g, yd, j, k)
+			for j := b.Y0; j < b.Y1; j++ {
+				xs := row3(g, b, xd, j, k)
+				ys := row3(g, b, yd, j, k)
 				i := 0
 				for ; i+3 < n; i += 4 {
 					ys[i] += alpha * xs[i]
@@ -68,16 +109,19 @@ func Axpy3D(p *par.Pool, alpha float64, x, y *grid.Field3D) {
 	})
 }
 
-// Xpay3D computes y = x + beta*y over the interior.
-func Xpay3D(p *par.Pool, x *grid.Field3D, beta float64, y *grid.Field3D) {
+// Xpay3D computes y = x + beta*y over b.
+func Xpay3D(p *par.Pool, b grid.Bounds3D, x *grid.Field3D, beta float64, y *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
-	n := g.NX
-	p.For(0, g.NZ, func(z0, z1 int) {
+	n := b.X1 - b.X0
+	p.For(b.Z0, b.Z1, func(z0, z1 int) {
 		for k := z0; k < z1; k++ {
-			for j := 0; j < g.NY; j++ {
-				xs := row3(g, xd, j, k)
-				ys := row3(g, yd, j, k)
+			for j := b.Y0; j < b.Y1; j++ {
+				xs := row3(g, b, xd, j, k)
+				ys := row3(g, b, yd, j, k)
 				i := 0
 				for ; i+3 < n; i += 4 {
 					ys[i] = xs[i] + beta*ys[i]
@@ -93,28 +137,205 @@ func Xpay3D(p *par.Pool, x *grid.Field3D, beta float64, y *grid.Field3D) {
 	})
 }
 
-// FusedCGDirections3D is the 3D (unpreconditioned) variant of
-// FusedCGDirections: p = r + β·p and s = w + β·s in one sweep.
-func FusedCGDirections3D(pl *par.Pool, r, w *grid.Field3D, beta float64, p, s *grid.Field3D) {
-	g := r.Grid
-	rd, wd, pd, sd := r.Data, w.Data, p.Data, s.Data
-	n := g.NX
-	pl.For(0, g.NZ, func(z0, z1 int) {
+// Copy3D copies src into dst over b.
+func Copy3D(p *par.Pool, b grid.Bounds3D, dst, src *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
+	g := src.Grid
+	sd, dd := src.Data, dst.Data
+	p.For(b.Z0, b.Z1, func(z0, z1 int) {
 		for k := z0; k < z1; k++ {
-			for j := 0; j < g.NY; j++ {
-				rs := row3(g, rd, j, k)
-				ws := row3(g, wd, j, k)
-				ps := row3(g, pd, j, k)
-				ss := row3(g, sd, j, k)
+			for j := b.Y0; j < b.Y1; j++ {
+				copy(row3(g, b, dd, j, k), row3(g, b, sd, j, k))
+			}
+		}
+	})
+}
+
+// ScaleTo3D computes dst = alpha*src over b.
+func ScaleTo3D(p *par.Pool, b grid.Bounds3D, alpha float64, src, dst *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
+	g := src.Grid
+	sd, dd := src.Data, dst.Data
+	n := b.X1 - b.X0
+	p.For(b.Z0, b.Z1, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				ss := row3(g, b, sd, j, k)
+				ds := row3(g, b, dd, j, k)
+				for i := 0; i < n; i++ {
+					ds[i] = alpha * ss[i]
+				}
+			}
+		}
+	})
+}
+
+// AxpyAxpy3D fuses two independent AXPYs into one sweep over b:
+// y1 += a1*x1 and y2 += a2*x2 — the fused u/r update of the 3D Chebyshev
+// and PPCG outer loops.
+func AxpyAxpy3D(p *par.Pool, b grid.Bounds3D, a1 float64, x1, y1 *grid.Field3D, a2 float64, x2, y2 *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
+	g := x1.Grid
+	x1d, y1d, x2d, y2d := x1.Data, y1.Data, x2.Data, y2.Data
+	n := b.X1 - b.X0
+	p.For(b.Z0, b.Z1, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				x1s := row3(g, b, x1d, j, k)
+				y1s := row3(g, b, y1d, j, k)
+				x2s := row3(g, b, x2d, j, k)
+				y2s := row3(g, b, y2d, j, k)
 				i := 0
 				for ; i+1 < n; i += 2 {
-					ps[i] = rs[i] + beta*ps[i]
-					ss[i] = ws[i] + beta*ss[i]
-					ps[i+1] = rs[i+1] + beta*ps[i+1]
-					ss[i+1] = ws[i+1] + beta*ss[i+1]
+					y1s[i] += a1 * x1s[i]
+					y2s[i] += a2 * x2s[i]
+					y1s[i+1] += a1 * x1s[i+1]
+					y2s[i+1] += a2 * x2s[i+1]
 				}
 				for ; i < n; i++ {
-					ps[i] = rs[i] + beta*ps[i]
+					y1s[i] += a1 * x1s[i]
+					y2s[i] += a2 * x2s[i]
+				}
+			}
+		}
+	})
+}
+
+// AxpbyPre3D fuses the diagonal preconditioner into the Chebyshev
+// direction update over b: y = a*y + beta*(minv ⊙ r), nil minv selecting
+// the identity — the 3D variant of AxpbyPre.
+func AxpbyPre3D(p *par.Pool, b grid.Bounds3D, a float64, y *grid.Field3D, beta float64, minv, r *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
+	g := y.Grid
+	yd, rd := y.Data, r.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	p.For(b.Z0, b.Z1, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				ys := row3(g, b, yd, j, k)
+				rs := row3(g, b, rd, j, k)
+				if md == nil {
+					for i := 0; i < n; i++ {
+						ys[i] = a*ys[i] + beta*rs[i]
+					}
+					continue
+				}
+				ms := row3(g, b, md, j, k)
+				for i := 0; i < n; i++ {
+					ys[i] = a*ys[i] + beta*(ms[i]*rs[i])
+				}
+			}
+		}
+	})
+}
+
+// PrecondDot3D fuses z = minv ⊙ r with r·z over b (nil minv: identity,
+// z filled from r unless aliased, returning r·r).
+func PrecondDot3D(p *par.Pool, b grid.Bounds3D, minv, r, z *grid.Field3D) float64 {
+	if b.Empty() {
+		return 0
+	}
+	if minv == nil {
+		if z != r {
+			Copy3D(p, b, z, r)
+		}
+		return Dot3D(p, b, r, r)
+	}
+	g := r.Grid
+	md, rd, zd := minv.Data, r.Data, z.Data
+	n := b.X1 - b.X0
+	return p.ForReduce(b.Z0, b.Z1, func(z0, z1 int) float64 {
+		var s0, s1 float64
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				ms := row3(g, b, md, j, k)
+				rs := row3(g, b, rd, j, k)
+				zs := row3(g, b, zd, j, k)
+				i := 0
+				for ; i+1 < n; i += 2 {
+					v0 := ms[i] * rs[i]
+					zs[i] = v0
+					s0 += rs[i] * v0
+					v1 := ms[i+1] * rs[i+1]
+					zs[i+1] = v1
+					s1 += rs[i+1] * v1
+				}
+				for ; i < n; i++ {
+					v := ms[i] * rs[i]
+					zs[i] = v
+					s0 += rs[i] * v
+				}
+			}
+		}
+		return s0 + s1
+	})
+}
+
+// FusedCGDirections3D is pass one of the 3D single-reduction CG
+// iteration: p = (minv ⊙ r) + β·p and s = w + β·s in one sweep over b,
+// with nil minv selecting the identity — mirrors FusedCGDirections.
+func FusedCGDirections3D(pl *par.Pool, b grid.Bounds3D, minv, r, w *grid.Field3D, beta float64, p, s *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
+	g := r.Grid
+	rd, wd, pd, sd := r.Data, w.Data, p.Data, s.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	pl.For(b.Z0, b.Z1, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				rs := row3(g, b, rd, j, k)
+				ps := row3(g, b, pd, j, k)
+				if md == nil {
+					i := 0
+					for ; i+3 < n; i += 4 {
+						ps[i] = rs[i] + beta*ps[i]
+						ps[i+1] = rs[i+1] + beta*ps[i+1]
+						ps[i+2] = rs[i+2] + beta*ps[i+2]
+						ps[i+3] = rs[i+3] + beta*ps[i+3]
+					}
+					for ; i < n; i++ {
+						ps[i] = rs[i] + beta*ps[i]
+					}
+				} else {
+					ms := row3(g, b, md, j, k)
+					i := 0
+					for ; i+3 < n; i += 4 {
+						ps[i] = ms[i]*rs[i] + beta*ps[i]
+						ps[i+1] = ms[i+1]*rs[i+1] + beta*ps[i+1]
+						ps[i+2] = ms[i+2]*rs[i+2] + beta*ps[i+2]
+						ps[i+3] = ms[i+3]*rs[i+3] + beta*ps[i+3]
+					}
+					for ; i < n; i++ {
+						ps[i] = ms[i]*rs[i] + beta*ps[i]
+					}
+				}
+				ws := row3(g, b, wd, j, k)
+				ss := row3(g, b, sd, j, k)
+				i := 0
+				for ; i+3 < n; i += 4 {
+					ss[i] = ws[i] + beta*ss[i]
+					ss[i+1] = ws[i+1] + beta*ss[i+1]
+					ss[i+2] = ws[i+2] + beta*ss[i+2]
+					ss[i+3] = ws[i+3] + beta*ss[i+3]
+				}
+				for ; i < n; i++ {
 					ss[i] = ws[i] + beta*ss[i]
 				}
 			}
@@ -122,39 +343,138 @@ func FusedCGDirections3D(pl *par.Pool, r, w *grid.Field3D, beta float64, p, s *g
 	})
 }
 
-// FusedCGUpdate3D is the 3D (unpreconditioned) variant of FusedCGUpdate:
-// x += α·p, r −= α·s and rr = Σ r·r in one sweep.
-func FusedCGUpdate3D(pl *par.Pool, alpha float64, p, s, x, r *grid.Field3D) float64 {
+// FusedCGUpdate3D is pass two of the 3D single-reduction CG iteration:
+// x += α·p, r −= α·s, γ = Σ r·(minv ⊙ r), rr = Σ r·r in one sweep over b.
+// nil minv selects the identity, for which γ == rr.
+func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, minv *grid.Field3D) (gamma, rr float64) {
+	if b.Empty() {
+		return 0, 0
+	}
 	g := r.Grid
 	pd, sd, xd, rd := p.Data, s.Data, x.Data, r.Data
-	n := g.NX
-	return pl.ForReduce(0, g.NZ, func(z0, z1 int) float64 {
-		var rr0, rr1 float64
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	return pl.ForReduce2(b.Z0, b.Z1, func(z0, z1 int) (float64, float64) {
+		var g0, g1, rr0, rr1 float64
 		for k := z0; k < z1; k++ {
-			for j := 0; j < g.NY; j++ {
-				ps := row3(g, pd, j, k)
-				ss := row3(g, sd, j, k)
-				xs := row3(g, xd, j, k)
-				rs := row3(g, rd, j, k)
+			for j := b.Y0; j < b.Y1; j++ {
+				ps := row3(g, b, pd, j, k)
+				xs := row3(g, b, xd, j, k)
 				i := 0
-				for ; i+1 < n; i += 2 {
+				for ; i+3 < n; i += 4 {
 					xs[i] += alpha * ps[i]
-					v0 := rs[i] - alpha*ss[i]
-					rs[i] = v0
-					rr0 += v0 * v0
 					xs[i+1] += alpha * ps[i+1]
-					v1 := rs[i+1] - alpha*ss[i+1]
-					rs[i+1] = v1
-					rr1 += v1 * v1
+					xs[i+2] += alpha * ps[i+2]
+					xs[i+3] += alpha * ps[i+3]
 				}
 				for ; i < n; i++ {
 					xs[i] += alpha * ps[i]
+				}
+				ss := row3(g, b, sd, j, k)
+				rs := row3(g, b, rd, j, k)
+				if md == nil {
+					i = 0
+					for ; i+1 < n; i += 2 {
+						v0 := rs[i] - alpha*ss[i]
+						rs[i] = v0
+						rr0 += v0 * v0
+						v1 := rs[i+1] - alpha*ss[i+1]
+						rs[i+1] = v1
+						rr1 += v1 * v1
+					}
+					for ; i < n; i++ {
+						v := rs[i] - alpha*ss[i]
+						rs[i] = v
+						rr0 += v * v
+					}
+					continue
+				}
+				ms := row3(g, b, md, j, k)
+				i = 0
+				for ; i+1 < n; i += 2 {
+					v0 := rs[i] - alpha*ss[i]
+					rs[i] = v0
+					g0 += ms[i] * v0 * v0
+					rr0 += v0 * v0
+					v1 := rs[i+1] - alpha*ss[i+1]
+					rs[i+1] = v1
+					g1 += ms[i+1] * v1 * v1
+					rr1 += v1 * v1
+				}
+				for ; i < n; i++ {
 					v := rs[i] - alpha*ss[i]
 					rs[i] = v
+					g0 += ms[i] * v * v
 					rr0 += v * v
 				}
 			}
 		}
-		return rr0 + rr1
+		if md == nil {
+			return rr0 + rr1, rr0 + rr1
+		}
+		return g0 + g1, rr0 + rr1
+	})
+}
+
+// FusedPPCGInner3D is the fused Chebyshev inner step of 3D PPCG:
+//
+//	rtemp −= w
+//	sd     = α·sd + β·(minv ⊙ rtemp)     over b (matrix-powers bounds)
+//	z     += sd                           over in (the interior) only
+//
+// b must contain in; cells outside in update rtemp/sd but not z, exactly
+// as the matrix-powers schedule requires on extended bounds. nil minv
+// selects the identity preconditioner.
+func FusedPPCGInner3D(pl *par.Pool, b, in grid.Bounds3D, alpha, beta float64, w, rtemp, minv, sd, z *grid.Field3D) {
+	if b.Empty() {
+		return
+	}
+	g := rtemp.Grid
+	wd, rd, sdd, zd := w.Data, rtemp.Data, sd.Data, z.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	// Column offsets of the interior within b's row slices.
+	zlo, zhi := in.X0-b.X0, in.X1-b.X0
+	pl.For(b.Z0, b.Z1, func(z0, z1 int) {
+		for k := z0; k < z1; k++ {
+			inZ := k >= in.Z0 && k < in.Z1
+			for j := b.Y0; j < b.Y1; j++ {
+				ws := row3(g, b, wd, j, k)
+				rs := row3(g, b, rd, j, k)
+				ss := row3(g, b, sdd, j, k)
+				if md == nil {
+					for i := 0; i < n; i++ {
+						v := rs[i] - ws[i]
+						rs[i] = v
+						ss[i] = alpha*ss[i] + beta*v
+					}
+				} else {
+					ms := row3(g, b, md, j, k)
+					for i := 0; i < n; i++ {
+						v := rs[i] - ws[i]
+						rs[i] = v
+						ss[i] = alpha*ss[i] + beta*(ms[i]*v)
+					}
+				}
+				if inZ && j >= in.Y0 && j < in.Y1 {
+					zs := row3(g, in, zd, j, k)
+					sz := ss[zlo:zhi]
+					i := 0
+					for ; i+1 < len(sz); i += 2 {
+						zs[i] += sz[i]
+						zs[i+1] += sz[i+1]
+					}
+					for ; i < len(sz); i++ {
+						zs[i] += sz[i]
+					}
+				}
+			}
+		}
 	})
 }

@@ -1,0 +1,96 @@
+package precond
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+	"tealeaf/internal/stencil"
+)
+
+func testOperator3D(t *testing.T, n, halo int) *stencil.Operator3D {
+	t.Helper()
+	g := grid.UnitGrid3D(n, n, n, halo)
+	den := grid.NewField3D(g)
+	rng := rand.New(rand.NewSource(42))
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				den.Set(i, j, k, 0.5+rng.Float64()*4)
+			}
+		}
+	}
+	den.ReflectHalos(halo)
+	op, err := stencil.BuildOperator3D(par.Serial, den, 0.05, stencil.Conductivity, stencil.AllPhysical3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestJacobi3DInvertsDiagonal(t *testing.T) {
+	op := testOperator3D(t, 6, 2)
+	g := op.Grid
+	m := NewJacobi3D(par.Serial, op)
+	d := grid.NewField3D(g)
+	op.Diagonal(par.Serial, g.Interior(), d)
+	r := grid.NewField3D(g)
+	r.Fill(1)
+	z := grid.NewField3D(g)
+	m.Apply3D(par.Serial, g.Interior(), r, z)
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				if math.Abs(z.At(i, j, k)*d.At(i, j, k)-1) > 1e-14 {
+					t.Fatalf("z·diag != 1 at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	// The inverse diagonal must be valid one layer beyond the interior
+	// (matrix-powers extended bounds read it there).
+	if m.InvDiag3D().At(-1, 2, 2) == 0 || m.InvDiag3D().At(g.NX, 2, 2) == 0 {
+		t.Error("InvDiag3D must cover the padded region minus its outermost layer")
+	}
+}
+
+func TestFoldableDiag3D(t *testing.T) {
+	op := testOperator3D(t, 4, 2)
+	if f, ok := FoldableDiag3D(NewNone3D()); !ok || f != nil {
+		t.Error("identity folds to nil")
+	}
+	m := NewJacobi3D(par.Serial, op)
+	if f, ok := FoldableDiag3D(m); !ok || f != m.InvDiag3D() {
+		t.Error("jacobi folds to its inverse diagonal")
+	}
+}
+
+func TestFromName3D(t *testing.T) {
+	op := testOperator3D(t, 4, 2)
+	for name, want := range map[string]string{"": "none", "none": "none", "jac_diag": "jac_diag"} {
+		m, err := FromName3D(name, par.Serial, op)
+		if err != nil || m.Name() != want {
+			t.Errorf("FromName3D(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := FromName3D("jac_block", par.Serial, op); err == nil {
+		t.Error("jac_block must be rejected on the 3D path, not silently downgraded")
+	}
+	if _, err := FromName3D("bogus", par.Serial, op); err == nil {
+		t.Error("unknown names must error")
+	}
+}
+
+func TestNone3DCopies(t *testing.T) {
+	g := grid.UnitGrid3D(4, 4, 4, 1)
+	r := grid.NewField3D(g)
+	r.Fill(3)
+	z := grid.NewField3D(g)
+	NewNone3D().Apply3D(par.Serial, g.Interior(), r, z)
+	if z.At(2, 2, 2) != 3 {
+		t.Error("None3D must copy")
+	}
+	NewNone3D().Apply3D(par.Serial, g.Interior(), r, r) // aliased: no-op, no panic
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 
 	"tealeaf/internal/grid"
@@ -110,9 +111,11 @@ func runCGFused(e *env, p Problem, o Options, minv *grid.Field2D, maxIters int, 
 		return result, mkState(0, 0, 0), nil
 	}
 	if delta <= 0 || math.IsNaN(delta) {
-		// A or M lost positive definiteness at startup; nothing to do.
+		// A or M lost positive definiteness at startup; no iteration can
+		// proceed — surface it instead of returning a silent residual of 1.
 		result.FinalResidual = 1
-		return result, mkState(gamma, rr0, rr0), nil
+		result.Breakdown = true
+		return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: startup curvature δ = %v: %w", delta, ErrBreakdown)
 	}
 
 	alpha := gamma / delta
@@ -146,7 +149,8 @@ func runCGFused(e *env, p Problem, o Options, minv *grid.Field2D, maxIters int, 
 		if denom <= 0 || math.IsNaN(denom) {
 			// Breakdown: the three-term recurrences lost conjugacy (or A
 			// is numerically semi-definite). Stop like the classic path's
-			// pw == 0 guard.
+			// pw == 0 guard, and record it.
+			result.Breakdown = true
 			rr = rrNew
 			break
 		}
@@ -205,6 +209,7 @@ func runCGClassic(e *env, p Problem, o Options, maxIters int, tol float64) (Resu
 		}
 		pw := e.matvecDot(in, pvec, w)
 		if pw == 0 {
+			result.Breakdown = true
 			break // breakdown: direction is A-null, cannot proceed
 		}
 		alpha := rz / pw

@@ -1,137 +1,233 @@
 package solver
 
 import (
-	"errors"
+	"fmt"
 	"math"
 
 	"tealeaf/internal/grid"
 	"tealeaf/internal/kernels"
-	"tealeaf/internal/stencil"
+	"tealeaf/internal/precond"
 )
 
-// Problem3D is a single-rank 3D solve A·u = rhs with the 7-point operator.
-// The paper's evaluation is 2D ("the 3D results are similar"); the 3D path
-// exists so the 7-point discretisation is exercised end-to-end.
-type Problem3D struct {
-	Op  *stencil.Operator3D
-	U   *grid.Field3D
-	RHS *grid.Field3D
-}
-
-// SolveCG3D runs plain conjugate gradients on a 3D problem with reflective
-// physical boundaries. The default fused path mirrors the 2D
-// single-reduction loop: three sweeps over the volume per iteration, with
-// every dot product produced by a fused kernel.
+// SolveCG3D runs (preconditioned) conjugate gradients on a 3D problem.
+// The default fused path mirrors the 2D single-reduction loop: three
+// sweeps over the volume per iteration with every dot product produced by
+// a fused kernel and all scalars carried by one reduction round. It runs
+// identically single-rank (reflective physical boundaries) and
+// distributed over a grid.Partition3D (face exchanges through the
+// communicator).
 func SolveCG3D(p Problem3D, o Options) (Result, error) {
 	o = o.withDefaults()
-	if p.Op == nil || p.U == nil || p.RHS == nil {
-		return Result{}, errors.New("solver: 3D problem needs operator, solution and RHS fields")
+	if err := o.validate3(p); err != nil {
+		return Result{}, err
 	}
-	if o.Fused {
-		return solveCG3DFused(p, o)
-	}
-	return solveCG3DClassic(p, o)
+	e := newEnv3(p, o)
+	res, _, err := runCG3D(e, p, o, o.MaxIters, o.Tol)
+	return res, err
 }
 
-// solveCG3DFused is the unpreconditioned Chronopoulos–Gear loop in 3D:
+// cgState3 is the live state runCG3D leaves behind so Chebyshev/PPCG can
+// continue from the bootstrap phase without recomputing the residual.
+type cgState3 struct {
+	r, z, w, pvec *grid.Field3D
+	rz, rr, rr0   float64
+}
+
+// runCG3D dispatches to the fused single-reduction engine when the
+// options and preconditioner allow it, and to the classic multi-pass
+// engine otherwise — the same rule as the 2D runCG: folding a diagonal
+// preconditioner needs minv valid one cell beyond the interior, which on
+// a halo-1 grid is only safe single-rank (physical-face coefficients are
+// zero there; across rank boundaries the coupling is real).
+func runCG3D(e *env3, p Problem3D, o Options, maxIters int, tol float64) (Result, *cgState3, error) {
+	if o.Fused {
+		if minv, ok := precond.FoldableDiag3D(o.Precond3D); ok {
+			if minv == nil || o.Comm.Size() == 1 || p.Op.Grid.Halo >= 2 {
+				return runCG3DFused(e, p, o, minv, maxIters, tol)
+			}
+		}
+	}
+	return runCG3DClassic(e, p, o, maxIters, tol)
+}
+
+// runCG3DFused is the 3D Chronopoulos–Gear single-reduction PCG engine,
+// structurally identical to the 2D runCGFused:
 //
-//	sweep 1: p = r + β·p;  s = w + β·s
-//	sweep 2: x += α·p; r −= α·s; rr = r·r
-//	sweep 3: w = A·r;  δ = r·w  (and ‖w‖² as a breakdown sentinel)
-func solveCG3DFused(p Problem3D, o Options) (Result, error) {
+//	sweep 1: p = u + β·p;  s = w + β·s           (FusedCGDirections3D)
+//	sweep 2: x += α·p; r −= α·s; γ' = r·u'; rr = r·r  (FusedCGUpdate3D)
+//	         exchange halo of r
+//	sweep 3: w = A·u';  δ = u'·w                 (ApplyPreDot)
+//	allreduce {γ', rr, δ} in one round
+//
+// with u = M⁻¹r never materialised (minv == nil is the identity).
+func runCG3DFused(e *env3, p Problem3D, o Options, minv *grid.Field3D, maxIters int, tol float64) (Result, *cgState3, error) {
 	g := p.Op.Grid
-	pool := o.Pool
+	in := e.in
 	var result Result
 
 	r := grid.NewField3D(g)
 	w := grid.NewField3D(g)
-	pv := grid.NewField3D(g)
-	sv := grid.NewField3D(g)
+	pvec := grid.NewField3D(g)
+	svec := grid.NewField3D(g)
+	z := r
+	if minv != nil {
+		z = nil
+	}
+	mkState := func(gamma, rr, rr0 float64) *cgState3 {
+		return &cgState3{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
+	}
 
-	p.U.ReflectHalos(1)
-	p.Op.Residual(pool, p.U, p.RHS, r)
-	rr0 := kernels.Dot3D(pool, r, r)
+	if err := e.exchange(1, p.U); err != nil {
+		return result, nil, err
+	}
+	e.op.Residual(e.p, in, p.U, p.RHS, r)
+	e.tr.AddMatvec(in.Cells())
+	if err := e.exchange(1, r); err != nil {
+		return result, nil, err
+	}
+	gamma, delta, rr0 := e.op.ApplyPreDotInit(e.p, in, minv, r, w)
+	e.tr.AddMatvec(in.Cells())
+	sums := e.c.AllReduceSumN([]float64{gamma, delta, rr0})
+	gamma, delta, rr0 = sums[0], sums[1], sums[2]
 	if rr0 == 0 {
 		result.Converged = true
-		return result, nil
+		return result, mkState(0, 0, 0), nil
 	}
-	r.ReflectHalos(1)
-	delta, ww := p.Op.ApplyDot2(pool, r, w)
-	if delta <= 0 || math.IsNaN(ww) {
+	if delta <= 0 || math.IsNaN(delta) {
+		// A or M lost positive definiteness at startup: an explicit error,
+		// not a silent FinalResidual of 1 — callers must be able to tell
+		// "diverged" from "broke down before iterating".
 		result.FinalResidual = 1
-		return result, nil
+		result.Breakdown = true
+		return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: 3D startup curvature δ = %v: %w", delta, ErrBreakdown)
 	}
 
-	alpha := rr0 / delta
+	alpha := gamma / delta
 	beta := 0.0
 	rr := rr0
-	for it := 0; it < o.MaxIters; it++ {
-		kernels.FusedCGDirections3D(pool, r, w, beta, pv, sv)
-		rrNew := kernels.FusedCGUpdate3D(pool, alpha, pv, sv, p.U, r)
-		r.ReflectHalos(1)
-		deltaNew, wwNew := p.Op.ApplyDot2(pool, r, w)
+	for it := 0; it < maxIters; it++ {
+		kernels.FusedCGDirections3D(e.p, in, minv, r, w, beta, pvec, svec)
+		e.tr.AddVectorPass(in.Cells())
+		gammaNew, rrNew := kernels.FusedCGUpdate3D(e.p, in, alpha, pvec, svec, p.U, r, minv)
+		e.tr.AddVectorPass(in.Cells())
+		if err := e.exchange(1, r); err != nil {
+			return result, nil, err
+		}
+		deltaNew := e.op.ApplyPreDot(e.p, in, minv, r, w)
+		e.tr.AddMatvec(in.Cells())
+		s := e.c.AllReduceSumN([]float64{gammaNew, rrNew, deltaNew})
+		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
 
+		result.Alphas = append(result.Alphas, alpha)
 		result.Iterations++
 		rel := relResidual(rrNew, rr0)
 		result.History = append(result.History, rel)
-		result.FinalResidual = rel
-		if rel <= o.Tol {
+		if rel <= tol {
 			result.Converged = true
-			return result, nil
+			result.FinalResidual = rel
+			return result, mkState(gammaNew, rrNew, rr0), nil
 		}
-		betaNew := rrNew / rr
-		denom := deltaNew - betaNew*rrNew/alpha
-		if denom <= 0 || math.IsNaN(denom) || math.IsNaN(wwNew) {
+
+		betaNew := gammaNew / gamma
+		denom := deltaNew - betaNew*gammaNew/alpha
+		if denom <= 0 || math.IsNaN(denom) || math.IsNaN(rrNew) {
+			// In-loop breakdown after useful progress: stop like the
+			// classic path's pw == 0 guard, and record it in the result.
+			result.Breakdown = true
+			rr = rrNew
 			break
 		}
-		rr = rrNew
-		beta, alpha = betaNew, rrNew/denom
+		result.Betas = append(result.Betas, betaNew)
+		gamma, rr = gammaNew, rrNew
+		beta, alpha = betaNew, gammaNew/denom
 	}
-	return result, nil
+	result.FinalResidual = relResidual(rr, rr0)
+	return result, mkState(gamma, rr, rr0), nil
 }
 
-// solveCG3DClassic is the seed's 3D CG, kept as the reference path behind
-// Options.DisableFused, now on the shared 3D kernels.
-func solveCG3DClassic(p Problem3D, o Options) (Result, error) {
+// runCG3DClassic is the multi-pass 3D PCG engine, the reference path
+// behind Options.DisableFused and for non-foldable configurations.
+func runCG3DClassic(e *env3, p Problem3D, o Options, maxIters int, tol float64) (Result, *cgState3, error) {
 	g := p.Op.Grid
-	pool := o.Pool
+	in := e.in
 	var result Result
 
 	r := grid.NewField3D(g)
 	w := grid.NewField3D(g)
-	pv := grid.NewField3D(g)
+	pvec := grid.NewField3D(g)
+	z := r // identity preconditioner: z aliases r
+	if !isNone3(o.Precond3D) {
+		z = grid.NewField3D(g)
+	}
 
-	p.U.ReflectHalos(1)
-	p.Op.Residual(pool, p.U, p.RHS, r)
-	rr0 := kernels.Dot3D(pool, r, r)
+	rr0, err := e.initialResidual(p.U, p.RHS, r)
+	if err != nil {
+		return result, nil, err
+	}
 	if rr0 == 0 {
 		result.Converged = true
-		return result, nil
+		return result, &cgState3{r: r, z: z, w: w, pvec: pvec}, nil
 	}
-	copy(pv.Data, r.Data)
-	rr := rr0
 
-	for it := 0; it < o.MaxIters; it++ {
-		pv.ReflectHalos(1)
-		pw := p.Op.ApplyDot(pool, pv, w)
-		if pw == 0 {
-			break
-		}
-		alpha := rr / pw
-		kernels.Axpy3D(pool, alpha, pv, p.U)
-		kernels.Axpy3D(pool, -alpha, w, r)
-		rrNew := kernels.Dot3D(pool, r, r)
-		beta := rrNew / rr
-		rr = rrNew
-		result.Iterations++
-		rel := math.Sqrt(rr / rr0)
-		result.History = append(result.History, rel)
-		result.FinalResidual = rel
-		if rel <= o.Tol {
-			result.Converged = true
-			break
-		}
-		kernels.Xpay3D(pool, r, beta, pv)
+	e.applyPrecond(o.Precond3D, in, r, z)
+	kernels.Copy3D(e.p, in, pvec, z)
+	e.tr.AddVectorPass(in.Cells())
+
+	var rz, rr float64
+	if z == r {
+		rz = e.dot(r, r)
+		rr = rz
+	} else if o.FusedDots {
+		rz, rr = e.dotPair(z, r)
+	} else {
+		rz = e.dot(r, z)
+		rr = e.dot(r, r)
 	}
-	return result, nil
+
+	for it := 0; it < maxIters; it++ {
+		if err := e.exchange(1, pvec); err != nil {
+			return result, nil, err
+		}
+		pw := e.matvecDot(in, pvec, w)
+		if pw == 0 {
+			result.Breakdown = true
+			break // breakdown: direction is A-null, cannot proceed
+		}
+		alpha := rz / pw
+		kernels.Axpy3D(e.p, in, alpha, pvec, p.U)
+		kernels.Axpy3D(e.p, in, -alpha, w, r)
+		e.tr.AddVectorPass(in.Cells())
+		e.tr.AddVectorPass(in.Cells())
+
+		e.applyPrecond(o.Precond3D, in, r, z)
+
+		var rzNew, rrNew float64
+		if z == r {
+			rzNew = e.dot(r, r)
+			rrNew = rzNew
+		} else if o.FusedDots {
+			rzNew, rrNew = e.dotPair(z, r)
+		} else {
+			rzNew = e.dot(r, z)
+			rrNew = e.dot(r, r)
+		}
+
+		beta := rzNew / rz
+		result.Alphas = append(result.Alphas, alpha)
+		result.Iterations++
+		rel := relResidual(rrNew, rr0)
+		result.History = append(result.History, rel)
+		rz, rr = rzNew, rrNew
+		if rel <= tol {
+			result.Converged = true
+			result.FinalResidual = rel
+			return result, &cgState3{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+		}
+		result.Betas = append(result.Betas, beta)
+
+		kernels.Xpay3D(e.p, in, z, beta, pvec)
+		e.tr.AddVectorPass(in.Cells())
+	}
+	result.FinalResidual = relResidual(rr, rr0)
+	return result, &cgState3{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
 }

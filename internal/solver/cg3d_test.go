@@ -1,18 +1,25 @@
 package solver
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"tealeaf/internal/grid"
 	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
 	"tealeaf/internal/stencil"
 )
 
 func buildProblem3D(t *testing.T, n int, seed int64) Problem3D {
 	t.Helper()
-	g := grid.UnitGrid3D(n, n, n, 1)
+	return buildProblem3DHalo(t, n, seed, 1)
+}
+
+func buildProblem3DHalo(t *testing.T, n int, seed int64, halo int) Problem3D {
+	t.Helper()
+	g := grid.UnitGrid3D(n, n, n, halo)
 	den := grid.NewField3D(g)
 	rng := rand.New(rand.NewSource(seed))
 	for k := 0; k < n; k++ {
@@ -22,8 +29,8 @@ func buildProblem3D(t *testing.T, n int, seed int64) Problem3D {
 			}
 		}
 	}
-	den.ReflectHalos(1)
-	op, err := stencil.BuildOperator3D(par.Serial, den, 0.02, stencil.Conductivity)
+	den.ReflectHalos(halo)
+	op, err := stencil.BuildOperator3D(par.Serial, den, 0.02, stencil.Conductivity, stencil.AllPhysical3D)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +62,7 @@ func TestSolveCG3DConverges(t *testing.T) {
 	g := p.Op.Grid
 	r := grid.NewField3D(g)
 	p.U.ReflectHalos(1)
-	p.Op.Residual(par.Serial, p.U, p.RHS, r)
+	p.Op.Residual(par.Serial, g.Interior(), p.U, p.RHS, r)
 	var rr, bb float64
 	for k := 0; k < g.NZ; k++ {
 		for j := 0; j < g.NY; j++ {
@@ -148,5 +155,116 @@ func TestFusedMatchesUnfusedCG3D(t *testing.T) {
 			t.Errorf("w%d: solutions differ by %v", workers, d)
 		}
 		pool.Close()
+	}
+}
+
+// Jacobi-preconditioned fused CG must agree with the unfused
+// preconditioned loop and actually reduce iterations on a stiff problem.
+func TestSolveCG3DJacobiPreconditioned(t *testing.T) {
+	pf := buildProblem3DHalo(t, 12, 7, 2)
+	pu := buildProblem3DHalo(t, 12, 7, 2)
+	mf := precond.NewJacobi3D(par.Serial, pf.Op)
+	mu := precond.NewJacobi3D(par.Serial, pu.Op)
+	resF, err := SolveCG3D(pf, Options{Tol: 1e-10, Precond3D: mf})
+	if err != nil || !resF.Converged {
+		t.Fatalf("fused jacobi: %v %+v", err, resF)
+	}
+	resU, err := SolveCG3D(pu, Options{Tol: 1e-10, Precond3D: mu, DisableFused: true})
+	if err != nil || !resU.Converged {
+		t.Fatalf("unfused jacobi: %v", err)
+	}
+	if d := resF.Iterations - resU.Iterations; d < -1 || d > 1 {
+		t.Errorf("fused %d vs unfused %d iterations", resF.Iterations, resU.Iterations)
+	}
+	if d := pf.U.MaxDiff(pu.U); d > 1e-8 {
+		t.Errorf("solutions differ by %v", d)
+	}
+}
+
+// An indefinite operator must produce an explicit breakdown error at
+// startup — not the old silent {FinalResidual: 1, err: nil} return that
+// was indistinguishable from divergence.
+func TestSolveCG3DStartupBreakdownIsExplicit(t *testing.T) {
+	g := grid.UnitGrid3D(6, 6, 6, 1)
+	op := &stencil.Operator3D{
+		Grid: g,
+		Kx:   grid.NewField3D(g), Ky: grid.NewField3D(g), Kz: grid.NewField3D(g),
+	}
+	// Large negative couplings keep row sums at one but make the diagonal
+	// negative; on an odd-even oscillating residual the quadratic form
+	// r·A·r is strongly negative, so the startup curvature breaks down.
+	op.Kx.Fill(-5)
+	op.Ky.Fill(-5)
+	op.Kz.Fill(-5)
+	rhs := grid.NewField3D(g)
+	for k := 0; k < 6; k++ {
+		for j := 0; j < 6; j++ {
+			for i := 0; i < 6; i++ {
+				v := 1.0
+				if (i+j+k)%2 == 1 {
+					v = -1
+				}
+				rhs.Set(i, j, k, v)
+			}
+		}
+	}
+	p := Problem3D{Op: op, U: grid.NewField3D(g), RHS: rhs}
+	res, err := SolveCG3D(p, Options{Tol: 1e-10, MaxIters: 10})
+	if err == nil {
+		t.Fatal("indefinite operator must return an error")
+	}
+	if !errors.Is(err, ErrBreakdown) {
+		t.Errorf("error %v is not ErrBreakdown", err)
+	}
+	if !res.Breakdown {
+		t.Error("Result.Breakdown must be set")
+	}
+	if res.Converged {
+		t.Error("breakdown must not be reported as convergence")
+	}
+}
+
+func TestSolveCheby3DConverges(t *testing.T) {
+	p := buildProblem3D(t, 12, 9)
+	// Chebyshev needs a λmax estimate from the full spectrum: too few
+	// bootstrap iterations underestimate it and the iteration diverges
+	// (the same sensitivity eigen.EstimateFromCG documents for 2D).
+	res, err := SolveCheby3D(p, Options{Tol: 1e-9, EigenCGIters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("3D Chebyshev did not converge: %+v", res)
+	}
+	if res.Eigen == nil || res.BootstrapIters == 0 {
+		t.Error("bootstrap metadata missing")
+	}
+}
+
+func TestSolvePPCG3DConverges(t *testing.T) {
+	for _, depth := range []int{1, 2} {
+		p := buildProblem3DHalo(t, 12, 10, 2)
+		m := precond.NewJacobi3D(par.Serial, p.Op)
+		res, err := SolvePPCG3D(p, Options{Tol: 1e-10, EigenCGIters: 10, InnerSteps: 4, HaloDepth: depth, Precond3D: m})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if !res.Converged {
+			t.Fatalf("depth %d: 3D PPCG did not converge: %+v", depth, res)
+		}
+		if res.TotalInner == 0 {
+			t.Error("inner steps not counted")
+		}
+	}
+}
+
+func TestSolve3DDispatch(t *testing.T) {
+	p := buildProblem3D(t, 8, 11)
+	if _, err := Solve3D(KindJacobi, p, Options{}); err == nil {
+		t.Error("jacobi has no 3D loop; must error")
+	}
+	res, err := Solve3D(KindCG, p, Options{Tol: 1e-9})
+	if err != nil || !res.Converged {
+		t.Errorf("dispatch cg: %v", err)
 	}
 }

@@ -79,7 +79,8 @@ func SolveChebyshev(p Problem, o Options) (Result, error) {
 	kernels.ScaleTo(e.p, in, 1/sched.Theta, z, pvec) // p = z/θ
 	e.tr.AddVectorPass(in.Cells())
 
-	for it := 0; it < o.MaxIters-result.Iterations; it++ {
+	mainIters := o.MaxIters - result.Iterations
+	for it := 0; it < mainIters; it++ {
 		if err := e.exchange(1, pvec); err != nil {
 			return result, err
 		}
@@ -108,7 +109,9 @@ func SolveChebyshev(p Problem, o Options) (Result, error) {
 
 		result.Iterations++
 		result.TotalInner++
-		if (it+1)%o.CheckEvery == 0 || it == o.MaxIters-1 {
+		// The forced check on the last main-loop iteration (not MaxIters-1,
+		// which the bootstrap already consumed) keeps FinalResidual fresh.
+		if (it+1)%o.CheckEvery == 0 || it == mainIters-1 {
 			rr := e.dot(r, r)
 			rel := relResidual(rr, rr0)
 			result.History = append(result.History, rel)

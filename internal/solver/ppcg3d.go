@@ -11,34 +11,24 @@ import (
 	"tealeaf/internal/precond"
 )
 
-// SolvePPCG runs the paper's headline solver: CG preconditioned by a
-// shifted and scaled Chebyshev polynomial (CPPCG, §III). Each outer CG
-// iteration applies InnerSteps Chebyshev smoothing steps to the residual;
-// the inner steps need only sparse matrix-vector products and halo
-// exchanges — no global reductions — so the number of global dot products
-// drops by roughly √(κ_cg/κ_pcg) (eqs. 6–7).
-//
-// With HaloDepth d > 1 the inner loop uses the matrix-powers kernel
-// (§IV-C2): one depth-d exchange buys d inner applications computed on
-// extended bounds that shrink by one cell per step, trading a little
-// redundant computation for d× fewer messages.
-//
-// On the fused path (Options.Fused with a diagonal-foldable inner
-// preconditioner) each inner step is two sweeps — the matvec plus one
-// fused residual-update/preconditioner/direction/accumulate kernel —
-// versus five unfused, and the outer updates and dot products use the
-// fused two-in-one kernels.
-func SolvePPCG(p Problem, o Options) (Result, error) {
+// SolvePPCG3D runs the paper's headline solver on a 3D problem: CG
+// preconditioned by a shifted and scaled Chebyshev polynomial (CPPCG,
+// §III), mirroring SolvePPCG structure-for-structure. The inner Chebyshev
+// smoothing steps need only 7-point matvecs and face exchanges — no
+// global reductions — and with HaloDepth d > 1 they use the 3D
+// matrix-powers kernel (§IV-C2): one depth-d six-face exchange buys d
+// inner applications on extended boxes that shrink by one cell per step.
+func SolvePPCG3D(p Problem3D, o Options) (Result, error) {
 	o = o.withDefaults()
-	if err := o.validate(p); err != nil {
+	if err := o.validate3(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv(p, o)
+	e := newEnv3(p, o)
 	g := p.Op.Grid
 	in := e.in
 
 	// --- Bootstrap: PCG for eigenvalue estimation (spectrum of M⁻¹A). ---
-	boot, st, err := runCG(e, p, o, o.EigenCGIters, o.Tol)
+	boot, st, err := runCG3D(e, p, o, o.EigenCGIters, o.Tol)
 	if err != nil {
 		return boot, err
 	}
@@ -65,9 +55,13 @@ func SolvePPCG(p Problem, o Options) (Result, error) {
 		return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
 	}
 
-	phys := e.c.Physical()
-	adj := halo.Sides{Left: !phys.Left, Right: !phys.Right, Down: !phys.Down, Up: !phys.Up}
-	powers, err := halo.NewSchedule(g, o.HaloDepth, adj)
+	phys := e.c.Physical3D()
+	adj := halo.Sides3D{
+		Left: !phys.Left, Right: !phys.Right,
+		Down: !phys.Down, Up: !phys.Up,
+		Back: !phys.Back, Front: !phys.Front,
+	}
+	powers, err := halo.NewSchedule3D(g, o.HaloDepth, adj)
 	if err != nil {
 		return result, err
 	}
@@ -75,17 +69,17 @@ func SolvePPCG(p Problem, o Options) (Result, error) {
 	// --- Outer PCG with the Chebyshev polynomial as preconditioner. ---
 	r, w, pvec := st.r, st.w, st.pvec
 	rr0 := st.rr0
-	z := grid.NewField2D(g)     // accumulated polynomial correction (utemp)
-	rtemp := grid.NewField2D(g) // inner residual
-	sd := grid.NewField2D(g)    // inner search direction
-	zscr := grid.NewField2D(g)  // M⁻¹·rtemp scratch
-	inner := newInnerSolver(e, o, sched, powers, z, rtemp, sd, zscr)
+	z := grid.NewField3D(g)     // accumulated polynomial correction (utemp)
+	rtemp := grid.NewField3D(g) // inner residual
+	sd := grid.NewField3D(g)    // inner search direction
+	zscr := grid.NewField3D(g)  // M⁻¹·rtemp scratch
+	inner := newInnerSolver3(e, o, sched, powers, z, rtemp, sd, zscr)
 
 	if err := inner.apply(r); err != nil {
 		return result, err
 	}
 	result.TotalInner += o.InnerSteps
-	kernels.Copy(e.p, in, pvec, z)
+	kernels.Copy3D(e.p, in, pvec, z)
 	e.tr.AddVectorPass(in.Cells())
 
 	rz := e.dot(r, z)
@@ -102,11 +96,11 @@ func SolvePPCG(p Problem, o Options) (Result, error) {
 		alpha := rz / pw
 		if o.Fused {
 			// u += α·p and r −= α·w share one sweep.
-			kernels.AxpyAxpy(e.p, in, alpha, pvec, p.U, -alpha, w, r)
+			kernels.AxpyAxpy3D(e.p, in, alpha, pvec, p.U, -alpha, w, r)
 			e.tr.AddVectorPass(in.Cells())
 		} else {
-			kernels.Axpy(e.p, in, alpha, pvec, p.U)
-			kernels.Axpy(e.p, in, -alpha, w, r)
+			kernels.Axpy3D(e.p, in, alpha, pvec, p.U)
+			kernels.Axpy3D(e.p, in, -alpha, w, r)
 			e.tr.AddVectorPass(in.Cells())
 			e.tr.AddVectorPass(in.Cells())
 		}
@@ -133,38 +127,38 @@ func SolvePPCG(p Problem, o Options) (Result, error) {
 			result.Converged = true
 			return result, nil
 		}
-		kernels.Xpay(e.p, in, z, beta, pvec)
+		kernels.Xpay3D(e.p, in, z, beta, pvec)
 		e.tr.AddVectorPass(in.Cells())
 	}
 	return result, nil
 }
 
-// innerSolver applies the Chebyshev polynomial preconditioner
-// z ≈ B(A)·r via InnerSteps smoothing steps (TeaLeaf's tl_ppcg inner
-// solve), using the matrix-powers schedule for its halo exchanges.
-type innerSolver struct {
-	e      *env
+// innerSolver3 applies the Chebyshev polynomial preconditioner
+// z ≈ B(A)·r via InnerSteps smoothing steps, using the 3D matrix-powers
+// schedule for its halo exchanges — the 3D twin of innerSolver.
+type innerSolver3 struct {
+	e      *env3
 	o      Options
 	sched  *cheby.Schedule
-	powers *halo.Schedule
-	z      *grid.Field2D // output: accumulated correction
-	rtemp  *grid.Field2D
-	sd     *grid.Field2D
-	zscr   *grid.Field2D
-	w      *grid.Field2D
+	powers *halo.Schedule3D
+	z      *grid.Field3D // output: accumulated correction
+	rtemp  *grid.Field3D
+	sd     *grid.Field3D
+	zscr   *grid.Field3D
+	w      *grid.Field3D
 	// minv is the folded diagonal preconditioner for the fused step (nil
 	// identity); fused reports whether the fused kernel path is usable.
-	minv  *grid.Field2D
+	minv  *grid.Field3D
 	fused bool
 }
 
-func newInnerSolver(e *env, o Options, sched *cheby.Schedule, powers *halo.Schedule,
-	z, rtemp, sd, zscr *grid.Field2D) *innerSolver {
-	minv, foldable := precond.FoldableDiag(o.Precond)
-	return &innerSolver{
+func newInnerSolver3(e *env3, o Options, sched *cheby.Schedule, powers *halo.Schedule3D,
+	z, rtemp, sd, zscr *grid.Field3D) *innerSolver3 {
+	minv, foldable := precond.FoldableDiag3D(o.Precond3D)
+	return &innerSolver3{
 		e: e, o: o, sched: sched, powers: powers,
 		z: z, rtemp: rtemp, sd: sd, zscr: zscr,
-		w:    grid.NewField2D(z.Grid),
+		w:    grid.NewField3D(z.Grid),
 		minv: minv, fused: o.Fused && foldable,
 	}
 }
@@ -178,8 +172,8 @@ func newInnerSolver(e *env, o Options, sched *cheby.Schedule, powers *halo.Sched
 //	    z     ← z + sd              (interior only)
 //
 // leaving the polynomial-preconditioned residual in s.z. On the fused
-// path everything after the matvec is one sweep (FusedPPCGInner).
-func (s *innerSolver) apply(r *grid.Field2D) error {
+// path everything after the matvec is one sweep (FusedPPCGInner3D).
+func (s *innerSolver3) apply(r *grid.Field3D) error {
 	e := s.e
 	in := e.in
 
@@ -190,21 +184,21 @@ func (s *innerSolver) apply(r *grid.Field2D) error {
 
 	if s.fused {
 		// sd = (M⁻¹rtemp)/θ with the preconditioner folded, then z = sd.
-		kernels.AxpbyPre(e.p, in, 0, s.sd, 1/s.sched.Theta, s.minv, s.rtemp)
+		kernels.AxpbyPre3D(e.p, in, 0, s.sd, 1/s.sched.Theta, s.minv, s.rtemp)
 		e.tr.AddVectorPass(in.Cells())
 	} else {
-		e.applyPrecond(s.o.Precond, in, s.rtemp, s.zscr)
-		kernels.ScaleTo(e.p, in, 1/s.sched.Theta, s.zscr, s.sd)
+		e.applyPrecond(s.o.Precond3D, in, s.rtemp, s.zscr)
+		kernels.ScaleTo3D(e.p, in, 1/s.sched.Theta, s.zscr, s.sd)
 		e.tr.AddVectorPass(in.Cells())
 	}
-	kernels.Copy(e.p, in, s.z, s.sd)
+	kernels.Copy3D(e.p, in, s.z, s.sd)
 	e.tr.AddVectorPass(in.Cells())
 
 	// Force a fresh exchange at the start of every inner solve: rtemp and
 	// sd were rebuilt from the outer residual.
 	needExchange := true
 	for step := 0; step < s.o.InnerSteps; step++ {
-		var b grid.Bounds
+		var b grid.Bounds3D
 		if !needExchange {
 			var ok bool
 			b, ok = s.powers.Next()
@@ -230,19 +224,19 @@ func (s *innerSolver) apply(r *grid.Field2D) error {
 
 		e.matvec(b, s.sd, s.w)
 		if s.fused {
-			kernels.FusedPPCGInner(e.p, b, in, s.sched.Alpha[step2], s.sched.Beta[step2],
+			kernels.FusedPPCGInner3D(e.p, b, in, s.sched.Alpha[step2], s.sched.Beta[step2],
 				s.w, s.rtemp, s.minv, s.sd, s.z)
 			e.tr.AddVectorPass(b.Cells())
 			continue
 		}
 
-		kernels.Axpy(e.p, b, -1, s.w, s.rtemp) // rtemp -= A·sd
+		kernels.Axpy3D(e.p, b, -1, s.w, s.rtemp) // rtemp -= A·sd
 		e.tr.AddVectorPass(b.Cells())
 
-		e.applyPrecond(s.o.Precond, b, s.rtemp, s.zscr)
-		axpbyInPlace(e, b, s.sched.Alpha[step2], s.sd, s.sched.Beta[step2], s.zscr)
+		e.applyPrecond(s.o.Precond3D, b, s.rtemp, s.zscr)
+		axpbyInPlace3(e, b, s.sched.Alpha[step2], s.sd, s.sched.Beta[step2], s.zscr)
 
-		kernels.Axpy(e.p, in, 1, s.sd, s.z) // z += sd (interior)
+		kernels.Axpy3D(e.p, in, 1, s.sd, s.z) // z += sd (interior)
 		e.tr.AddVectorPass(in.Cells())
 	}
 	return nil

@@ -76,6 +76,10 @@ type Options struct {
 	// this is the preconditioner applied inside the Chebyshev smoothing
 	// steps, as in TeaLeaf.
 	Precond precond.Preconditioner
+	// Precond3D is the preconditioner the 3D solve paths use (default
+	// identity). Only communication-free, diagonal preconditioners exist
+	// in 3D (none, point-Jacobi); block-Jacobi is 2D-only.
+	Precond3D precond.Preconditioner3D
 	// EigenCGIters is the number of bootstrap CG iterations used to
 	// estimate the extremal eigenvalues before Chebyshev/PPCG take over
 	// (default 20; §III-D).
@@ -128,6 +132,9 @@ func (o Options) withDefaults() Options {
 	if o.Precond == nil {
 		o.Precond = precond.NewNone()
 	}
+	if o.Precond3D == nil {
+		o.Precond3D = precond.NewNone3D()
+	}
 	if o.EigenCGIters <= 0 {
 		o.EigenCGIters = 20
 	}
@@ -166,11 +173,24 @@ func (o Options) validate(p Problem) error {
 	return nil
 }
 
+// ErrBreakdown reports that a Krylov solver observed a non-positive (or
+// NaN) curvature scalar at startup — the operator or preconditioner is
+// not positive definite as seen from the initial residual, so no
+// iteration can proceed. In-loop breakdowns (conjugacy lost after useful
+// progress) do not error; they stop the iteration and set
+// Result.Breakdown, like TeaLeaf's pw == 0 guard.
+var ErrBreakdown = errors.New("solver: lost positive definiteness (breakdown)")
+
 // Result reports a solve's outcome and the op counts the scaling model
 // consumes.
 type Result struct {
 	// Converged reports whether the tolerance was met within MaxIters.
 	Converged bool
+	// Breakdown reports that the iteration stopped early because a
+	// curvature or conjugacy scalar lost positivity (see ErrBreakdown).
+	// FinalResidual still holds the best residual reached, so callers can
+	// distinguish "diverged" from "broke down after partial progress".
+	Breakdown bool
 	// Iterations is the number of outer iterations, including any
 	// eigenvalue-bootstrap CG iterations.
 	Iterations int

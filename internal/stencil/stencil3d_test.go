@@ -52,30 +52,30 @@ func dot3D(a, b *grid.Field3D) float64 {
 func TestBuild3DValidation(t *testing.T) {
 	g := grid.UnitGrid3D(4, 4, 4, 1)
 	d := randomDensity3D(g, 1)
-	if _, err := BuildOperator3D(par.Serial, d, -1, Conductivity); err == nil {
+	if _, err := BuildOperator3D(par.Serial, d, -1, Conductivity, AllPhysical3D); err == nil {
 		t.Error("negative dt must error")
 	}
-	if _, err := BuildOperator3D(par.Serial, d, 0.1, Coefficient(0)); err == nil {
+	if _, err := BuildOperator3D(par.Serial, d, 0.1, Coefficient(0), AllPhysical3D); err == nil {
 		t.Error("bad coefficient must error")
 	}
 	bad := randomDensity3D(g, 2)
 	bad.Set(0, 0, 0, 0)
 	bad.ReflectHalos(1)
-	if _, err := BuildOperator3D(par.Serial, bad, 0.1, Conductivity); err == nil {
+	if _, err := BuildOperator3D(par.Serial, bad, 0.1, Conductivity, AllPhysical3D); err == nil {
 		t.Error("zero density must error")
 	}
 }
 
 func TestOperator3DRowSumsOne(t *testing.T) {
 	g := grid.UnitGrid3D(6, 5, 4, 1)
-	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 3), 0.05, RecipConductivity)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 3), 0.05, RecipConductivity, AllPhysical3D)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ones := grid.NewField3D(g)
 	ones.Fill(1)
 	w := grid.NewField3D(g)
-	op.Apply(par.Serial, ones, w)
+	op.Apply(par.Serial, g.Interior(), ones, w)
 	for k := 0; k < g.NZ; k++ {
 		for j := 0; j < g.NY; j++ {
 			for i := 0; i < g.NX; i++ {
@@ -89,7 +89,7 @@ func TestOperator3DRowSumsOne(t *testing.T) {
 
 func TestOperator3DSymmetricPositive(t *testing.T) {
 	g := grid.UnitGrid3D(5, 5, 5, 1)
-	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 4), 0.03, Conductivity)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 4), 0.03, Conductivity, AllPhysical3D)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,8 +97,8 @@ func TestOperator3DSymmetricPositive(t *testing.T) {
 	q := randomField3D(g, 6)
 	ap := grid.NewField3D(g)
 	aq := grid.NewField3D(g)
-	op.Apply(par.Serial, p, ap)
-	op.Apply(par.Serial, q, aq)
+	op.Apply(par.Serial, g.Interior(), p, ap)
+	op.Apply(par.Serial, g.Interior(), q, aq)
 	lhs, rhs := dot3D(ap, q), dot3D(p, aq)
 	if math.Abs(lhs-rhs) > 1e-12*math.Max(1, math.Abs(lhs)) {
 		t.Errorf("asymmetric: %v vs %v", lhs, rhs)
@@ -110,16 +110,16 @@ func TestOperator3DSymmetricPositive(t *testing.T) {
 
 func TestApplyDot3DMatches(t *testing.T) {
 	g := grid.UnitGrid3D(6, 6, 6, 1)
-	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 7), 0.02, Conductivity)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 7), 0.02, Conductivity, AllPhysical3D)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := randomField3D(g, 8)
 	w1 := grid.NewField3D(g)
 	w2 := grid.NewField3D(g)
-	op.Apply(par.Serial, p, w1)
+	op.Apply(par.Serial, g.Interior(), p, w1)
 	want := dot3D(p, w1)
-	got := op.ApplyDot(par.Serial, p, w2)
+	got := op.ApplyDot(par.Serial, g.Interior(), p, w2)
 	if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
 		t.Errorf("ApplyDot = %v, want %v", got, want)
 	}
@@ -130,16 +130,16 @@ func TestApplyDot3DMatches(t *testing.T) {
 
 func TestResidual3D(t *testing.T) {
 	g := grid.UnitGrid3D(4, 4, 4, 1)
-	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 9), 0.04, Conductivity)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 9), 0.04, Conductivity, AllPhysical3D)
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := randomField3D(g, 10)
 	rhs := randomField3D(g, 11)
 	r := grid.NewField3D(g)
-	op.Residual(par.Serial, u, rhs, r)
+	op.Residual(par.Serial, g.Interior(), u, rhs, r)
 	au := grid.NewField3D(g)
-	op.Apply(par.Serial, u, au)
+	op.Apply(par.Serial, g.Interior(), u, au)
 	for k := 0; k < 4; k++ {
 		for j := 0; j < 4; j++ {
 			for i := 0; i < 4; i++ {
@@ -156,20 +156,20 @@ func TestApplyDot23DMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 41), 0.05, Conductivity)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 41), 0.05, Conductivity, AllPhysical3D)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := randomField3D(g, 42)
 	p.ReflectHalos(1)
 	w1 := grid.NewField3D(g)
-	op.Apply(par.Serial, p, w1)
+	op.Apply(par.Serial, g.Interior(), p, w1)
 	wantPW := dot3D(p, w1)
 	wantWW := dot3D(w1, w1)
 	for _, workers := range []int{1, 2, 4, 7} {
 		pool := par.NewPool(workers).WithGrain(1)
 		w2 := grid.NewField3D(g)
-		pw, ww := op.ApplyDot2(pool, p, w2)
+		pw, ww := op.ApplyDot2(pool, g.Interior(), p, w2)
 		if math.Abs(pw-wantPW) > 1e-12*math.Max(1, math.Abs(wantPW)) ||
 			math.Abs(ww-wantWW) > 1e-12*math.Max(1, math.Abs(wantWW)) {
 			t.Errorf("workers=%d: ApplyDot2 = (%v,%v), want (%v,%v)", workers, pw, ww, wantPW, wantWW)
@@ -177,5 +177,106 @@ func TestApplyDot23DMatches(t *testing.T) {
 		if w1.MaxDiff(w2) > 1e-13 {
 			t.Errorf("workers=%d: fused w differs", workers)
 		}
+	}
+}
+
+func TestApplyPreDot3DMatchesComposed(t *testing.T) {
+	g := grid.UnitGrid3D(7, 6, 5, 2)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 50), 0.05, Conductivity, AllPhysical3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.Interior()
+	// A synthetic diagonal scaling, valid over the padded region.
+	minv := grid.NewField3D(g)
+	rng := rand.New(rand.NewSource(51))
+	for i := range minv.Data {
+		minv.Data[i] = 0.5 + rng.Float64()
+	}
+	r := randomField3D(g, 52)
+	r.ReflectHalos(1)
+	// Reference: u = minv ⊙ r materialised, then w = A·u, δ = u·w.
+	u := grid.NewField3D(g)
+	for i := range u.Data {
+		u.Data[i] = minv.Data[i] * r.Data[i]
+	}
+	wRef := grid.NewField3D(g)
+	op.Apply(par.Serial, in, u, wRef)
+	wantDelta := dot3D(u, wRef)
+
+	for _, workers := range []int{1, 2, 4} {
+		pool := par.NewPool(workers).WithGrain(1)
+		w := grid.NewField3D(g)
+		delta := op.ApplyPreDot(pool, in, minv, r, w)
+		if math.Abs(delta-wantDelta) > 1e-12*math.Max(1, math.Abs(wantDelta)) {
+			t.Errorf("workers=%d: ApplyPreDot δ = %v, want %v", workers, delta, wantDelta)
+		}
+		if wRef.MaxDiff(w) > 1e-13 {
+			t.Errorf("workers=%d: fused w differs by %v", workers, wRef.MaxDiff(w))
+		}
+		ga, de, rr := op.ApplyPreDotInit(pool, in, minv, r, w)
+		if math.Abs(ga-dot3D(r, u)) > 1e-12*math.Abs(dot3D(r, u)) ||
+			math.Abs(de-wantDelta) > 1e-12*math.Max(1, math.Abs(wantDelta)) ||
+			math.Abs(rr-dot3D(r, r)) > 1e-12*dot3D(r, r) {
+			t.Errorf("workers=%d: ApplyPreDotInit = (%v,%v,%v)", workers, ga, de, rr)
+		}
+		pool.Close()
+	}
+}
+
+func TestDiagonal3DRowSumIdentity(t *testing.T) {
+	g := grid.UnitGrid3D(6, 6, 6, 1)
+	op, err := BuildOperator3D(par.Serial, randomDensity3D(g, 60), 0.04, Conductivity, AllPhysical3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := grid.NewField3D(g)
+	op.Diagonal(par.Serial, g.Interior(), d)
+	// diag = 1 + sum of off-diagonal couplings: applying A to the
+	// indicator of one interior cell must give diag at that cell.
+	e := grid.NewField3D(g)
+	e.Set(3, 3, 3, 1)
+	w := grid.NewField3D(g)
+	op.Apply(par.Serial, g.Interior(), e, w)
+	if math.Abs(w.At(3, 3, 3)-d.At(3, 3, 3)) > 1e-14 {
+		t.Errorf("diag(3,3,3) = %v, Apply gives %v", d.At(3, 3, 3), w.At(3, 3, 3))
+	}
+}
+
+// A 2×1×1 rank split with exchanged density must produce, on each half,
+// exactly the coefficients the global operator holds there: rank faces
+// keep neighbour coupling, physical faces are zeroed.
+func TestBuildOperator3DRankFacesKeepCoupling(t *testing.T) {
+	g := grid.UnitGrid3D(8, 4, 4, 2)
+	den := randomDensity3D(g, 70)
+	opG, err := BuildOperator3D(par.Serial, den, 0.05, Conductivity, AllPhysical3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left half [0,4) with a live Right face.
+	sub, err := g.Sub(0, 4, 0, 4, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denL := grid.NewField3D(sub)
+	for k := -2; k < 6; k++ {
+		for j := -2; j < 6; j++ {
+			for i := -2; i < 6; i++ {
+				denL.Set(i, j, k, den.At(i, j, k)) // includes the neighbour's cells
+			}
+		}
+	}
+	opL, err := BuildOperator3D(par.Serial, denL, 0.05, Conductivity,
+		PhysicalSides3D{Left: true, Down: true, Up: true, Back: true, Front: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The x-face at the rank boundary (i=4 globally, i=4 locally) must
+	// carry the global coupling, not zero.
+	if got, want := opL.Kx.At(4, 2, 2), opG.Kx.At(4, 2, 2); math.Abs(got-want) > 1e-14 {
+		t.Errorf("rank-boundary Kx = %v, want %v", got, want)
+	}
+	if opL.Kx.At(0, 2, 2) != 0 {
+		t.Error("physical Left face must be zeroed")
 	}
 }
