@@ -43,6 +43,9 @@ func run() error {
 		workers = flag.Int("workers", 1, "worker threads per rank (hybrid mode)")
 		solver  = flag.String("solver", "", "override deck solver (cg|ppcg|chebyshev|jacobi)")
 		depth   = flag.Int("halo-depth", 0, "override matrix-powers halo depth")
+		stiff   = flag.Bool("stiff", false, "use the built-in stiff near-steady deck (dt=10; the deflation regime) instead of the crooked pipe")
+		deflate = flag.Bool("deflate", false, "enable subdomain deflation (tl_use_deflation; CG, 2D, single-rank)")
+		deflBlk = flag.Int("deflate-blocks", 0, "override deflation subdomains per direction (tl_deflation_blocks)")
 		ppm     = flag.String("ppm", "", "write final temperature heatmap to this PPM file")
 		vtk     = flag.String("vtk", "", "write final fields to this VTK file")
 		ascii   = flag.Bool("ascii", false, "print an ASCII heatmap of the final temperature")
@@ -51,6 +54,9 @@ func run() error {
 	flag.Parse()
 
 	var d *deck.Deck
+	if *stiff && flag.NArg() >= 1 {
+		return fmt.Errorf("-stiff selects a built-in deck and cannot be combined with a deck file")
+	}
 	if flag.NArg() >= 1 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -61,6 +67,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	} else if *stiff {
+		if *dims == 3 {
+			return fmt.Errorf("-stiff is 2D-only (the stiff deflation-regime deck has no 3D variant)")
+		}
+		d = problem.StiffDeck(*mesh)
 	} else if *dims == 3 {
 		d = problem.BenchmarkDeck3D(*mesh)
 	} else {
@@ -75,6 +86,19 @@ func run() error {
 	if *depth > 0 {
 		d.HaloDepth = *depth
 	}
+	if *deflate {
+		d.UseDeflation = true
+	}
+	if *deflBlk > 0 {
+		d.DeflationBlocks = *deflBlk
+	}
+	if d.UseDeflation {
+		// Surface the composition errors (dims/ranks/solver) before the
+		// run starts, with the deck re-validated after the overrides.
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
 	nSteps := *steps
 	if nSteps <= 0 {
 		nSteps = d.Steps()
@@ -84,8 +108,12 @@ func run() error {
 		return run3D(d, nSteps, *px, *py, *pz, *workers, *quiet)
 	}
 
-	fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
-		d.XCells, d.YCells, d.Solver, orNone(d.Precond), d.Eps, d.InitialTimestep, nSteps)
+	deflNote := ""
+	if d.UseDeflation {
+		deflNote = fmt.Sprintf(" deflation=%dx%d", d.DeflationBlocks, d.DeflationBlocks)
+	}
+	fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s%s eps=%.1e dt=%g, %d steps\n",
+		d.XCells, d.YCells, d.Solver, orNone(d.Precond), deflNote, d.Eps, d.InitialTimestep, nSteps)
 
 	if *px**py > 1 {
 		fmt.Printf("decomposition: %dx%d ranks, %d workers/rank\n", *px, *py, *workers)

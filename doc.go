@@ -11,30 +11,40 @@
 // Hypre BoomerAMG, and an analytic strong-scaling model of the paper's
 // three evaluation machines (Titan, Piz Daint, Spruce).
 //
-// Both dimensionalities run the full solver feature set: the fused
-// single-reduction CG/Chebyshev/PPCG loops, diagonal preconditioner
-// folding, matrix-powers deep halos and multi-rank execution are
-// available through solver.Solve (2D) and solver.Solve3D, driven by
-// core.RunDistributed / core.RunDistributed3D from dims=2/dims=3 input
-// decks.
+// The solver core is dimension-agnostic: each iteration body (the fused
+// single-reduction Chronopoulos–Gear CG, the guarded Chebyshev loop and
+// the PPCG outer/inner cycle) is implemented exactly once, generic over
+// a system abstraction backed by the 2D and 3D kernels, so solver.Solve
+// (2D) and solver.Solve3D run the same loop code with diagonal
+// preconditioner folding, matrix-powers deep halos and multi-rank
+// execution in both dimensionalities. Preconditioners live in a unified
+// registry with capability flags (none / jac_diag / jac_block, the
+// latter as tridiagonal y-strips in 2D and z-lines in 3D), and subdomain
+// deflation (§VII future work) composes as an outer projector around the
+// CG solve, reachable from deck keys (tl_use_deflation,
+// tl_deflation_blocks) through solver.Options.Deflation.
 //
 // Entry points:
 //
 //   - cmd/tealeaf — run an input deck (tea.in dialect), serially or over
-//     goroutine ranks (-px/-py, plus -pz and -dims 3 for the 3D path).
+//     goroutine ranks (-px/-py, plus -pz and -dims 3 for the 3D path;
+//     -stiff/-deflate for the deflation regime).
 //   - cmd/teabench — regenerate Table I and Figures 3–8 plus the ablation
-//     studies and the 3D strong-scaling sweep (-exp scale3d).
+//     studies, the 3D strong-scaling sweep (-exp scale3d), the deflation
+//     comparison (-exp deflation) and the CI smoke run (-exp smoke).
 //   - examples/ — quickstart, crooked pipe, scaling study, mesh
-//     convergence, heat3d (distributed 3D PPCG).
+//     convergence, heat3d (distributed 3D PPCG), deflation.
 //
 // The library lives under internal/; see DESIGN.md for the system
 // inventory, including the fused single-reduction solver core
 // (persistent worker pools, fused stencil+BLAS1 kernels, and the
 // Chronopoulos–Gear CG / fused PPCG iteration loops behind
-// solver.Options.Fused). The benchmarks in bench_test.go regenerate
-// every table and figure under `go test -bench`, and
-// `teabench -exp bench` dumps hot-path timings to BENCH_kernels.json
-// so the performance trajectory is machine-readable across changes.
+// solver.Options.Fused) and the dimension-agnostic core plus
+// preconditioner capability matrix added in PR 3. The benchmarks in
+// bench_test.go regenerate every table and figure under `go test
+// -bench`, and `teabench -exp bench` dumps hot-path timings to
+// BENCH_kernels.json so the performance trajectory is machine-readable
+// across changes.
 package tealeaf
 
 // Version identifies this reproduction.

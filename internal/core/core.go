@@ -12,6 +12,7 @@ import (
 
 	"tealeaf/internal/comm"
 	"tealeaf/internal/deck"
+	"tealeaf/internal/deflate"
 	"tealeaf/internal/grid"
 	"tealeaf/internal/par"
 	"tealeaf/internal/precond"
@@ -119,6 +120,23 @@ func NewInstance(d *deck.Deck, g *grid.Grid2D, pool *par.Pool, c comm.Communicat
 		InnerSteps:   d.InnerSteps,
 		HaloDepth:    d.HaloDepth,
 		FusedDots:    d.FusedDots,
+	}
+	if d.UseDeflation {
+		// tl_use_deflation: build the coarse subdomain projector over this
+		// solve operator and compose it into the CG solve. The composition
+		// rules (CG-only, single-rank) are enforced here with deck-level
+		// vocabulary; solver.Options.validate re-checks them.
+		if kind != solver.KindCG {
+			return nil, fmt.Errorf("core: tl_use_deflation composes with tl_use_cg only (deck selects %s)", kind)
+		}
+		if c.Size() > 1 {
+			return nil, fmt.Errorf("core: tl_use_deflation is single-rank only (the coarse solve is not distributed); run undistributed or drop the key")
+		}
+		defl, err := deflate.New(pool, op, d.DeflationBlocks, d.DeflationBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("core: tl_use_deflation: %w", err)
+		}
+		inst.opts.Deflation = defl
 	}
 	return inst, nil
 }

@@ -65,13 +65,37 @@ func TestNewInstance3DRejectsBadConfigs(t *testing.T) {
 		t.Error("jacobi must be rejected on the 3D path")
 	}
 	d = problem.BenchmarkDeck3D(8)
-	d.Precond = "jac_block"
+	d.Precond = "bogus"
 	if _, err := NewSerial3D(d, par.Serial); err == nil {
-		t.Error("jac_block must be rejected on the 3D path")
+		t.Error("an unknown preconditioner must be rejected")
 	}
 	d = problem.BenchmarkDeck(8) // dims=2
 	if _, err := NewSerial3D(d, par.Serial); err == nil {
 		t.Error("a 2D deck must be rejected by the 3D constructor")
+	}
+}
+
+// tl_preconditioner_type jac_block on a dims=3 deck must solve
+// end-to-end: the z-line tridiagonal block-Jacobi (this PR's registry
+// unification closed the 2D-only gap) is a preconditioner, so the
+// converged energy field must match the unpreconditioned solve.
+func TestInstance3DJacBlockSolves(t *testing.T) {
+	run := func(precond string) *Instance3D {
+		d := problem.BenchmarkDeck3D(8)
+		d.Precond = precond
+		inst, err := NewSerial3D(d, par.Serial)
+		if err != nil {
+			t.Fatalf("%s: %v", precond, err)
+		}
+		if _, err := inst.Run(2); err != nil {
+			t.Fatalf("%s: %v", precond, err)
+		}
+		return inst
+	}
+	plain := run("none")
+	block := run("jac_block")
+	if diff := block.Energy.MaxDiff(plain.Energy); diff > 1e-8 {
+		t.Errorf("jac_block energy differs from unpreconditioned solve by %v", diff)
 	}
 }
 

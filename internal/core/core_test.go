@@ -244,3 +244,60 @@ func TestInstanceAccessors(t *testing.T) {
 		t.Error("fresh instance must be at step 0")
 	}
 }
+
+// The deflation acceptance path: a deck with tl_use_deflation solves
+// end-to-end through the ordinary Instance cycle, converges to the same
+// physics as undeflated CG, and — on the stiff benchmark deck, the
+// regime §VII targets — needs substantially fewer CG iterations.
+func TestDeflationDeckEndToEnd(t *testing.T) {
+	run := func(deflate bool) (Summary, *Instance) {
+		d := problem.StiffDeck(48)
+		d.UseDeflation = deflate
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := NewSerial(d, par.Serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := inst.Run(2)
+		if err != nil {
+			t.Fatalf("deflate=%v: %v", deflate, err)
+		}
+		return sum, inst
+	}
+	plain, pInst := run(false)
+	defl, dInst := run(true)
+	if diff := dInst.Energy.MaxDiff(pInst.Energy); diff > 1e-6 {
+		t.Errorf("deflated energy differs from plain CG by %v", diff)
+	}
+	if math.Abs(defl.InternalEnergy-plain.InternalEnergy) > 1e-6*math.Abs(plain.InternalEnergy) {
+		t.Errorf("internal energy mismatch: %v vs %v", defl.InternalEnergy, plain.InternalEnergy)
+	}
+	if defl.TotalIterations >= plain.TotalIterations {
+		t.Errorf("deflated CG took %d iterations, plain CG %d — deflation must win on the stiff deck",
+			defl.TotalIterations, plain.TotalIterations)
+	}
+	t.Logf("stiff deck iterations: plain CG %d, deflated CG %d", plain.TotalIterations, defl.TotalIterations)
+}
+
+// Composition rules surface as actionable errors at instance build time.
+func TestDeflationDeckRejectsBadCompositions(t *testing.T) {
+	d := problem.StiffDeck(32)
+	d.UseDeflation = true
+	d.Solver = "ppcg"
+	if _, err := NewSerial(d, par.Serial); err == nil {
+		t.Error("deflation with ppcg must be rejected")
+	}
+	d = problem.StiffDeck(32)
+	d.UseDeflation = true
+	if _, err := RunDistributed(d, 2, 1, 1, 1); err == nil {
+		t.Error("deflation in a distributed run must be rejected")
+	}
+	d = problem.StiffDeck(32)
+	d.UseDeflation = true
+	d.DeflationBlocks = 64 // exceeds the mesh
+	if err := d.Validate(); err == nil {
+		t.Error("deflation blocks beyond the mesh must be rejected")
+	}
+}

@@ -3,6 +3,12 @@
 // time-stepping controls, and the tl_* solver options. Lines outside the
 // *tea ... *endtea block are ignored, as are blank lines and comments
 // starting with '!' or '#'.
+//
+// Beyond stock TeaLeaf, the dialect adds: dims/z_cells/zmin/zmax (3D
+// decks), tl_fused_dots (fused ρ/‖r‖ reductions on the unfused loops),
+// and the deflation keys tl_use_deflation / tl_deflation_blocks=N
+// (subdomain deflation as an outer CG projector; N×N coarse blocks,
+// default 8 — 2D, single-rank, tl_use_cg only).
 package deck
 
 import (
@@ -63,6 +69,15 @@ type Deck struct {
 	Coefficient  string // density | recip_density
 	FusedDots    bool
 	ProfilerOn   bool
+	// UseDeflation composes subdomain deflation as an outer projector
+	// around the CG solve (tl_use_deflation; §VII future work). 2D,
+	// single-rank, CG-only.
+	UseDeflation bool
+	// DeflationBlocks is the coarse subdomain count per direction
+	// (tl_deflation_blocks, default 8): the deflation space is spanned by
+	// the indicator vectors of a DeflationBlocks × DeflationBlocks
+	// partition of the mesh.
+	DeflationBlocks int
 
 	States []State
 }
@@ -85,6 +100,7 @@ func Default() *Deck {
 		EigenCGIters:    20,
 		Precond:         "none",
 		Coefficient:     "density",
+		DeflationBlocks: 8,
 	}
 }
 
@@ -202,6 +218,11 @@ func (d *Deck) parseLine(line string) error {
 	case "tl_fused_dots":
 		d.FusedDots = true
 		return nil
+	case "tl_use_deflation":
+		d.UseDeflation = true
+		return nil
+	case "tl_deflation_blocks":
+		return d.setInt(&d.DeflationBlocks, val)
 	case "tl_coefficient_density":
 		d.Coefficient = "density"
 		return nil
@@ -328,6 +349,18 @@ func (d *Deck) Validate() error {
 		return fmt.Errorf("deck: halo depth must be >= 1")
 	case len(d.States) == 0:
 		return fmt.Errorf("deck: need at least one state")
+	}
+	if d.UseDeflation {
+		if dims != 2 {
+			return fmt.Errorf("deck: tl_use_deflation is 2D-only (the coarse subdomain space is built over a 2D partition)")
+		}
+		bx := d.DeflationBlocks
+		if bx < 1 {
+			return fmt.Errorf("deck: tl_deflation_blocks must be >= 1, got %d", bx)
+		}
+		if bx > d.XCells || bx > d.YCells {
+			return fmt.Errorf("deck: tl_deflation_blocks %d exceeds the mesh (%dx%d cells)", bx, d.XCells, d.YCells)
+		}
 	}
 	if d.States[0].Geometry != GeomNone && d.States[0].Index == 1 {
 		return fmt.Errorf("deck: state 1 is the background and takes no geometry")

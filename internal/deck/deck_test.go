@@ -222,6 +222,31 @@ func TestFusedDotsAndEigenIters(t *testing.T) {
 	}
 }
 
+func TestDeflationKeys(t *testing.T) {
+	d, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_use_deflation\ntl_deflation_blocks=4\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.UseDeflation || d.DeflationBlocks != 4 {
+		t.Errorf("deflation keys not parsed: %+v", d)
+	}
+	// Default block count without the key.
+	d, err = ParseString("*tea\nstate 1 density=1 energy=1\ntl_use_deflation\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DeflationBlocks != 8 {
+		t.Errorf("default deflation blocks = %d, want 8", d.DeflationBlocks)
+	}
+	// Composition errors at deck validation: 3D and over-fine partitions.
+	if _, err := ParseString("*tea\ndims=3\nz_cells=8\nstate 1 density=1 energy=1\ntl_use_deflation\n*endtea"); err == nil {
+		t.Error("tl_use_deflation on a 3D deck must be rejected")
+	}
+	if _, err := ParseString("*tea\nx_cells=4\ny_cells=4\nstate 1 density=1 energy=1\ntl_use_deflation\n*endtea"); err == nil {
+		t.Error("deflation blocks beyond the mesh must be rejected")
+	}
+}
+
 func TestParseShippedDeck(t *testing.T) {
 	f, err := os.Open("../../decks/crooked_pipe.in")
 	if err != nil {

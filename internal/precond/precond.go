@@ -14,6 +14,7 @@ package precond
 
 import (
 	"fmt"
+	"strings"
 
 	"tealeaf/internal/grid"
 	"tealeaf/internal/par"
@@ -210,16 +211,107 @@ func (m *BlockJacobi) Name() string { return "jac_block" }
 // BlockSize returns the strip length.
 func (m *BlockJacobi) BlockSize() int { return m.blockSize }
 
-// FromName builds the preconditioner named by a TeaLeaf input deck value
-// (tl_preconditioner_type): "none", "jac_diag" or "jac_block".
+// Spec is one entry of the unified preconditioner registry: the deck name
+// plus the capability flags both solve paths consult. The registry is the
+// single source of truth for which names exist, which dimensionalities
+// they support, and which solver configurations they compose with — the
+// 2D and 3D FromName constructors and the solver's option validation all
+// read it, so a new preconditioner is added in exactly one place.
+type Spec struct {
+	// Name is the TeaLeaf input-deck name (tl_preconditioner_type).
+	Name string
+	// Summary is a one-line description for error messages and docs.
+	Summary string
+	// Dims2, Dims3 report which dimensionalities implement the entry.
+	Dims2, Dims3 bool
+	// Foldable reports a pure diagonal scaling: the fused single-reduction
+	// loops fold it into their sweeps (see DiagonalFoldable) instead of
+	// spending a separate grid pass.
+	Foldable bool
+	// CommFree reports that applications need no communication (§IV-C1);
+	// every registered preconditioner is comm-free today, which is what
+	// makes them usable inside the communication-avoiding inner loop.
+	CommFree bool
+	// DeepHalo reports compatibility with matrix-powers halo depth > 1.
+	// Block solves need fresh whole-strip data every application, which
+	// would force an exchange per inner step and cancel the matrix-powers
+	// benefit (§IV-C2), so they are not deep-halo compatible.
+	DeepHalo bool
+}
+
+// registry lists every preconditioner in deck-name order.
+var registry = []Spec{
+	{Name: "none", Summary: "identity (z = r)",
+		Dims2: true, Dims3: true, Foldable: true, CommFree: true, DeepHalo: true},
+	{Name: "jac_diag", Summary: "point-diagonal Jacobi (z = D⁻¹r)",
+		Dims2: true, Dims3: true, Foldable: true, CommFree: true, DeepHalo: true},
+	{Name: "jac_block", Summary: "tridiagonal block-Jacobi (4-cell y-strips in 2D, z-lines in 3D)",
+		Dims2: true, Dims3: true, Foldable: false, CommFree: true, DeepHalo: false},
+}
+
+// Specs returns the registry in deck-name order (a copy).
+func Specs() []Spec {
+	return append([]Spec(nil), registry...)
+}
+
+// Lookup finds the registry entry for a deck name. The empty name is the
+// identity, matching the deck default.
+func Lookup(name string) (Spec, bool) {
+	if name == "" {
+		name = "none"
+	}
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the deck names supported for the given dimensionality
+// (2 or 3); any other value returns every registered name.
+func Names(dims int) []string {
+	var out []string
+	for _, s := range registry {
+		if (dims == 2 && !s.Dims2) || (dims == 3 && !s.Dims3) {
+			continue
+		}
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// lookupFor resolves a deck name for one dimensionality, with errors that
+// enumerate what IS supported: an unknown name lists every registered
+// name, and a known name unavailable in the requested dimensionality says
+// so and lists that dimensionality's names.
+func lookupFor(name string, dims int) (Spec, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("precond: unknown preconditioner %q (supported: %s)",
+			name, strings.Join(Names(0), ", "))
+	}
+	if (dims == 2 && !s.Dims2) || (dims == 3 && !s.Dims3) {
+		return Spec{}, fmt.Errorf("precond: %q (%s) is not available on the %dD path (supported in %dD: %s)",
+			s.Name, s.Summary, dims, dims, strings.Join(Names(dims), ", "))
+	}
+	return s, nil
+}
+
+// FromName builds the 2D preconditioner named by a TeaLeaf input deck
+// value (tl_preconditioner_type), consulting the unified registry.
 func FromName(name string, pool *par.Pool, op *stencil.Operator2D) (Preconditioner, error) {
-	switch name {
-	case "", "none":
+	s, err := lookupFor(name, 2)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Name {
+	case "none":
 		return NewNone(), nil
 	case "jac_diag":
 		return NewJacobi(pool, op), nil
 	case "jac_block":
 		return NewBlockJacobi(pool, op, DefaultBlockSize), nil
 	}
-	return nil, fmt.Errorf("precond: unknown preconditioner %q", name)
+	return nil, fmt.Errorf("precond: %q is registered but has no 2D constructor", s.Name)
 }

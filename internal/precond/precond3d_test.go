@@ -3,6 +3,7 @@ package precond
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"tealeaf/internal/grid"
@@ -69,17 +70,98 @@ func TestFoldableDiag3D(t *testing.T) {
 
 func TestFromName3D(t *testing.T) {
 	op := testOperator3D(t, 4, 2)
-	for name, want := range map[string]string{"": "none", "none": "none", "jac_diag": "jac_diag"} {
+	for name, want := range map[string]string{
+		"": "none", "none": "none", "jac_diag": "jac_diag", "jac_block": "jac_block",
+	} {
 		m, err := FromName3D(name, par.Serial, op)
 		if err != nil || m.Name() != want {
 			t.Errorf("FromName3D(%q) = %v, %v", name, m, err)
 		}
 	}
-	if _, err := FromName3D("jac_block", par.Serial, op); err == nil {
-		t.Error("jac_block must be rejected on the 3D path, not silently downgraded")
+	_, err := FromName3D("bogus", par.Serial, op)
+	if err == nil {
+		t.Fatal("unknown names must error")
 	}
-	if _, err := FromName3D("bogus", par.Serial, op); err == nil {
-		t.Error("unknown names must error")
+	// The error must enumerate every supported name so the user can fix
+	// the deck without reading source.
+	for _, name := range Names(0) {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-name error %q does not mention supported name %q", err, name)
+		}
+	}
+}
+
+// TestBlockJacobi3DSolvesStrips verifies M·z = r block by block: within
+// every z-strip the tridiagonal system (diag, −Kz) must be satisfied
+// exactly, and strips must not couple across their ends.
+func TestBlockJacobi3DSolvesStrips(t *testing.T) {
+	op := testOperator3D(t, 6, 2)
+	g := op.Grid
+	m := NewBlockJacobi3D(par.Serial, op, 4)
+	if m.BlockSize() != 4 {
+		t.Fatalf("block size = %d, want 4", m.BlockSize())
+	}
+	diag := grid.NewField3D(g)
+	op.Diagonal(par.Serial, g.Interior(), diag)
+
+	rng := rand.New(rand.NewSource(7))
+	r := grid.NewField3D(g)
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				r.Set(i, j, k, rng.Float64()*2-1)
+			}
+		}
+	}
+	z := grid.NewField3D(g)
+	m.Apply3D(par.Serial, g.Interior(), r, z)
+
+	bs := m.BlockSize()
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			for k0 := 0; k0 < g.NZ; k0 += bs {
+				k1 := min(k0+bs, g.NZ)
+				for k := k0; k < k1; k++ {
+					got := diag.At(i, j, k) * z.At(i, j, k)
+					if k > k0 {
+						got -= op.Kz.At(i, j, k) * z.At(i, j, k-1)
+					}
+					if k < k1-1 {
+						got -= op.Kz.At(i, j, k+1) * z.At(i, j, k+1)
+					}
+					if math.Abs(got-r.At(i, j, k)) > 1e-12 {
+						t.Fatalf("strip residual %v at (%d,%d,%d)", got-r.At(i, j, k), i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Aliased application (r == z) must give the same answer as the
+// non-aliased one: each strip is buffered before the write-back.
+func TestBlockJacobi3DAliasSafe(t *testing.T) {
+	op := testOperator3D(t, 5, 2)
+	g := op.Grid
+	m := NewBlockJacobi3D(par.Serial, op, 0) // 0 → default block size
+	r := grid.NewField3D(g)
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				r.Set(i, j, k, float64((i*7+j*3+k)%11)-5)
+			}
+		}
+	}
+	z := grid.NewField3D(g)
+	m.Apply3D(par.Serial, g.Interior(), r, z)
+	aliased := r.Clone()
+	m.Apply3D(par.Serial, g.Interior(), aliased, aliased)
+	if d := aliased.MaxDiff(z); d > 0 {
+		t.Errorf("aliased application differs by %v", d)
+	}
+	// Not a diagonal scaling: must not be foldable into fused sweeps.
+	if _, ok := FoldableDiag3D(m); ok {
+		t.Error("BlockJacobi3D must not report as diagonal-foldable")
 	}
 }
 

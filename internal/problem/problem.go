@@ -152,6 +152,34 @@ func CrookedPipeDeck(nx, ny int) *deck.Deck {
 	return d
 }
 
+// StiffDeck is the near-steady stiff benchmark: uniform unit density on
+// a unit domain with Δt = 10, so the per-step operator A = I + Δt·L has
+// Δt·λ₂(L) ≫ 1 and the smooth low-energy subdomain modes are genuine
+// spectral outliers. This is the regime where subdomain deflation
+// (tl_use_deflation; §VII future work) pays — deflated CG needs
+// substantially fewer iterations than plain CG here, while on the
+// production-Δt decks the low modes sit at 1+ε and deflation is neutral.
+func StiffDeck(n int) *deck.Deck {
+	d := deck.Default()
+	d.XCells, d.YCells = n, n
+	d.XMin, d.XMax = 0, 1
+	d.YMin, d.YMax = 0, 1
+	d.InitialTimestep = 10
+	d.EndStep = 2
+	d.EndTime = 20
+	d.Solver = "cg"
+	d.Coefficient = "density"
+	d.Eps = 1e-9
+	d.States = []deck.State{
+		{Index: 1, Density: 1, Energy: 0.1},
+		// Hot corner quarter: a right-hand side rich in the smooth modes
+		// deflation removes.
+		{Index: 2, Density: 1, Energy: 1, Geometry: deck.GeomRectangle,
+			XMin: 0, XMax: 0.25, YMin: 0, YMax: 0.25},
+	}
+	return d
+}
+
 // BenchmarkDeck is the stock tea.in two-state benchmark (the tea_bm
 // series): background of dense cold material with one hot low-density
 // rectangle in the corner. Useful as a quick-running validation problem.

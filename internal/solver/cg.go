@@ -1,13 +1,6 @@
 package solver
 
-import (
-	"fmt"
-	"math"
-
-	"tealeaf/internal/grid"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/precond"
-)
+import "tealeaf/internal/grid"
 
 // SolveCG runs (preconditioned) conjugate gradients. With the default
 // identity preconditioner this is the paper's baseline "CG - 1"
@@ -17,236 +10,20 @@ import (
 // unfused path keeps the seed's two-to-three reductions and five-to-seven
 // sweeps, which is exactly the communication pattern whose log(P) latency
 // dominates strong scaling (§III-A) and which §VII proposes to fix.
+//
+// With Options.Deflation set, the classic loop runs deflated CG: the
+// iteration operates on the projected operator P·A with the coarse
+// subdomain modes removed from the spectrum, and coarse corrections
+// before and after the loop recover them exactly (see internal/deflate).
+//
+// The iteration body itself lives in loops.go (runCGCore) and is shared
+// verbatim with SolveCG3D.
 func SolveCG(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv(p, o)
-	res, _, err := runCG(e, p, o, o.MaxIters, o.Tol)
+	e := newEngine[*grid.Field2D, grid.Bounds](newSys2D(p, o), o, p.U, p.RHS)
+	res, _, err := runCGCore(e, o.MaxIters, o.Tol)
 	return res, err
-}
-
-// cgState is the live state runCG leaves behind so Chebyshev/PPCG can
-// continue from the bootstrap phase without recomputing the residual.
-type cgState struct {
-	r, z, w, pvec *grid.Field2D
-	rz, rr, rr0   float64
-}
-
-// runCG dispatches to the fused single-reduction engine when the options
-// and preconditioner allow it, and to the classic multi-pass engine
-// otherwise. Both record the (α, β) scalars and return the final state
-// for solvers that continue the run.
-//
-// Folding a diagonal preconditioner needs minv valid one cell beyond the
-// interior. precond.NewJacobi can only evaluate the matrix diagonal on
-// the padded region minus its outermost layer, so on a halo-1 grid the
-// ring the fused matvec reads is exactly that missing layer. Single-rank
-// that is harmless (physical-boundary face coefficients are zero, so the
-// ring is multiplied away), but across rank boundaries the coupling is
-// real — fall back to the classic loop rather than silently dropping it.
-func runCG(e *env, p Problem, o Options, maxIters int, tol float64) (Result, *cgState, error) {
-	if o.Fused {
-		if minv, ok := precond.FoldableDiag(o.Precond); ok {
-			if minv == nil || o.Comm.Size() == 1 || p.Op.Grid.Halo >= 2 {
-				return runCGFused(e, p, o, minv, maxIters, tol)
-			}
-		}
-	}
-	return runCGClassic(e, p, o, maxIters, tol)
-}
-
-// runCGFused is the Chronopoulos–Gear single-reduction PCG engine
-// (§VII). Writing u = M⁻¹r, it maintains p (search direction) and
-// s = A·p by recurrence, so each iteration is exactly three grid sweeps
-// and one reduction round:
-//
-//	sweep 1: p = u + β·p;  s = w + β·s           (FusedCGDirections)
-//	sweep 2: x += α·p; r −= α·s; γ' = r·u'; rr = r·r   (FusedCGUpdate)
-//	         exchange halo of r
-//	sweep 3: w = A·u';  δ = u'·w                 (ApplyPreDot)
-//	allreduce {γ', rr, δ} in one round, then
-//	β = γ'/γ,  α = γ'/(δ − β·γ'/α)
-//
-// The diagonal preconditioner is folded into the sweeps (u is never
-// materialised); minv == nil is the identity, for which γ == rr.
-func runCGFused(e *env, p Problem, o Options, minv *grid.Field2D, maxIters int, tol float64) (Result, *cgState, error) {
-	g := p.Op.Grid
-	in := e.in
-	var result Result
-
-	r := grid.NewField2D(g)
-	w := grid.NewField2D(g)
-	pvec := grid.NewField2D(g)
-	svec := grid.NewField2D(g)
-	// The fused loop never materialises z = M⁻¹r. For the identity the
-	// continuation state's z aliases r (like the classic path); for a
-	// folded preconditioner it stays nil and the Chebyshev continuation
-	// allocates its own scratch on demand.
-	z := r
-	if minv != nil {
-		z = nil
-	}
-	mkState := func(gamma, rr, rr0 float64) *cgState {
-		return &cgState{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
-	}
-
-	// Startup: r = rhs − A·u, then one fused stencil sweep produces
-	// w = A·M⁻¹r with all three startup scalars, reduced in one round.
-	if err := e.exchange(1, p.U); err != nil {
-		return result, nil, err
-	}
-	e.op.Residual(e.p, in, p.U, p.RHS, r)
-	e.tr.AddMatvec(in.Cells())
-	if err := e.exchange(1, r); err != nil {
-		return result, nil, err
-	}
-	gamma, delta, rr0 := e.op.ApplyPreDotInit(e.p, in, minv, r, w)
-	e.tr.AddMatvec(in.Cells())
-	sums := e.c.AllReduceSumN([]float64{gamma, delta, rr0})
-	gamma, delta, rr0 = sums[0], sums[1], sums[2]
-	if rr0 == 0 {
-		result.Converged = true
-		return result, mkState(0, 0, 0), nil
-	}
-	if delta <= 0 || math.IsNaN(delta) {
-		// A or M lost positive definiteness at startup; no iteration can
-		// proceed — surface it instead of returning a silent residual of 1.
-		result.FinalResidual = 1
-		result.Breakdown = true
-		return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: startup curvature δ = %v: %w", delta, ErrBreakdown)
-	}
-
-	alpha := gamma / delta
-	beta := 0.0
-	rr := rr0
-	for it := 0; it < maxIters; it++ {
-		kernels.FusedCGDirections(e.p, in, minv, r, w, beta, pvec, svec)
-		e.tr.AddVectorPass(in.Cells())
-		gammaNew, rrNew := kernels.FusedCGUpdate(e.p, in, alpha, pvec, svec, p.U, r, minv)
-		e.tr.AddVectorPass(in.Cells())
-		if err := e.exchange(1, r); err != nil {
-			return result, nil, err
-		}
-		deltaNew := e.op.ApplyPreDot(e.p, in, minv, r, w)
-		e.tr.AddMatvec(in.Cells())
-		s := e.c.AllReduceSumN([]float64{gammaNew, rrNew, deltaNew})
-		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
-
-		result.Alphas = append(result.Alphas, alpha)
-		result.Iterations++
-		rel := relResidual(rrNew, rr0)
-		result.History = append(result.History, rel)
-		if rel <= tol {
-			result.Converged = true
-			result.FinalResidual = rel
-			return result, mkState(gammaNew, rrNew, rr0), nil
-		}
-
-		betaNew := gammaNew / gamma
-		denom := deltaNew - betaNew*gammaNew/alpha
-		if denom <= 0 || math.IsNaN(denom) {
-			// Breakdown: the three-term recurrences lost conjugacy (or A
-			// is numerically semi-definite). Stop like the classic path's
-			// pw == 0 guard, and record it.
-			result.Breakdown = true
-			rr = rrNew
-			break
-		}
-		result.Betas = append(result.Betas, betaNew)
-		gamma, rr = gammaNew, rrNew
-		beta, alpha = betaNew, gammaNew/denom
-	}
-	result.FinalResidual = relResidual(rr, rr0)
-	return result, mkState(gamma, rr, rr0), nil
-}
-
-// runCGClassic is the seed's multi-pass PCG engine, kept verbatim as the
-// reference implementation behind Options.DisableFused (and for
-// preconditioners that cannot be folded into fused sweeps). It iterates
-// up to maxIters or until the relative residual meets tol.
-func runCGClassic(e *env, p Problem, o Options, maxIters int, tol float64) (Result, *cgState, error) {
-	g := p.Op.Grid
-	in := e.in
-	var result Result
-
-	r := grid.NewField2D(g)
-	w := grid.NewField2D(g)
-	pvec := grid.NewField2D(g)
-	z := r // identity preconditioner: z aliases r
-	if !isNone(o.Precond) {
-		z = grid.NewField2D(g)
-	}
-
-	rr0, err := e.initialResidual(p.U, p.RHS, r)
-	if err != nil {
-		return result, nil, err
-	}
-	if rr0 == 0 {
-		result.Converged = true
-		return result, &cgState{r: r, z: z, w: w, pvec: pvec}, nil
-	}
-
-	e.applyPrecond(o.Precond, in, r, z)
-	kernels.Copy(e.p, in, pvec, z)
-	e.tr.AddVectorPass(in.Cells())
-
-	var rz, rr float64
-	if z == r {
-		rz = e.dot(r, r)
-		rr = rz
-	} else if o.FusedDots {
-		rz, rr = e.dotPair(z, r)
-	} else {
-		rz = e.dot(r, z)
-		rr = e.dot(r, r)
-	}
-
-	for it := 0; it < maxIters; it++ {
-		if err := e.exchange(1, pvec); err != nil {
-			return result, nil, err
-		}
-		pw := e.matvecDot(in, pvec, w)
-		if pw == 0 {
-			result.Breakdown = true
-			break // breakdown: direction is A-null, cannot proceed
-		}
-		alpha := rz / pw
-		kernels.Axpy(e.p, in, alpha, pvec, p.U)
-		kernels.Axpy(e.p, in, -alpha, w, r)
-		e.tr.AddVectorPass(in.Cells())
-		e.tr.AddVectorPass(in.Cells())
-
-		e.applyPrecond(o.Precond, in, r, z)
-
-		var rzNew, rrNew float64
-		if z == r {
-			rzNew = e.dot(r, r)
-			rrNew = rzNew
-		} else if o.FusedDots {
-			rzNew, rrNew = e.dotPair(z, r)
-		} else {
-			rzNew = e.dot(r, z)
-			rrNew = e.dot(r, r)
-		}
-
-		beta := rzNew / rz
-		result.Alphas = append(result.Alphas, alpha)
-		result.Iterations++
-		rel := relResidual(rrNew, rr0)
-		result.History = append(result.History, rel)
-		rz, rr = rzNew, rrNew
-		if rel <= tol {
-			result.Converged = true
-			result.FinalResidual = rel
-			return result, &cgState{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
-		}
-		result.Betas = append(result.Betas, beta)
-
-		kernels.Xpay(e.p, in, z, beta, pvec)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	result.FinalResidual = relResidual(rr, rr0)
-	return result, &cgState{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
 }

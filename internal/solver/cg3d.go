@@ -1,19 +1,8 @@
 package solver
 
-import (
-	"fmt"
-	"math"
-
-	"tealeaf/internal/grid"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/precond"
-)
-
-// SolveCG3D runs (preconditioned) conjugate gradients on a 3D problem.
-// The default fused path mirrors the 2D single-reduction loop: three
-// sweeps over the volume per iteration with every dot product produced by
-// a fused kernel and all scalars carried by one reduction round. It runs
-// identically single-rank (reflective physical boundaries) and
+// SolveCG3D runs (preconditioned) conjugate gradients on a 3D problem:
+// the same runCGCore loop as the 2D SolveCG, over the sys3d backend. It
+// runs identically single-rank (reflective physical boundaries) and
 // distributed over a grid.Partition3D (face exchanges through the
 // communicator).
 func SolveCG3D(p Problem3D, o Options) (Result, error) {
@@ -21,213 +10,6 @@ func SolveCG3D(p Problem3D, o Options) (Result, error) {
 	if err := o.validate3(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv3(p, o)
-	res, _, err := runCG3D(e, p, o, o.MaxIters, o.Tol)
+	res, _, err := runCGCore(newEngine3D(p, o), o.MaxIters, o.Tol)
 	return res, err
-}
-
-// cgState3 is the live state runCG3D leaves behind so Chebyshev/PPCG can
-// continue from the bootstrap phase without recomputing the residual.
-type cgState3 struct {
-	r, z, w, pvec *grid.Field3D
-	rz, rr, rr0   float64
-}
-
-// runCG3D dispatches to the fused single-reduction engine when the
-// options and preconditioner allow it, and to the classic multi-pass
-// engine otherwise — the same rule as the 2D runCG: folding a diagonal
-// preconditioner needs minv valid one cell beyond the interior, which on
-// a halo-1 grid is only safe single-rank (physical-face coefficients are
-// zero there; across rank boundaries the coupling is real).
-func runCG3D(e *env3, p Problem3D, o Options, maxIters int, tol float64) (Result, *cgState3, error) {
-	if o.Fused {
-		if minv, ok := precond.FoldableDiag3D(o.Precond3D); ok {
-			if minv == nil || o.Comm.Size() == 1 || p.Op.Grid.Halo >= 2 {
-				return runCG3DFused(e, p, o, minv, maxIters, tol)
-			}
-		}
-	}
-	return runCG3DClassic(e, p, o, maxIters, tol)
-}
-
-// runCG3DFused is the 3D Chronopoulos–Gear single-reduction PCG engine,
-// structurally identical to the 2D runCGFused:
-//
-//	sweep 1: p = u + β·p;  s = w + β·s           (FusedCGDirections3D)
-//	sweep 2: x += α·p; r −= α·s; γ' = r·u'; rr = r·r  (FusedCGUpdate3D)
-//	         exchange halo of r
-//	sweep 3: w = A·u';  δ = u'·w                 (ApplyPreDot)
-//	allreduce {γ', rr, δ} in one round
-//
-// with u = M⁻¹r never materialised (minv == nil is the identity).
-func runCG3DFused(e *env3, p Problem3D, o Options, minv *grid.Field3D, maxIters int, tol float64) (Result, *cgState3, error) {
-	g := p.Op.Grid
-	in := e.in
-	var result Result
-
-	r := grid.NewField3D(g)
-	w := grid.NewField3D(g)
-	pvec := grid.NewField3D(g)
-	svec := grid.NewField3D(g)
-	z := r
-	if minv != nil {
-		z = nil
-	}
-	mkState := func(gamma, rr, rr0 float64) *cgState3 {
-		return &cgState3{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
-	}
-
-	if err := e.exchange(1, p.U); err != nil {
-		return result, nil, err
-	}
-	e.op.Residual(e.p, in, p.U, p.RHS, r)
-	e.tr.AddMatvec(in.Cells())
-	if err := e.exchange(1, r); err != nil {
-		return result, nil, err
-	}
-	gamma, delta, rr0 := e.op.ApplyPreDotInit(e.p, in, minv, r, w)
-	e.tr.AddMatvec(in.Cells())
-	sums := e.c.AllReduceSumN([]float64{gamma, delta, rr0})
-	gamma, delta, rr0 = sums[0], sums[1], sums[2]
-	if rr0 == 0 {
-		result.Converged = true
-		return result, mkState(0, 0, 0), nil
-	}
-	if delta <= 0 || math.IsNaN(delta) {
-		// A or M lost positive definiteness at startup: an explicit error,
-		// not a silent FinalResidual of 1 — callers must be able to tell
-		// "diverged" from "broke down before iterating".
-		result.FinalResidual = 1
-		result.Breakdown = true
-		return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: 3D startup curvature δ = %v: %w", delta, ErrBreakdown)
-	}
-
-	alpha := gamma / delta
-	beta := 0.0
-	rr := rr0
-	for it := 0; it < maxIters; it++ {
-		kernels.FusedCGDirections3D(e.p, in, minv, r, w, beta, pvec, svec)
-		e.tr.AddVectorPass(in.Cells())
-		gammaNew, rrNew := kernels.FusedCGUpdate3D(e.p, in, alpha, pvec, svec, p.U, r, minv)
-		e.tr.AddVectorPass(in.Cells())
-		if err := e.exchange(1, r); err != nil {
-			return result, nil, err
-		}
-		deltaNew := e.op.ApplyPreDot(e.p, in, minv, r, w)
-		e.tr.AddMatvec(in.Cells())
-		s := e.c.AllReduceSumN([]float64{gammaNew, rrNew, deltaNew})
-		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
-
-		result.Alphas = append(result.Alphas, alpha)
-		result.Iterations++
-		rel := relResidual(rrNew, rr0)
-		result.History = append(result.History, rel)
-		if rel <= tol {
-			result.Converged = true
-			result.FinalResidual = rel
-			return result, mkState(gammaNew, rrNew, rr0), nil
-		}
-
-		betaNew := gammaNew / gamma
-		denom := deltaNew - betaNew*gammaNew/alpha
-		if denom <= 0 || math.IsNaN(denom) || math.IsNaN(rrNew) {
-			// In-loop breakdown after useful progress: stop like the
-			// classic path's pw == 0 guard, and record it in the result.
-			result.Breakdown = true
-			rr = rrNew
-			break
-		}
-		result.Betas = append(result.Betas, betaNew)
-		gamma, rr = gammaNew, rrNew
-		beta, alpha = betaNew, gammaNew/denom
-	}
-	result.FinalResidual = relResidual(rr, rr0)
-	return result, mkState(gamma, rr, rr0), nil
-}
-
-// runCG3DClassic is the multi-pass 3D PCG engine, the reference path
-// behind Options.DisableFused and for non-foldable configurations.
-func runCG3DClassic(e *env3, p Problem3D, o Options, maxIters int, tol float64) (Result, *cgState3, error) {
-	g := p.Op.Grid
-	in := e.in
-	var result Result
-
-	r := grid.NewField3D(g)
-	w := grid.NewField3D(g)
-	pvec := grid.NewField3D(g)
-	z := r // identity preconditioner: z aliases r
-	if !isNone3(o.Precond3D) {
-		z = grid.NewField3D(g)
-	}
-
-	rr0, err := e.initialResidual(p.U, p.RHS, r)
-	if err != nil {
-		return result, nil, err
-	}
-	if rr0 == 0 {
-		result.Converged = true
-		return result, &cgState3{r: r, z: z, w: w, pvec: pvec}, nil
-	}
-
-	e.applyPrecond(o.Precond3D, in, r, z)
-	kernels.Copy3D(e.p, in, pvec, z)
-	e.tr.AddVectorPass(in.Cells())
-
-	var rz, rr float64
-	if z == r {
-		rz = e.dot(r, r)
-		rr = rz
-	} else if o.FusedDots {
-		rz, rr = e.dotPair(z, r)
-	} else {
-		rz = e.dot(r, z)
-		rr = e.dot(r, r)
-	}
-
-	for it := 0; it < maxIters; it++ {
-		if err := e.exchange(1, pvec); err != nil {
-			return result, nil, err
-		}
-		pw := e.matvecDot(in, pvec, w)
-		if pw == 0 {
-			result.Breakdown = true
-			break // breakdown: direction is A-null, cannot proceed
-		}
-		alpha := rz / pw
-		kernels.Axpy3D(e.p, in, alpha, pvec, p.U)
-		kernels.Axpy3D(e.p, in, -alpha, w, r)
-		e.tr.AddVectorPass(in.Cells())
-		e.tr.AddVectorPass(in.Cells())
-
-		e.applyPrecond(o.Precond3D, in, r, z)
-
-		var rzNew, rrNew float64
-		if z == r {
-			rzNew = e.dot(r, r)
-			rrNew = rzNew
-		} else if o.FusedDots {
-			rzNew, rrNew = e.dotPair(z, r)
-		} else {
-			rzNew = e.dot(r, z)
-			rrNew = e.dot(r, r)
-		}
-
-		beta := rzNew / rz
-		result.Alphas = append(result.Alphas, alpha)
-		result.Iterations++
-		rel := relResidual(rrNew, rr0)
-		result.History = append(result.History, rel)
-		rz, rr = rzNew, rrNew
-		if rel <= tol {
-			result.Converged = true
-			result.FinalResidual = rel
-			return result, &cgState3{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
-		}
-		result.Betas = append(result.Betas, beta)
-
-		kernels.Xpay3D(e.p, in, z, beta, pvec)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	result.FinalResidual = relResidual(rr, rr0)
-	return result, &cgState3{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
 }

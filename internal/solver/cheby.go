@@ -1,147 +1,25 @@
 package solver
 
-import (
-	"fmt"
+import "tealeaf/internal/grid"
 
-	"tealeaf/internal/cheby"
-	"tealeaf/internal/eigen"
-	"tealeaf/internal/grid"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/precond"
-)
-
-// SolveChebyshev runs the stand-alone Chebyshev iteration. It first runs
-// EigenCGIters of CG to estimate the extremal eigenvalues (§III-D), then
-// iterates
+// SolveChebyshev runs the stand-alone Chebyshev iteration: EigenCGIters
+// of CG estimate the extremal eigenvalues (§III-D), then the main loop
 //
 //	u ← u + p,  r ← r − A·p,  p ← α_k·p + β_k·M⁻¹r
 //
-// with the shifted/scaled Chebyshev coefficients. The main loop performs
-// no global reductions at all — only halo exchanges — except for a
-// convergence check every CheckEvery iterations; that communication
+// performs no global reductions at all — only halo exchanges — except for
+// a convergence check every CheckEvery iterations; that communication
 // profile is why Chebyshev (and its use as the CPPCG preconditioner)
-// scales so well.
-//
-// On the fused path each iteration is three sweeps: the matvec, a fused
-// u/r update, and the direction update with the diagonal preconditioner
-// folded in — versus five sweeps unfused.
+// scales so well. A residual-growth guard re-bootstraps automatically
+// when the eigenvalue estimate proves divergent; see solveChebyCore in
+// loops.go, which this constructor shares verbatim with SolveCheby3D.
 func SolveChebyshev(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv(p, o)
-	in := e.in
-
-	// --- Bootstrap: CG for eigenvalue estimation (also advances u). ---
-	boot, st, err := runCG(e, p, o, o.EigenCGIters, o.Tol)
-	if err != nil {
-		return boot, err
+	if err := o.requireNoDeflation(KindCheby); err != nil {
+		return Result{}, err
 	}
-	result := Result{
-		Iterations:     boot.Iterations,
-		BootstrapIters: boot.Iterations,
-		History:        boot.History,
-		Alphas:         boot.Alphas,
-		Betas:          boot.Betas,
-	}
-	if boot.Converged {
-		result.Converged = true
-		result.FinalResidual = boot.FinalResidual
-		return result, nil
-	}
-	est, err := eigen.EstimateFromCG(boot.Alphas, boot.Betas)
-	if err != nil {
-		return result, fmt.Errorf("solver: eigenvalue bootstrap failed: %w", err)
-	}
-	result.Eigen = &est
-
-	sched, err := cheby.NewSchedule(est.Min, est.Max, o.MaxIters)
-	if err != nil {
-		return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
-	}
-
-	// --- Chebyshev main loop, continuing from the CG state. ---
-	r, z, w := st.r, st.z, st.w
-	if z == nil {
-		// The fused CG engine folds diagonal preconditioners and leaves
-		// no z scratch behind; the Chebyshev startup (and the unfused
-		// branch below) still need one.
-		z = grid.NewField2D(p.Op.Grid)
-	}
-	pvec := st.pvec
-	rr0 := st.rr0
-
-	minv, foldable := precond.FoldableDiag(o.Precond)
-	fused := o.Fused && foldable
-
-	e.applyPrecond(o.Precond, in, r, z)
-	kernels.ScaleTo(e.p, in, 1/sched.Theta, z, pvec) // p = z/θ
-	e.tr.AddVectorPass(in.Cells())
-
-	mainIters := o.MaxIters - result.Iterations
-	for it := 0; it < mainIters; it++ {
-		if err := e.exchange(1, pvec); err != nil {
-			return result, err
-		}
-		step := it
-		if step >= sched.Steps() {
-			step = sched.Steps() - 1 // coefficients have converged by then
-		}
-		e.matvec(in, pvec, w)
-		if fused {
-			// u += p and r −= A·p share one sweep; the direction update
-			// p = α·p + β·M⁻¹r folds the preconditioner into a second.
-			kernels.AxpyAxpy(e.p, in, 1, pvec, p.U, -1, w, r)
-			e.tr.AddVectorPass(in.Cells())
-			kernels.AxpbyPre(e.p, in, sched.Alpha[step], pvec, sched.Beta[step], minv, r)
-			e.tr.AddVectorPass(in.Cells())
-		} else {
-			kernels.Axpy(e.p, in, 1, pvec, p.U) // u += p
-			kernels.Axpy(e.p, in, -1, w, r)     // r -= A·p
-			e.tr.AddVectorPass(in.Cells())
-			e.tr.AddVectorPass(in.Cells())
-
-			e.applyPrecond(o.Precond, in, r, z)
-			// p = α·p + β·z.
-			axpbyInPlace(e, in, sched.Alpha[step], pvec, sched.Beta[step], z)
-		}
-
-		result.Iterations++
-		result.TotalInner++
-		// The forced check on the last main-loop iteration (not MaxIters-1,
-		// which the bootstrap already consumed) keeps FinalResidual fresh.
-		if (it+1)%o.CheckEvery == 0 || it == mainIters-1 {
-			rr := e.dot(r, r)
-			rel := relResidual(rr, rr0)
-			result.History = append(result.History, rel)
-			result.FinalResidual = rel
-			if rel <= o.Tol {
-				result.Converged = true
-				return result, nil
-			}
-		}
-	}
-	if result.FinalResidual == 0 && rr0 > 0 {
-		rr := e.dot(r, r)
-		result.FinalResidual = relResidual(rr, rr0)
-		result.Converged = result.FinalResidual <= o.Tol
-	}
-	return result, nil
-}
-
-// axpbyInPlace computes y = a·y + b·z over bnd (the Chebyshev direction
-// update, which has no single-call kernel because y aliases the output).
-func axpbyInPlace(e *env, bnd grid.Bounds, a float64, y *grid.Field2D, b float64, z *grid.Field2D) {
-	g := y.Grid
-	yd, zd := y.Data, z.Data
-	e.p.For(bnd.Y0, bnd.Y1, func(k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			base := g.Index(0, k)
-			for j := bnd.X0; j < bnd.X1; j++ {
-				yd[base+j] = a*yd[base+j] + b*zd[base+j]
-			}
-		}
-	})
-	e.tr.AddVectorPass(bnd.Cells())
+	return solveChebyCore(newEngine[*grid.Field2D, grid.Bounds](newSys2D(p, o), o, p.U, p.RHS))
 }

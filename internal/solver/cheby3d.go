@@ -1,116 +1,16 @@
 package solver
 
-import (
-	"fmt"
-
-	"tealeaf/internal/cheby"
-	"tealeaf/internal/eigen"
-	"tealeaf/internal/grid"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/precond"
-)
-
-// SolveCheby3D runs the stand-alone Chebyshev iteration on a 3D problem,
-// mirroring SolveChebyshev: EigenCGIters of CG bootstrap the extremal
-// eigenvalue estimate, then the main loop is reduction-free except for a
-// convergence check every CheckEvery iterations. On the fused path each
-// iteration is three sweeps — the matvec, a fused u/r update, and the
-// direction update with the diagonal preconditioner folded in.
+// SolveCheby3D runs the stand-alone Chebyshev iteration on a 3D problem:
+// the same solveChebyCore loop as the 2D SolveChebyshev — bootstrap,
+// reduction-free main loop, periodic checks, and the residual-growth
+// re-bootstrap guard — over the sys3d backend.
 func SolveCheby3D(p Problem3D, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate3(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv3(p, o)
-	in := e.in
-
-	// --- Bootstrap: CG for eigenvalue estimation (also advances u). ---
-	boot, st, err := runCG3D(e, p, o, o.EigenCGIters, o.Tol)
-	if err != nil {
-		return boot, err
+	if err := o.requireNoDeflation(KindCheby); err != nil {
+		return Result{}, err
 	}
-	result := Result{
-		Iterations:     boot.Iterations,
-		BootstrapIters: boot.Iterations,
-		History:        boot.History,
-		Alphas:         boot.Alphas,
-		Betas:          boot.Betas,
-	}
-	if boot.Converged {
-		result.Converged = true
-		result.FinalResidual = boot.FinalResidual
-		return result, nil
-	}
-	est, err := eigen.EstimateFromCG(boot.Alphas, boot.Betas)
-	if err != nil {
-		return result, fmt.Errorf("solver: eigenvalue bootstrap failed: %w", err)
-	}
-	result.Eigen = &est
-
-	sched, err := cheby.NewSchedule(est.Min, est.Max, o.MaxIters)
-	if err != nil {
-		return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
-	}
-
-	// --- Chebyshev main loop, continuing from the CG state. ---
-	r, z, w := st.r, st.z, st.w
-	if z == nil {
-		// The fused CG engine folds diagonal preconditioners and leaves no
-		// z scratch behind; the startup and unfused branch still need one.
-		z = grid.NewField3D(p.Op.Grid)
-	}
-	pvec := st.pvec
-	rr0 := st.rr0
-
-	minv, foldable := precond.FoldableDiag3D(o.Precond3D)
-	fused := o.Fused && foldable
-
-	e.applyPrecond(o.Precond3D, in, r, z)
-	kernels.ScaleTo3D(e.p, in, 1/sched.Theta, z, pvec) // p = z/θ
-	e.tr.AddVectorPass(in.Cells())
-
-	mainIters := o.MaxIters - result.Iterations
-	for it := 0; it < mainIters; it++ {
-		if err := e.exchange(1, pvec); err != nil {
-			return result, err
-		}
-		step := it
-		if step >= sched.Steps() {
-			step = sched.Steps() - 1 // coefficients have converged by then
-		}
-		e.matvec(in, pvec, w)
-		if fused {
-			kernels.AxpyAxpy3D(e.p, in, 1, pvec, p.U, -1, w, r)
-			e.tr.AddVectorPass(in.Cells())
-			kernels.AxpbyPre3D(e.p, in, sched.Alpha[step], pvec, sched.Beta[step], minv, r)
-			e.tr.AddVectorPass(in.Cells())
-		} else {
-			kernels.Axpy3D(e.p, in, 1, pvec, p.U) // u += p
-			kernels.Axpy3D(e.p, in, -1, w, r)     // r -= A·p
-			e.tr.AddVectorPass(in.Cells())
-			e.tr.AddVectorPass(in.Cells())
-
-			e.applyPrecond(o.Precond3D, in, r, z)
-			axpbyInPlace3(e, in, sched.Alpha[step], pvec, sched.Beta[step], z)
-		}
-
-		result.Iterations++
-		result.TotalInner++
-		if (it+1)%o.CheckEvery == 0 || it == mainIters-1 {
-			rr := e.dot(r, r)
-			rel := relResidual(rr, rr0)
-			result.History = append(result.History, rel)
-			result.FinalResidual = rel
-			if rel <= o.Tol {
-				result.Converged = true
-				return result, nil
-			}
-		}
-	}
-	if result.FinalResidual == 0 && rr0 > 0 {
-		rr := e.dot(r, r)
-		result.FinalResidual = relResidual(rr, rr0)
-		result.Converged = result.FinalResidual <= o.Tol
-	}
-	return result, nil
+	return solveChebyCore(newEngine3D(p, o))
 }

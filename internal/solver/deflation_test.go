@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"testing"
+
+	"tealeaf/internal/deflate"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
+	"tealeaf/internal/stencil"
+)
+
+func precondJacobi(t *testing.T, op *stencil.Operator2D) precond.Preconditioner {
+	t.Helper()
+	return precond.NewJacobi(par.Serial, op)
+}
+
+// stiffProblem builds A = I + Δt·L with Δt·λ₂(L) ≫ 1 — the near-steady
+// regime where the low-energy subdomain modes are genuine spectral
+// outliers and deflation pays (see internal/deflate's package comment).
+func stiffProblem(t *testing.T, n int) Problem {
+	t.Helper()
+	g := grid.MustGrid2D(n, n, 2, 0, 1, 0, 1)
+	den := grid.NewField2D(g)
+	den.Fill(1)
+	op, err := stencil.BuildOperator2D(par.Serial, den, 10.0, stencil.Conductivity, stencil.AllPhysical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := grid.NewField2D(g)
+	rhs.FillBounds(grid.Bounds{X0: 0, X1: n / 4, Y0: 0, Y1: n / 4}, 1)
+	return Problem{Op: op, U: rhs.Clone(), RHS: rhs}
+}
+
+// Deflation composed through solver.Options versus the paper's headline
+// PPCG, on the stiff problem: deflated CG must beat plain CG decisively
+// (the §VII promise), and the three solvers must agree on the solution.
+// PPCG remains the iteration-count winner — its inner Chebyshev steps do
+// the spectral work deflation only does for the lowest modes — which is
+// exactly the trade the teabench deflation experiment quantifies.
+func TestDeflationVsPPCGOnStiffProblem(t *testing.T) {
+	const n = 64
+	const tol = 1e-9
+
+	plain := stiffProblem(t, n)
+	plainRes, err := SolveCG(plain, Options{Tol: tol})
+	if err != nil || !plainRes.Converged {
+		t.Fatalf("plain CG: %v %+v", err, plainRes)
+	}
+
+	deflP := stiffProblem(t, n)
+	defl, err := deflate.New(par.Serial, deflP.Op, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deflRes, err := SolveCG(deflP, Options{Tol: tol, Deflation: defl})
+	if err != nil || !deflRes.Converged {
+		t.Fatalf("deflated CG: %v %+v", err, deflRes)
+	}
+
+	ppcgP := stiffProblem(t, n)
+	ppcgRes, err := SolvePPCG(ppcgP, Options{Tol: tol, EigenCGIters: 10})
+	if err != nil || !ppcgRes.Converged {
+		t.Fatalf("PPCG: %v %+v", err, ppcgRes)
+	}
+
+	if float64(deflRes.Iterations) > 0.7*float64(plainRes.Iterations) {
+		t.Errorf("deflated CG took %d iterations, plain CG %d — expected ≥30%% reduction",
+			deflRes.Iterations, plainRes.Iterations)
+	}
+	if ppcgRes.Iterations >= plainRes.Iterations {
+		t.Errorf("PPCG took %d outer iterations, plain CG %d — the polynomial preconditioner must win",
+			ppcgRes.Iterations, plainRes.Iterations)
+	}
+	t.Logf("stiff %dx%d iterations: CG %d, deflated CG %d, PPCG %d (+%d inner)",
+		n, n, plainRes.Iterations, deflRes.Iterations, ppcgRes.Iterations, ppcgRes.TotalInner)
+
+	if d := deflP.U.MaxDiff(plain.U); d > 1e-6 {
+		t.Errorf("deflated solution differs from plain CG by %v", d)
+	}
+	if d := ppcgP.U.MaxDiff(plain.U); d > 1e-6 {
+		t.Errorf("PPCG solution differs from plain CG by %v", d)
+	}
+}
+
+// Deflation's composition rules at the solver layer: CG-only,
+// single-rank, 2D-only — each with an actionable error.
+func TestDeflationValidation(t *testing.T) {
+	p := stiffProblem(t, 16)
+	defl, err := deflate.New(par.Serial, p.Op, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolvePPCG(p, Options{Deflation: defl}); err == nil {
+		t.Error("deflation with PPCG must be rejected")
+	}
+	if _, err := SolveChebyshev(p, Options{Deflation: defl}); err == nil {
+		t.Error("deflation with Chebyshev must be rejected")
+	}
+	if _, err := SolveJacobi(p, Options{Deflation: defl}); err == nil {
+		t.Error("deflation with Jacobi must be rejected")
+	}
+	p3 := buildProblem3D(t, 8, 5)
+	if _, err := SolveCG3D(p3, Options{Deflation: defl}); err == nil {
+		t.Error("deflation on the 3D path must be rejected")
+	}
+}
+
+// The deflated path must also work with a preconditioner and with the
+// fused default (it silently runs the classic engine — the projection
+// cannot be folded), converging to the plain solution.
+func TestDeflationWithPreconditioner(t *testing.T) {
+	plain := stiffProblem(t, 32)
+	plainRes, err := SolveCG(plain, Options{Tol: 1e-9})
+	if err != nil || !plainRes.Converged {
+		t.Fatalf("plain CG: %v", err)
+	}
+	p := stiffProblem(t, 32)
+	defl, err := deflate.New(par.Serial, p.Op, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fused defaults on; the deflated dispatch must take the classic loop.
+	res, err := SolveCG(p, Options{Tol: 1e-9, Deflation: defl,
+		Precond: precondJacobi(t, p.Op)})
+	if err != nil || !res.Converged {
+		t.Fatalf("deflated+jacobi CG: %v %+v", err, res)
+	}
+	if d := p.U.MaxDiff(plain.U); d > 1e-6 {
+		t.Errorf("deflated+jacobi solution differs by %v", d)
+	}
+	if res.Iterations >= plainRes.Iterations {
+		t.Errorf("deflated+jacobi CG took %d iterations, plain %d", res.Iterations, plainRes.Iterations)
+	}
+}

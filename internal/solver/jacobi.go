@@ -13,12 +13,17 @@ import (
 // TeaLeaf's simplest solver. Convergence is monitored the way TeaLeaf
 // does: the global L1 norm of the update Σ|u⁺−u|, relative to the first
 // sweep's value, plus a final true-residual measurement for the Result.
+// The sweep reads the 5-point coefficients directly, so unlike the Krylov
+// solvers it remains 2D-only.
 func SolveJacobi(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv(p, o)
+	if err := o.requireNoDeflation(KindJacobi); err != nil {
+		return Result{}, err
+	}
+	e := newEngine[*grid.Field2D, grid.Bounds](newSys2D(p, o), o, p.U, p.RHS)
 	g := p.Op.Grid
 	in := e.in
 	var result Result
@@ -33,10 +38,10 @@ func SolveJacobi(p Problem, o Options) (Result, error) {
 			return result, err
 		}
 		un.CopyFrom(p.U)
-		e.tr.AddVectorPass(in.Cells())
+		e.vectorPass(in)
 
 		ud, nd, bd := p.U.Data, un.Data, p.RHS.Data
-		localErr := e.p.ForReduce(in.Y0, in.Y1, func(k0, k1 int) float64 {
+		localErr := o.Pool.ForReduce(in.Y0, in.Y1, func(k0, k1 int) float64 {
 			var sum float64
 			for k := k0; k < k1; k++ {
 				base := g.Index(0, k)

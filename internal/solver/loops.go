@@ -1,0 +1,732 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"tealeaf/internal/cheby"
+	"tealeaf/internal/eigen"
+)
+
+// This file holds the one and only implementation of each solver
+// iteration body. Every loop is generic over the system abstraction
+// (system.go), so the 2D and 3D entry points share it verbatim — there
+// are no per-dimension copies of the CG, Chebyshev or PPCG loops.
+
+// cgState is the live state runCGCore leaves behind so Chebyshev/PPCG can
+// continue from the bootstrap phase without recomputing the residual.
+type cgState[F comparable] struct {
+	r, z, w, pvec F
+	rz, rr, rr0   float64
+}
+
+// runCGCore dispatches to the fused single-reduction engine when the
+// options and preconditioner allow it, and to the classic multi-pass
+// engine otherwise. Both record the (α, β) scalars and return the final
+// state for solvers that continue the run.
+//
+// Folding a diagonal preconditioner needs minv valid one cell beyond the
+// interior. The Jacobi constructors can only evaluate the matrix diagonal
+// on the padded region minus its outermost layer, so on a halo-1 grid the
+// ring the fused matvec reads is exactly that missing layer. Single-rank
+// that is harmless (physical-boundary face coefficients are zero, so the
+// ring is multiplied away), but across rank boundaries the coupling is
+// real — fall back to the classic loop rather than silently dropping it.
+// The deflated path also runs classic: the outer projection P·A·p cannot
+// be folded into the fused three-sweep recurrences.
+func runCGCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) (Result, *cgState[F], error) {
+	if e.o.Fused && e.sys.Deflation() == nil {
+		if minv, ok := e.sys.FoldableDiag(); ok {
+			if isZeroF(minv) || e.c.Size() == 1 || e.sys.GridHalo() >= 2 {
+				return runCGFusedCore(e, minv, maxIters, tol)
+			}
+		}
+	}
+	return runCGClassicCore(e, maxIters, tol)
+}
+
+// runCGFusedCore is the Chronopoulos–Gear single-reduction PCG engine
+// (§VII). Writing u' = M⁻¹r, it maintains p (search direction) and
+// s = A·p by recurrence, so each iteration is exactly three grid sweeps
+// and one reduction round:
+//
+//	sweep 1: p = u' + β·p;  s = w + β·s          (FusedCGDirections)
+//	sweep 2: x += α·p; r −= α·s; γ' = r·u'; rr = r·r   (FusedCGUpdate)
+//	         exchange halo of r
+//	sweep 3: w = A·u';  δ = u'·w                 (ApplyPreDot)
+//	allreduce {γ', rr, δ} in one round, then
+//	β = γ'/γ,  α = γ'/(δ − β·γ'/α)
+//
+// The diagonal preconditioner is folded into the sweeps (u' is never
+// materialised); a zero minv is the identity, for which γ == rr.
+func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, tol float64) (Result, *cgState[F], error) {
+	sys := e.sys
+	in := e.in
+	var result Result
+
+	r := sys.NewVec()
+	w := sys.NewVec()
+	pvec := sys.NewVec()
+	svec := sys.NewVec()
+	// The fused loop never materialises z = M⁻¹r. For the identity the
+	// continuation state's z aliases r (like the classic path); for a
+	// folded preconditioner it stays zero and the Chebyshev continuation
+	// allocates its own scratch on demand.
+	z := r
+	if !isZeroF(minv) {
+		var zero F
+		z = zero
+	}
+	mkState := func(gamma, rr, rr0 float64) *cgState[F] {
+		return &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
+	}
+
+	// Startup: r = rhs − A·u, then one fused stencil sweep produces
+	// w = A·M⁻¹r with all three startup scalars, reduced in one round.
+	if err := e.exchange(1, e.u); err != nil {
+		return result, nil, err
+	}
+	sys.Residual(in, e.u, e.rhs, r)
+	e.tr.AddMatvec(e.cells)
+	if err := e.exchange(1, r); err != nil {
+		return result, nil, err
+	}
+	gamma, delta, rr0 := sys.ApplyPreDotInit(in, minv, r, w)
+	e.tr.AddMatvec(e.cells)
+	sums := e.c.AllReduceSumN([]float64{gamma, delta, rr0})
+	gamma, delta, rr0 = sums[0], sums[1], sums[2]
+	if rr0 == 0 {
+		result.Converged = true
+		return result, mkState(0, 0, 0), nil
+	}
+	if delta <= 0 || math.IsNaN(delta) {
+		// A or M lost positive definiteness at startup; no iteration can
+		// proceed — surface it instead of returning a silent residual of 1.
+		result.FinalResidual = 1
+		result.Breakdown = true
+		return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: startup curvature δ = %v: %w", delta, ErrBreakdown)
+	}
+
+	alpha := gamma / delta
+	beta := 0.0
+	rr := rr0
+	for it := 0; it < maxIters; it++ {
+		sys.FusedCGDirections(in, minv, r, w, beta, pvec, svec)
+		e.vectorPass(in)
+		gammaNew, rrNew := sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
+		e.vectorPass(in)
+		if err := e.exchange(1, r); err != nil {
+			return result, nil, err
+		}
+		deltaNew := sys.ApplyPreDot(in, minv, r, w)
+		e.tr.AddMatvec(e.cells)
+		s := e.c.AllReduceSumN([]float64{gammaNew, rrNew, deltaNew})
+		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
+
+		result.Alphas = append(result.Alphas, alpha)
+		result.Iterations++
+		rel := relResidual(rrNew, rr0)
+		result.History = append(result.History, rel)
+		if rel <= tol {
+			result.Converged = true
+			result.FinalResidual = rel
+			return result, mkState(gammaNew, rrNew, rr0), nil
+		}
+
+		betaNew := gammaNew / gamma
+		denom := deltaNew - betaNew*gammaNew/alpha
+		if denom <= 0 || math.IsNaN(denom) || math.IsNaN(rrNew) {
+			// Breakdown: the three-term recurrences lost conjugacy (or A
+			// is numerically semi-definite). Stop like the classic path's
+			// pw == 0 guard, and record it.
+			result.Breakdown = true
+			rr = rrNew
+			break
+		}
+		result.Betas = append(result.Betas, betaNew)
+		gamma, rr = gammaNew, rrNew
+		beta, alpha = betaNew, gammaNew/denom
+	}
+	result.FinalResidual = relResidual(rr, rr0)
+	return result, mkState(gamma, rr, rr0), nil
+}
+
+// runCGClassicCore is the seed's multi-pass PCG engine, the reference
+// path behind Options.DisableFused and for preconditioners that cannot
+// be folded into fused sweeps. It is also the engine the deflation
+// projector composes with: with a deflator configured the iteration runs
+// on the projected operator P·A (every matvec is projected), the initial
+// residual is aligned with the deflated subspace by a coarse correction,
+// and a final coarse correction recovers the deflation-space component
+// of the solution the projected iteration cannot see.
+func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) (Result, *cgState[F], error) {
+	sys := e.sys
+	in := e.in
+	var result Result
+
+	r := sys.NewVec()
+	w := sys.NewVec()
+	pvec := sys.NewVec()
+	z := r // identity preconditioner: z aliases r
+	if !sys.PrecondIsIdentity() {
+		z = sys.NewVec()
+	}
+	defl := sys.Deflation()
+
+	rr0, err := e.initialResidual(e.u, e.rhs, r)
+	if err != nil {
+		return result, nil, err
+	}
+	if defl != nil && rr0 > 0 {
+		// Initial coarse correction: Wᵀ·r = 0 afterwards, and the
+		// projected iteration keeps it so. The corrected residual is the
+		// convergence baseline, matching deflate.SolveDeflatedCG.
+		defl.CoarseCorrect(r, e.u)
+		rr0, err = e.initialResidual(e.u, e.rhs, r)
+		if err != nil {
+			return result, nil, err
+		}
+	}
+	if rr0 == 0 {
+		result.Converged = true
+		return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec}, nil
+	}
+
+	// finish re-measures the true residual after a final coarse
+	// correction on the deflated path; without deflation it is the plain
+	// relative residual. The pre-correction recompute only needs the
+	// residual field, not its norm, so it skips the dot/reduction.
+	finish := func(rr float64) (float64, error) {
+		if defl == nil {
+			return relResidual(rr, rr0), nil
+		}
+		if err := e.exchange(1, e.u); err != nil {
+			return 0, err
+		}
+		sys.Residual(in, e.u, e.rhs, r)
+		e.tr.AddMatvec(e.cells)
+		defl.CoarseCorrect(r, e.u)
+		rrTrue, err := e.initialResidual(e.u, e.rhs, r)
+		if err != nil {
+			return 0, err
+		}
+		return relResidual(rrTrue, rr0), nil
+	}
+
+	e.applyPrecond(in, r, z)
+	sys.Copy(in, pvec, z)
+	e.vectorPass(in)
+
+	var rz, rr float64
+	if z == r {
+		rz = e.dot(r, r)
+		rr = rz
+	} else if e.o.FusedDots {
+		rz, rr = e.dotPair(z, r)
+	} else {
+		rz = e.dot(r, z)
+		rr = e.dot(r, r)
+	}
+
+	for it := 0; it < maxIters; it++ {
+		if err := e.exchange(1, pvec); err != nil {
+			return result, nil, err
+		}
+		var pw float64
+		if defl != nil {
+			// The projection P·w needs the plain matvec first; the fused
+			// matvec+dot cannot be used because the dot must see P·A·p.
+			e.matvec(in, pvec, w)
+			defl.ProjectW(w)
+			pw = e.dot(pvec, w)
+			if pw <= 0 {
+				// P·A is only positive semi-definite outside the deflated
+				// subspace; a non-positive curvature means the iteration
+				// has run out of representable directions.
+				result.Breakdown = true
+				break
+			}
+		} else {
+			pw = e.matvecDot(in, pvec, w)
+			if pw == 0 {
+				result.Breakdown = true
+				break // breakdown: direction is A-null, cannot proceed
+			}
+		}
+		alpha := rz / pw
+		sys.Axpy(in, alpha, pvec, e.u)
+		sys.Axpy(in, -alpha, w, r)
+		e.vectorPass(in)
+		e.vectorPass(in)
+
+		e.applyPrecond(in, r, z)
+
+		var rzNew, rrNew float64
+		if z == r {
+			rzNew = e.dot(r, r)
+			rrNew = rzNew
+		} else if e.o.FusedDots {
+			rzNew, rrNew = e.dotPair(z, r)
+		} else {
+			rzNew = e.dot(r, z)
+			rrNew = e.dot(r, r)
+		}
+
+		beta := rzNew / rz
+		result.Alphas = append(result.Alphas, alpha)
+		result.Iterations++
+		rel := relResidual(rrNew, rr0)
+		result.History = append(result.History, rel)
+		rz, rr = rzNew, rrNew
+		if rel <= tol {
+			rel, err = finish(rr)
+			if err != nil {
+				return result, nil, err
+			}
+			result.FinalResidual = rel
+			// The deflated path re-measures the residual after the final
+			// coarse correction, which carries projection round-off; allow
+			// the same 10× margin as deflate.SolveDeflatedCG.
+			if defl != nil {
+				result.Converged = rel <= 10*tol
+			} else {
+				result.Converged = true
+			}
+			return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+		}
+		result.Betas = append(result.Betas, beta)
+
+		sys.Xpay(in, z, beta, pvec)
+		e.vectorPass(in)
+	}
+	rel, err := finish(rr)
+	if err != nil {
+		return result, nil, err
+	}
+	result.FinalResidual = rel
+	return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+}
+
+// chebyGuardFactor is the residual-growth threshold of the bootstrap
+// guard: a periodic convergence check observing the relative residual
+// above this multiple of the value at the start of the Chebyshev phase
+// declares the eigenvalue estimate divergent. Divergence from a λmax
+// underestimate is exponential (the iteration amplifies every mode above
+// the estimated interval), so a 4× rise over ≥CheckEvery iterations is
+// unambiguous, while the transient non-monotonicity of a healthy
+// Chebyshev residual stays well below it.
+const chebyGuardFactor = 4
+
+// chebyMaxRebootstraps bounds the guard's retries; each retry doubles the
+// bootstrap CG iteration count.
+const chebyMaxRebootstraps = 3
+
+// solveChebyCore runs the stand-alone Chebyshev iteration: EigenCGIters
+// of CG estimate the extremal eigenvalues (§III-D), then the main loop is
+// reduction-free except for a convergence check every CheckEvery
+// iterations. On the fused path each iteration is three sweeps — the
+// matvec, a fused u/r update, and the direction update with the diagonal
+// preconditioner folded in — versus five unfused.
+//
+// A residual-growth guard protects the bootstrap (ROADMAP): a short CG
+// bootstrap can underestimate λmax on smooth problems, which makes the
+// Chebyshev polynomial amplify the top of the spectrum and the iteration
+// diverge. When a periodic check sees the residual grow chebyGuardFactor×
+// above the phase start, the solve re-bootstraps with twice the CG
+// iterations (continuing from the current iterate — CG contracts the
+// inflated modes right back) and rebuilds the schedule from the sharper
+// estimate. Result.Rebootstraps counts the retries.
+func solveChebyCore[F comparable, B any](e *engine[F, B]) (Result, error) {
+	o := e.o
+	sys := e.sys
+	in := e.in
+	var result Result
+	var zscr F // lazily allocated preconditioner scratch
+	var rr0 float64
+	bootIters := o.EigenCGIters
+
+	for {
+		remaining := o.MaxIters - result.Iterations
+		if remaining <= 0 {
+			return result, nil
+		}
+		cgIters := bootIters
+		if cgIters > remaining {
+			cgIters = remaining
+		}
+
+		// --- Bootstrap: CG for eigenvalue estimation (also advances u). ---
+		boot, st, err := runCGCore(e, cgIters, o.Tol)
+		first := result.BootstrapIters == 0
+		result.Iterations += boot.Iterations
+		result.BootstrapIters += boot.Iterations
+		result.Alphas = append(result.Alphas, boot.Alphas...)
+		result.Betas = append(result.Betas, boot.Betas...)
+		if err != nil || st == nil {
+			// Startup breakdown or exchange failure (st is nil on the
+			// latter): surface it with whatever progress was recorded.
+			result.History = append(result.History, boot.History...)
+			result.FinalResidual = boot.FinalResidual
+			result.Breakdown = boot.Breakdown
+			return result, err
+		}
+		if first {
+			rr0 = st.rr0
+			result.History = append(result.History, boot.History...)
+		} else if rr0 > 0 && st.rr0 > 0 {
+			// Later phases baseline against their own starting residual;
+			// rescale so History stays relative to the original r₀.
+			scale := math.Sqrt(st.rr0 / rr0)
+			for _, h := range boot.History {
+				result.History = append(result.History, h*scale)
+			}
+		}
+		if boot.Converged {
+			if first {
+				result.Converged = true
+				result.FinalResidual = boot.FinalResidual
+				return result, nil
+			}
+			// Converged against the re-bootstrap baseline: confirm against
+			// the original one.
+			rel := relResidual(st.rr, rr0)
+			result.FinalResidual = rel
+			result.Converged = rel <= o.Tol
+			if result.Converged {
+				return result, nil
+			}
+		}
+		est, err := eigen.EstimateFromCG(boot.Alphas, boot.Betas)
+		if err != nil {
+			return result, fmt.Errorf("solver: eigenvalue bootstrap failed: %w", err)
+		}
+		result.Eigen = &est
+
+		sched, err := cheby.NewSchedule(est.Min, est.Max, o.MaxIters)
+		if err != nil {
+			return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
+		}
+
+		// --- Chebyshev main loop, continuing from the CG state. ---
+		r, z, w := st.r, st.z, st.w
+		if isZeroF(z) {
+			// The fused CG engine folds diagonal preconditioners and leaves
+			// no z scratch behind; the startup (and the unfused branch
+			// below) still need one.
+			if isZeroF(zscr) {
+				zscr = sys.NewVec()
+			}
+			z = zscr
+		}
+		pvec := st.pvec
+
+		minv, foldable := sys.FoldableDiag()
+		fused := o.Fused && foldable
+
+		e.applyPrecond(in, r, z)
+		sys.ScaleTo(in, 1/sched.Theta, z, pvec) // p = z/θ
+		e.vectorPass(in)
+
+		startRel := relResidual(st.rr, rr0)
+		guardOn := result.Rebootstraps < chebyMaxRebootstraps
+		diverged := false
+		mainIters := o.MaxIters - result.Iterations
+		for it := 0; it < mainIters; it++ {
+			if err := e.exchange(1, pvec); err != nil {
+				return result, err
+			}
+			step := it
+			if step >= sched.Steps() {
+				step = sched.Steps() - 1 // coefficients have converged by then
+			}
+			e.matvec(in, pvec, w)
+			if fused {
+				// u += p and r −= A·p share one sweep; the direction update
+				// p = α·p + β·M⁻¹r folds the preconditioner into a second.
+				sys.AxpyAxpy(in, 1, pvec, e.u, -1, w, r)
+				e.vectorPass(in)
+				sys.AxpbyPre(in, sched.Alpha[step], pvec, sched.Beta[step], minv, r)
+				e.vectorPass(in)
+			} else {
+				sys.Axpy(in, 1, pvec, e.u) // u += p
+				sys.Axpy(in, -1, w, r)     // r -= A·p
+				e.vectorPass(in)
+				e.vectorPass(in)
+
+				e.applyPrecond(in, r, z)
+				// p = α·p + β·z (AxpbyPre with the identity).
+				var zero F
+				sys.AxpbyPre(in, sched.Alpha[step], pvec, sched.Beta[step], zero, z)
+				e.vectorPass(in)
+			}
+
+			result.Iterations++
+			result.TotalInner++
+			// The forced check on the last main-loop iteration (not
+			// MaxIters-1, which the bootstrap already consumed) keeps
+			// FinalResidual fresh.
+			if (it+1)%o.CheckEvery == 0 || it == mainIters-1 {
+				rr := e.dot(r, r)
+				rel := relResidual(rr, rr0)
+				result.History = append(result.History, rel)
+				result.FinalResidual = rel
+				if rel <= o.Tol {
+					result.Converged = true
+					return result, nil
+				}
+				if guardOn && (!isFinite(rel) || rel > chebyGuardFactor*startRel) {
+					diverged = true
+					break
+				}
+			}
+		}
+		if !diverged {
+			if result.FinalResidual == 0 && rr0 > 0 {
+				rr := e.dot(r, r)
+				result.FinalResidual = relResidual(rr, rr0)
+				result.Converged = result.FinalResidual <= o.Tol
+			}
+			return result, nil
+		}
+		// Divergent λmax underestimate: re-bootstrap with more CG
+		// iterations from the current iterate.
+		result.Rebootstraps++
+		bootIters *= 2
+	}
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// solvePPCGCore runs the paper's headline solver: CG preconditioned by a
+// shifted and scaled Chebyshev polynomial (CPPCG, §III). Each outer CG
+// iteration applies InnerSteps Chebyshev smoothing steps to the residual;
+// the inner steps need only sparse matrix-vector products and halo
+// exchanges — no global reductions — so the number of global dot products
+// drops by roughly √(κ_cg/κ_pcg) (eqs. 6–7).
+//
+// With HaloDepth d > 1 the inner loop uses the matrix-powers kernel
+// (§IV-C2): one depth-d exchange buys d inner applications computed on
+// extended bounds that shrink by one cell per step, trading a little
+// redundant computation for d× fewer messages.
+//
+// On the fused path (Options.Fused with a diagonal-foldable inner
+// preconditioner) each inner step is two sweeps — the matvec plus one
+// fused residual-update/preconditioner/direction/accumulate kernel —
+// versus five unfused, and the outer updates and dot products use the
+// fused two-in-one kernels.
+func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
+	o := e.o
+	sys := e.sys
+	in := e.in
+
+	// --- Bootstrap: PCG for eigenvalue estimation (spectrum of M⁻¹A). ---
+	boot, st, err := runCGCore(e, o.EigenCGIters, o.Tol)
+	if err != nil {
+		return boot, err
+	}
+	result := Result{
+		Iterations:     boot.Iterations,
+		BootstrapIters: boot.Iterations,
+		History:        boot.History,
+		Alphas:         boot.Alphas,
+		Betas:          boot.Betas,
+	}
+	if boot.Converged {
+		result.Converged = true
+		result.FinalResidual = boot.FinalResidual
+		return result, nil
+	}
+	est, err := eigen.EstimateFromCG(boot.Alphas, boot.Betas)
+	if err != nil {
+		return result, fmt.Errorf("solver: eigenvalue bootstrap failed: %w", err)
+	}
+	result.Eigen = &est
+
+	sched, err := cheby.NewSchedule(est.Min, est.Max, o.InnerSteps)
+	if err != nil {
+		return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
+	}
+
+	powers, err := sys.NewPowers(o.HaloDepth)
+	if err != nil {
+		return result, err
+	}
+
+	// --- Outer PCG with the Chebyshev polynomial as preconditioner. ---
+	r, w, pvec := st.r, st.w, st.pvec
+	rr0 := st.rr0
+	z := sys.NewVec()     // accumulated polynomial correction (utemp)
+	rtemp := sys.NewVec() // inner residual
+	sd := sys.NewVec()    // inner search direction
+	zscr := sys.NewVec()  // M⁻¹·rtemp scratch
+	inner := newInnerCore(e, sched, powers, z, rtemp, sd, zscr)
+
+	if err := inner.apply(r); err != nil {
+		return result, err
+	}
+	result.TotalInner += o.InnerSteps
+	sys.Copy(in, pvec, z)
+	e.vectorPass(in)
+
+	rz := e.dot(r, z)
+
+	for it := result.Iterations; it < o.MaxIters; it++ {
+		if err := e.exchange(1, pvec); err != nil {
+			return result, err
+		}
+		pw := e.matvecDot(in, pvec, w)
+		if pw == 0 {
+			result.Breakdown = true
+			break
+		}
+		alpha := rz / pw
+		if o.Fused {
+			// u += α·p and r −= α·w share one sweep.
+			sys.AxpyAxpy(in, alpha, pvec, e.u, -alpha, w, r)
+			e.vectorPass(in)
+		} else {
+			sys.Axpy(in, alpha, pvec, e.u)
+			sys.Axpy(in, -alpha, w, r)
+			e.vectorPass(in)
+			e.vectorPass(in)
+		}
+
+		if err := inner.apply(r); err != nil {
+			return result, err
+		}
+		result.TotalInner += o.InnerSteps
+
+		var rzNew, rrNew float64
+		if o.Fused || o.FusedDots {
+			rzNew, rrNew = e.dotPair(z, r)
+		} else {
+			rzNew = e.dot(r, z)
+			rrNew = e.dot(r, r)
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		result.Iterations++
+		rel := relResidual(rrNew, rr0)
+		result.History = append(result.History, rel)
+		result.FinalResidual = rel
+		if rel <= o.Tol {
+			result.Converged = true
+			return result, nil
+		}
+		sys.Xpay(in, z, beta, pvec)
+		e.vectorPass(in)
+	}
+	return result, nil
+}
+
+// innerCore applies the Chebyshev polynomial preconditioner z ≈ B(A)·r
+// via InnerSteps smoothing steps (TeaLeaf's tl_ppcg inner solve), using
+// the matrix-powers schedule for its halo exchanges.
+type innerCore[F comparable, B any] struct {
+	e      *engine[F, B]
+	sched  *cheby.Schedule
+	powers powersSched[B]
+	z      F // output: accumulated correction
+	rtemp  F
+	sd     F
+	zscr   F
+	w      F
+	// minv is the folded diagonal preconditioner for the fused step (zero
+	// = identity); fused reports whether the fused kernel path is usable.
+	minv  F
+	fused bool
+}
+
+func newInnerCore[F comparable, B any](e *engine[F, B], sched *cheby.Schedule, powers powersSched[B],
+	z, rtemp, sd, zscr F) *innerCore[F, B] {
+	minv, foldable := e.sys.FoldableDiag()
+	return &innerCore[F, B]{
+		e: e, sched: sched, powers: powers,
+		z: z, rtemp: rtemp, sd: sd, zscr: zscr,
+		w:    e.sys.NewVec(),
+		minv: minv, fused: e.o.Fused && foldable,
+	}
+}
+
+// apply runs the inner Chebyshev iteration:
+//
+//	rtemp = r;  sd = M⁻¹rtemp/θ;  z = sd
+//	repeat InnerSteps times:
+//	    rtemp ← rtemp − A·sd        (on matrix-powers bounds)
+//	    sd    ← α_k·sd + β_k·M⁻¹rtemp
+//	    z     ← z + sd              (interior only)
+//
+// leaving the polynomial-preconditioned residual in s.z. On the fused
+// path everything after the matvec is one sweep (FusedPPCGInner).
+func (s *innerCore[F, B]) apply(r F) error {
+	e := s.e
+	sys := e.sys
+	in := e.in
+
+	// rtemp starts as a copy of the outer residual; the depth-d exchange
+	// below makes its halo consistent before any extended-bounds work.
+	sys.CopyAll(s.rtemp, r)
+	e.vectorPass(in)
+
+	if s.fused {
+		// sd = (M⁻¹rtemp)/θ with the preconditioner folded, then z = sd.
+		sys.AxpbyPre(in, 0, s.sd, 1/s.sched.Theta, s.minv, s.rtemp)
+		e.vectorPass(in)
+	} else {
+		e.applyPrecond(in, s.rtemp, s.zscr)
+		sys.ScaleTo(in, 1/s.sched.Theta, s.zscr, s.sd)
+		e.vectorPass(in)
+	}
+	sys.Copy(in, s.z, s.sd)
+	e.vectorPass(in)
+
+	// Force a fresh exchange at the start of every inner solve: rtemp and
+	// sd were rebuilt from the outer residual.
+	needExchange := true
+	for step := 0; step < e.o.InnerSteps; step++ {
+		var b B
+		if !needExchange {
+			var ok bool
+			b, ok = s.powers.Next()
+			needExchange = !ok
+		}
+		if needExchange {
+			if err := e.exchange(s.powers.Depth(), s.sd, s.rtemp); err != nil {
+				return err
+			}
+			s.powers.Refill()
+			var ok bool
+			b, ok = s.powers.Next()
+			if !ok {
+				return fmt.Errorf("solver: matrix-powers schedule empty after refill")
+			}
+			needExchange = false
+		}
+
+		step2 := step
+		if step2 >= s.sched.Steps() {
+			step2 = s.sched.Steps() - 1
+		}
+
+		e.matvec(b, s.sd, s.w)
+		if s.fused {
+			sys.FusedPPCGInner(b, in, s.sched.Alpha[step2], s.sched.Beta[step2],
+				s.w, s.rtemp, s.minv, s.sd, s.z)
+			e.vectorPass(b)
+			continue
+		}
+
+		sys.Axpy(b, -1, s.w, s.rtemp) // rtemp -= A·sd
+		e.vectorPass(b)
+
+		e.applyPrecond(b, s.rtemp, s.zscr)
+		// sd = α·sd + β·zscr (AxpbyPre with the identity).
+		var zero F
+		sys.AxpbyPre(b, s.sched.Alpha[step2], s.sd, s.sched.Beta[step2], zero, s.zscr)
+		e.vectorPass(b)
+
+		sys.Axpy(in, 1, s.sd, s.z) // z += sd (interior)
+		e.vectorPass(in)
+	}
+	return nil
+}

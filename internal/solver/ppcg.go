@@ -1,249 +1,19 @@
 package solver
 
-import (
-	"fmt"
-
-	"tealeaf/internal/cheby"
-	"tealeaf/internal/eigen"
-	"tealeaf/internal/grid"
-	"tealeaf/internal/halo"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/precond"
-)
+import "tealeaf/internal/grid"
 
 // SolvePPCG runs the paper's headline solver: CG preconditioned by a
-// shifted and scaled Chebyshev polynomial (CPPCG, §III). Each outer CG
-// iteration applies InnerSteps Chebyshev smoothing steps to the residual;
-// the inner steps need only sparse matrix-vector products and halo
-// exchanges — no global reductions — so the number of global dot products
-// drops by roughly √(κ_cg/κ_pcg) (eqs. 6–7).
-//
-// With HaloDepth d > 1 the inner loop uses the matrix-powers kernel
-// (§IV-C2): one depth-d exchange buys d inner applications computed on
-// extended bounds that shrink by one cell per step, trading a little
-// redundant computation for d× fewer messages.
-//
-// On the fused path (Options.Fused with a diagonal-foldable inner
-// preconditioner) each inner step is two sweeps — the matvec plus one
-// fused residual-update/preconditioner/direction/accumulate kernel —
-// versus five unfused, and the outer updates and dot products use the
-// fused two-in-one kernels.
+// shifted and scaled Chebyshev polynomial (CPPCG, §III), with the
+// matrix-powers kernel (§IV-C2) at HaloDepth > 1. The iteration body —
+// outer PCG, inner Chebyshev smoothing, fused kernels — lives in
+// solvePPCGCore in loops.go and is shared verbatim with SolvePPCG3D.
 func SolvePPCG(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv(p, o)
-	g := p.Op.Grid
-	in := e.in
-
-	// --- Bootstrap: PCG for eigenvalue estimation (spectrum of M⁻¹A). ---
-	boot, st, err := runCG(e, p, o, o.EigenCGIters, o.Tol)
-	if err != nil {
-		return boot, err
+	if err := o.requireNoDeflation(KindPPCG); err != nil {
+		return Result{}, err
 	}
-	result := Result{
-		Iterations:     boot.Iterations,
-		BootstrapIters: boot.Iterations,
-		History:        boot.History,
-		Alphas:         boot.Alphas,
-		Betas:          boot.Betas,
-	}
-	if boot.Converged {
-		result.Converged = true
-		result.FinalResidual = boot.FinalResidual
-		return result, nil
-	}
-	est, err := eigen.EstimateFromCG(boot.Alphas, boot.Betas)
-	if err != nil {
-		return result, fmt.Errorf("solver: eigenvalue bootstrap failed: %w", err)
-	}
-	result.Eigen = &est
-
-	sched, err := cheby.NewSchedule(est.Min, est.Max, o.InnerSteps)
-	if err != nil {
-		return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
-	}
-
-	phys := e.c.Physical()
-	adj := halo.Sides{Left: !phys.Left, Right: !phys.Right, Down: !phys.Down, Up: !phys.Up}
-	powers, err := halo.NewSchedule(g, o.HaloDepth, adj)
-	if err != nil {
-		return result, err
-	}
-
-	// --- Outer PCG with the Chebyshev polynomial as preconditioner. ---
-	r, w, pvec := st.r, st.w, st.pvec
-	rr0 := st.rr0
-	z := grid.NewField2D(g)     // accumulated polynomial correction (utemp)
-	rtemp := grid.NewField2D(g) // inner residual
-	sd := grid.NewField2D(g)    // inner search direction
-	zscr := grid.NewField2D(g)  // M⁻¹·rtemp scratch
-	inner := newInnerSolver(e, o, sched, powers, z, rtemp, sd, zscr)
-
-	if err := inner.apply(r); err != nil {
-		return result, err
-	}
-	result.TotalInner += o.InnerSteps
-	kernels.Copy(e.p, in, pvec, z)
-	e.tr.AddVectorPass(in.Cells())
-
-	rz := e.dot(r, z)
-
-	for it := result.Iterations; it < o.MaxIters; it++ {
-		if err := e.exchange(1, pvec); err != nil {
-			return result, err
-		}
-		pw := e.matvecDot(in, pvec, w)
-		if pw == 0 {
-			result.Breakdown = true
-			break
-		}
-		alpha := rz / pw
-		if o.Fused {
-			// u += α·p and r −= α·w share one sweep.
-			kernels.AxpyAxpy(e.p, in, alpha, pvec, p.U, -alpha, w, r)
-			e.tr.AddVectorPass(in.Cells())
-		} else {
-			kernels.Axpy(e.p, in, alpha, pvec, p.U)
-			kernels.Axpy(e.p, in, -alpha, w, r)
-			e.tr.AddVectorPass(in.Cells())
-			e.tr.AddVectorPass(in.Cells())
-		}
-
-		if err := inner.apply(r); err != nil {
-			return result, err
-		}
-		result.TotalInner += o.InnerSteps
-
-		var rzNew, rrNew float64
-		if o.Fused || o.FusedDots {
-			rzNew, rrNew = e.dotPair(z, r)
-		} else {
-			rzNew = e.dot(r, z)
-			rrNew = e.dot(r, r)
-		}
-		beta := rzNew / rz
-		rz = rzNew
-		result.Iterations++
-		rel := relResidual(rrNew, rr0)
-		result.History = append(result.History, rel)
-		result.FinalResidual = rel
-		if rel <= o.Tol {
-			result.Converged = true
-			return result, nil
-		}
-		kernels.Xpay(e.p, in, z, beta, pvec)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	return result, nil
-}
-
-// innerSolver applies the Chebyshev polynomial preconditioner
-// z ≈ B(A)·r via InnerSteps smoothing steps (TeaLeaf's tl_ppcg inner
-// solve), using the matrix-powers schedule for its halo exchanges.
-type innerSolver struct {
-	e      *env
-	o      Options
-	sched  *cheby.Schedule
-	powers *halo.Schedule
-	z      *grid.Field2D // output: accumulated correction
-	rtemp  *grid.Field2D
-	sd     *grid.Field2D
-	zscr   *grid.Field2D
-	w      *grid.Field2D
-	// minv is the folded diagonal preconditioner for the fused step (nil
-	// identity); fused reports whether the fused kernel path is usable.
-	minv  *grid.Field2D
-	fused bool
-}
-
-func newInnerSolver(e *env, o Options, sched *cheby.Schedule, powers *halo.Schedule,
-	z, rtemp, sd, zscr *grid.Field2D) *innerSolver {
-	minv, foldable := precond.FoldableDiag(o.Precond)
-	return &innerSolver{
-		e: e, o: o, sched: sched, powers: powers,
-		z: z, rtemp: rtemp, sd: sd, zscr: zscr,
-		w:    grid.NewField2D(z.Grid),
-		minv: minv, fused: o.Fused && foldable,
-	}
-}
-
-// apply runs the inner Chebyshev iteration:
-//
-//	rtemp = r;  sd = M⁻¹rtemp/θ;  z = sd
-//	repeat InnerSteps times:
-//	    rtemp ← rtemp − A·sd        (on matrix-powers bounds)
-//	    sd    ← α_k·sd + β_k·M⁻¹rtemp
-//	    z     ← z + sd              (interior only)
-//
-// leaving the polynomial-preconditioned residual in s.z. On the fused
-// path everything after the matvec is one sweep (FusedPPCGInner).
-func (s *innerSolver) apply(r *grid.Field2D) error {
-	e := s.e
-	in := e.in
-
-	// rtemp starts as a copy of the outer residual; the depth-d exchange
-	// below makes its halo consistent before any extended-bounds work.
-	s.rtemp.CopyFrom(r)
-	e.tr.AddVectorPass(in.Cells())
-
-	if s.fused {
-		// sd = (M⁻¹rtemp)/θ with the preconditioner folded, then z = sd.
-		kernels.AxpbyPre(e.p, in, 0, s.sd, 1/s.sched.Theta, s.minv, s.rtemp)
-		e.tr.AddVectorPass(in.Cells())
-	} else {
-		e.applyPrecond(s.o.Precond, in, s.rtemp, s.zscr)
-		kernels.ScaleTo(e.p, in, 1/s.sched.Theta, s.zscr, s.sd)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	kernels.Copy(e.p, in, s.z, s.sd)
-	e.tr.AddVectorPass(in.Cells())
-
-	// Force a fresh exchange at the start of every inner solve: rtemp and
-	// sd were rebuilt from the outer residual.
-	needExchange := true
-	for step := 0; step < s.o.InnerSteps; step++ {
-		var b grid.Bounds
-		if !needExchange {
-			var ok bool
-			b, ok = s.powers.Next()
-			needExchange = !ok
-		}
-		if needExchange {
-			if err := e.exchange(s.powers.Depth(), s.sd, s.rtemp); err != nil {
-				return err
-			}
-			s.powers.Refill()
-			var ok bool
-			b, ok = s.powers.Next()
-			if !ok {
-				return fmt.Errorf("solver: matrix-powers schedule empty after refill")
-			}
-			needExchange = false
-		}
-
-		step2 := step
-		if step2 >= s.sched.Steps() {
-			step2 = s.sched.Steps() - 1
-		}
-
-		e.matvec(b, s.sd, s.w)
-		if s.fused {
-			kernels.FusedPPCGInner(e.p, b, in, s.sched.Alpha[step2], s.sched.Beta[step2],
-				s.w, s.rtemp, s.minv, s.sd, s.z)
-			e.tr.AddVectorPass(b.Cells())
-			continue
-		}
-
-		kernels.Axpy(e.p, b, -1, s.w, s.rtemp) // rtemp -= A·sd
-		e.tr.AddVectorPass(b.Cells())
-
-		e.applyPrecond(s.o.Precond, b, s.rtemp, s.zscr)
-		axpbyInPlace(e, b, s.sched.Alpha[step2], s.sd, s.sched.Beta[step2], s.zscr)
-
-		kernels.Axpy(e.p, in, 1, s.sd, s.z) // z += sd (interior)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	return nil
+	return solvePPCGCore(newEngine[*grid.Field2D, grid.Bounds](newSys2D(p, o), o, p.U, p.RHS))
 }

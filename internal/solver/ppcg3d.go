@@ -1,243 +1,16 @@
 package solver
 
-import (
-	"fmt"
-
-	"tealeaf/internal/cheby"
-	"tealeaf/internal/eigen"
-	"tealeaf/internal/grid"
-	"tealeaf/internal/halo"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/precond"
-)
-
-// SolvePPCG3D runs the paper's headline solver on a 3D problem: CG
-// preconditioned by a shifted and scaled Chebyshev polynomial (CPPCG,
-// §III), mirroring SolvePPCG structure-for-structure. The inner Chebyshev
-// smoothing steps need only 7-point matvecs and face exchanges — no
-// global reductions — and with HaloDepth d > 1 they use the 3D
-// matrix-powers kernel (§IV-C2): one depth-d six-face exchange buys d
-// inner applications on extended boxes that shrink by one cell per step.
+// SolvePPCG3D runs the paper's headline solver on a 3D problem: the same
+// solvePPCGCore loop as the 2D SolvePPCG — outer PCG, reduction-free
+// inner Chebyshev smoothing with the 3D matrix-powers schedule at
+// HaloDepth > 1 — over the sys3d backend.
 func SolvePPCG3D(p Problem3D, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate3(p); err != nil {
 		return Result{}, err
 	}
-	e := newEnv3(p, o)
-	g := p.Op.Grid
-	in := e.in
-
-	// --- Bootstrap: PCG for eigenvalue estimation (spectrum of M⁻¹A). ---
-	boot, st, err := runCG3D(e, p, o, o.EigenCGIters, o.Tol)
-	if err != nil {
-		return boot, err
+	if err := o.requireNoDeflation(KindPPCG); err != nil {
+		return Result{}, err
 	}
-	result := Result{
-		Iterations:     boot.Iterations,
-		BootstrapIters: boot.Iterations,
-		History:        boot.History,
-		Alphas:         boot.Alphas,
-		Betas:          boot.Betas,
-	}
-	if boot.Converged {
-		result.Converged = true
-		result.FinalResidual = boot.FinalResidual
-		return result, nil
-	}
-	est, err := eigen.EstimateFromCG(boot.Alphas, boot.Betas)
-	if err != nil {
-		return result, fmt.Errorf("solver: eigenvalue bootstrap failed: %w", err)
-	}
-	result.Eigen = &est
-
-	sched, err := cheby.NewSchedule(est.Min, est.Max, o.InnerSteps)
-	if err != nil {
-		return result, fmt.Errorf("solver: chebyshev schedule: %w", err)
-	}
-
-	phys := e.c.Physical3D()
-	adj := halo.Sides3D{
-		Left: !phys.Left, Right: !phys.Right,
-		Down: !phys.Down, Up: !phys.Up,
-		Back: !phys.Back, Front: !phys.Front,
-	}
-	powers, err := halo.NewSchedule3D(g, o.HaloDepth, adj)
-	if err != nil {
-		return result, err
-	}
-
-	// --- Outer PCG with the Chebyshev polynomial as preconditioner. ---
-	r, w, pvec := st.r, st.w, st.pvec
-	rr0 := st.rr0
-	z := grid.NewField3D(g)     // accumulated polynomial correction (utemp)
-	rtemp := grid.NewField3D(g) // inner residual
-	sd := grid.NewField3D(g)    // inner search direction
-	zscr := grid.NewField3D(g)  // M⁻¹·rtemp scratch
-	inner := newInnerSolver3(e, o, sched, powers, z, rtemp, sd, zscr)
-
-	if err := inner.apply(r); err != nil {
-		return result, err
-	}
-	result.TotalInner += o.InnerSteps
-	kernels.Copy3D(e.p, in, pvec, z)
-	e.tr.AddVectorPass(in.Cells())
-
-	rz := e.dot(r, z)
-
-	for it := result.Iterations; it < o.MaxIters; it++ {
-		if err := e.exchange(1, pvec); err != nil {
-			return result, err
-		}
-		pw := e.matvecDot(in, pvec, w)
-		if pw == 0 {
-			result.Breakdown = true
-			break
-		}
-		alpha := rz / pw
-		if o.Fused {
-			// u += α·p and r −= α·w share one sweep.
-			kernels.AxpyAxpy3D(e.p, in, alpha, pvec, p.U, -alpha, w, r)
-			e.tr.AddVectorPass(in.Cells())
-		} else {
-			kernels.Axpy3D(e.p, in, alpha, pvec, p.U)
-			kernels.Axpy3D(e.p, in, -alpha, w, r)
-			e.tr.AddVectorPass(in.Cells())
-			e.tr.AddVectorPass(in.Cells())
-		}
-
-		if err := inner.apply(r); err != nil {
-			return result, err
-		}
-		result.TotalInner += o.InnerSteps
-
-		var rzNew, rrNew float64
-		if o.Fused || o.FusedDots {
-			rzNew, rrNew = e.dotPair(z, r)
-		} else {
-			rzNew = e.dot(r, z)
-			rrNew = e.dot(r, r)
-		}
-		beta := rzNew / rz
-		rz = rzNew
-		result.Iterations++
-		rel := relResidual(rrNew, rr0)
-		result.History = append(result.History, rel)
-		result.FinalResidual = rel
-		if rel <= o.Tol {
-			result.Converged = true
-			return result, nil
-		}
-		kernels.Xpay3D(e.p, in, z, beta, pvec)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	return result, nil
-}
-
-// innerSolver3 applies the Chebyshev polynomial preconditioner
-// z ≈ B(A)·r via InnerSteps smoothing steps, using the 3D matrix-powers
-// schedule for its halo exchanges — the 3D twin of innerSolver.
-type innerSolver3 struct {
-	e      *env3
-	o      Options
-	sched  *cheby.Schedule
-	powers *halo.Schedule3D
-	z      *grid.Field3D // output: accumulated correction
-	rtemp  *grid.Field3D
-	sd     *grid.Field3D
-	zscr   *grid.Field3D
-	w      *grid.Field3D
-	// minv is the folded diagonal preconditioner for the fused step (nil
-	// identity); fused reports whether the fused kernel path is usable.
-	minv  *grid.Field3D
-	fused bool
-}
-
-func newInnerSolver3(e *env3, o Options, sched *cheby.Schedule, powers *halo.Schedule3D,
-	z, rtemp, sd, zscr *grid.Field3D) *innerSolver3 {
-	minv, foldable := precond.FoldableDiag3D(o.Precond3D)
-	return &innerSolver3{
-		e: e, o: o, sched: sched, powers: powers,
-		z: z, rtemp: rtemp, sd: sd, zscr: zscr,
-		w:    grid.NewField3D(z.Grid),
-		minv: minv, fused: o.Fused && foldable,
-	}
-}
-
-// apply runs the inner Chebyshev iteration:
-//
-//	rtemp = r;  sd = M⁻¹rtemp/θ;  z = sd
-//	repeat InnerSteps times:
-//	    rtemp ← rtemp − A·sd        (on matrix-powers bounds)
-//	    sd    ← α_k·sd + β_k·M⁻¹rtemp
-//	    z     ← z + sd              (interior only)
-//
-// leaving the polynomial-preconditioned residual in s.z. On the fused
-// path everything after the matvec is one sweep (FusedPPCGInner3D).
-func (s *innerSolver3) apply(r *grid.Field3D) error {
-	e := s.e
-	in := e.in
-
-	// rtemp starts as a copy of the outer residual; the depth-d exchange
-	// below makes its halo consistent before any extended-bounds work.
-	s.rtemp.CopyFrom(r)
-	e.tr.AddVectorPass(in.Cells())
-
-	if s.fused {
-		// sd = (M⁻¹rtemp)/θ with the preconditioner folded, then z = sd.
-		kernels.AxpbyPre3D(e.p, in, 0, s.sd, 1/s.sched.Theta, s.minv, s.rtemp)
-		e.tr.AddVectorPass(in.Cells())
-	} else {
-		e.applyPrecond(s.o.Precond3D, in, s.rtemp, s.zscr)
-		kernels.ScaleTo3D(e.p, in, 1/s.sched.Theta, s.zscr, s.sd)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	kernels.Copy3D(e.p, in, s.z, s.sd)
-	e.tr.AddVectorPass(in.Cells())
-
-	// Force a fresh exchange at the start of every inner solve: rtemp and
-	// sd were rebuilt from the outer residual.
-	needExchange := true
-	for step := 0; step < s.o.InnerSteps; step++ {
-		var b grid.Bounds3D
-		if !needExchange {
-			var ok bool
-			b, ok = s.powers.Next()
-			needExchange = !ok
-		}
-		if needExchange {
-			if err := e.exchange(s.powers.Depth(), s.sd, s.rtemp); err != nil {
-				return err
-			}
-			s.powers.Refill()
-			var ok bool
-			b, ok = s.powers.Next()
-			if !ok {
-				return fmt.Errorf("solver: matrix-powers schedule empty after refill")
-			}
-			needExchange = false
-		}
-
-		step2 := step
-		if step2 >= s.sched.Steps() {
-			step2 = s.sched.Steps() - 1
-		}
-
-		e.matvec(b, s.sd, s.w)
-		if s.fused {
-			kernels.FusedPPCGInner3D(e.p, b, in, s.sched.Alpha[step2], s.sched.Beta[step2],
-				s.w, s.rtemp, s.minv, s.sd, s.z)
-			e.tr.AddVectorPass(b.Cells())
-			continue
-		}
-
-		kernels.Axpy3D(e.p, b, -1, s.w, s.rtemp) // rtemp -= A·sd
-		e.tr.AddVectorPass(b.Cells())
-
-		e.applyPrecond(s.o.Precond3D, b, s.rtemp, s.zscr)
-		axpbyInPlace3(e, b, s.sched.Alpha[step2], s.sd, s.sched.Beta[step2], s.zscr)
-
-		kernels.Axpy3D(e.p, in, 1, s.sd, s.z) // z += sd (interior)
-		e.tr.AddVectorPass(in.Cells())
-	}
-	return nil
+	return solvePPCGCore(newEngine3D(p, o))
 }

@@ -1,27 +1,32 @@
 // Package solver implements TeaLeaf's stand-alone matrix-free iterative
 // solvers (§II of the paper): Jacobi, CG, Chebyshev, and the
 // communication-avoiding Chebyshev Polynomially Preconditioned CG
-// (PPCG/CPPCG, §III) with optional block-Jacobi preconditioning and the
-// matrix-powers deep-halo kernel (§IV-C).
+// (PPCG/CPPCG, §III) with optional block-Jacobi preconditioning, the
+// matrix-powers deep-halo kernel (§IV-C), and subdomain deflation as a
+// composable outer projector (§VII future work).
 //
 // Every solver runs the same code path single-rank and distributed: all
 // neighbour data flows through comm.Communicator.Exchange and every global
 // scalar through AllReduceSum, so the communication structure the paper
 // analyses is explicit in the code and recorded in the run's stats.Trace.
+//
+// The iteration bodies are dimension-agnostic: loops.go holds the single
+// implementation of each solver loop, written against the system
+// abstraction in system.go, and the 2D/3D entry points (SolveCG /
+// SolveCG3D, ...) are thin constructors over the sys2d/sys3d backends.
 package solver
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"tealeaf/internal/comm"
 	"tealeaf/internal/eigen"
 	"tealeaf/internal/grid"
-	"tealeaf/internal/kernels"
 	"tealeaf/internal/par"
 	"tealeaf/internal/precond"
-	"tealeaf/internal/stats"
 	"tealeaf/internal/stencil"
 )
 
@@ -51,6 +56,17 @@ func ParseKind(s string) (Kind, error) {
 	return "", fmt.Errorf("solver: unknown solver %q", s)
 }
 
+// Deflator is the outer deflation projector Options.Deflation carries,
+// satisfied by *deflate.Deflation (the contract is defined here rather
+// than importing internal/deflate so any coarse-space projector can be
+// composed in): CoarseCorrect applies u += W·E⁻¹·Wᵀ·r, zeroing the
+// deflation-space component of the residual; ProjectW applies
+// w ← P·w = w − A·W·E⁻¹·Wᵀ·w in place.
+type Deflator interface {
+	CoarseCorrect(r, u *grid.Field2D)
+	ProjectW(w *grid.Field2D)
+}
+
 // Problem is one linear solve A·u = rhs on a rank-local grid. U holds the
 // initial guess on entry and the solution on exit. The operator's
 // coefficient fields must be valid over the padded region (see
@@ -77,19 +93,32 @@ type Options struct {
 	// steps, as in TeaLeaf.
 	Precond precond.Preconditioner
 	// Precond3D is the preconditioner the 3D solve paths use (default
-	// identity). Only communication-free, diagonal preconditioners exist
-	// in 3D (none, point-Jacobi); block-Jacobi is 2D-only.
+	// identity). The unified registry (precond.Specs) serves both
+	// dimensionalities; every registered name — none, jac_diag, jac_block —
+	// now builds in 3D too.
 	Precond3D precond.Preconditioner3D
+	// Deflation composes subdomain deflation (the §VII future-work
+	// direction) as an outer projector around the CG solve: the iteration
+	// runs on P·A with the low-energy subdomain modes projected out, and
+	// coarse corrections before/after the loop recover them exactly.
+	// 2D, single-rank, CG-only today; build one with deflate.New over the
+	// solve operator (*deflate.Deflation satisfies Deflator). Deflation
+	// forces the classic (unfused) CG loop: the projection cannot be
+	// folded into the fused three-sweep recurrences.
+	Deflation Deflator
 	// EigenCGIters is the number of bootstrap CG iterations used to
 	// estimate the extremal eigenvalues before Chebyshev/PPCG take over
-	// (default 20; §III-D).
+	// (default 20; §III-D). The Chebyshev solver re-bootstraps with twice
+	// as many iterations when its residual-growth guard detects a
+	// divergent λmax underestimate (see Result.Rebootstraps).
 	EigenCGIters int
 	// InnerSteps is the PPCG Chebyshev inner-step count per outer
 	// iteration (default 10, TeaLeaf's tl_ppcg_inner_steps).
 	InnerSteps int
 	// HaloDepth is the matrix-powers exchange depth (default 1 = classic
 	// exchange-per-application; §IV-C2). Values >1 are only meaningful
-	// for PPCG and are incompatible with the block-Jacobi preconditioner.
+	// for PPCG and are incompatible with preconditioners whose registry
+	// entry is not deep-halo compatible (jac_block in either dimension).
 	HaloDepth int
 	// FusedDots combines the ρ and ‖r‖ reductions of each PCG iteration
 	// into a single allreduce (§VII future work). Affects communication
@@ -104,8 +133,9 @@ type Options struct {
 	// !DisableFused, so assigning Fused directly has no effect — the one
 	// and only opt-out knob is DisableFused (this keeps the zero Options
 	// value defaulting to on). Preconditioners that are not pure diagonal
-	// scalings (block-Jacobi), and folded preconditioners on halo-1 grids
-	// in multi-rank runs, fall back to the unfused loops regardless.
+	// scalings (block-Jacobi), folded preconditioners on halo-1 grids in
+	// multi-rank runs, and deflated solves fall back to the unfused loops
+	// regardless.
 	Fused bool
 	// DisableFused forces the original multi-pass solver loops; it is
 	// how equivalence tests and benchmarks select the reference path.
@@ -151,6 +181,40 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validateCommon checks the dimension-independent option constraints:
+// halo depth against the grid, preconditioner capability against the
+// unified registry, and the deflation composition rules.
+func (o Options) validateCommon(gridHalo int, precondName string, dims int) error {
+	if o.HaloDepth > gridHalo {
+		return fmt.Errorf("solver: halo depth %d exceeds grid halo %d", o.HaloDepth, gridHalo)
+	}
+	if o.HaloDepth > 1 {
+		// §IV-C2: block preconditioners need up-to-date whole strips every
+		// application, which would force an exchange per inner step and
+		// cancel the matrix-powers benefit. The registry's DeepHalo flag
+		// records exactly that, for both dimensionalities.
+		if spec, ok := precond.Lookup(precondName); ok && !spec.DeepHalo {
+			var compatible []string
+			for _, s := range precond.Specs() {
+				if s.DeepHalo {
+					compatible = append(compatible, s.Name)
+				}
+			}
+			return fmt.Errorf("solver: preconditioner %q is incompatible with matrix-powers halo depth %d > 1 (it needs fresh strip data every application); deep-halo-compatible preconditioners: %s",
+				precondName, o.HaloDepth, strings.Join(compatible, ", "))
+		}
+	}
+	if o.Deflation != nil {
+		if dims != 2 {
+			return errors.New("solver: deflation is 2D-only (the coarse subdomain space is built over a 2D partition)")
+		}
+		if o.Comm.Size() > 1 {
+			return errors.New("solver: deflation is single-rank only (the coarse solve is not distributed); drop tl_use_deflation or run with one rank")
+		}
+	}
+	return nil
+}
+
 func (o Options) validate(p Problem) error {
 	if p.Op == nil || p.U == nil || p.RHS == nil {
 		return errors.New("solver: problem needs operator, solution and RHS fields")
@@ -159,18 +223,7 @@ func (o Options) validate(p Problem) error {
 	if p.U.Grid != g || p.RHS.Grid != g {
 		return errors.New("solver: all problem fields must share the operator's grid")
 	}
-	if o.HaloDepth > g.Halo {
-		return fmt.Errorf("solver: halo depth %d exceeds grid halo %d", o.HaloDepth, g.Halo)
-	}
-	if o.HaloDepth > 1 {
-		if _, isBlock := o.Precond.(*precond.BlockJacobi); isBlock {
-			// §IV-C2: the block preconditioner needs up-to-date whole
-			// strips every application, which would force an exchange per
-			// inner step and cancel the matrix-powers benefit.
-			return errors.New("solver: block-Jacobi preconditioner is incompatible with matrix-powers halo depth > 1")
-		}
-	}
-	return nil
+	return o.validateCommon(g.Halo, o.Precond.Name(), 2)
 }
 
 // ErrBreakdown reports that a Krylov solver observed a non-positive (or
@@ -195,8 +248,12 @@ type Result struct {
 	// eigenvalue-bootstrap CG iterations.
 	Iterations int
 	// BootstrapIters is the CG iterations spent estimating eigenvalues
-	// (Chebyshev/PPCG only).
+	// (Chebyshev/PPCG only), across all bootstrap attempts.
 	BootstrapIters int
+	// Rebootstraps counts Chebyshev bootstrap retries: the residual-growth
+	// guard detected a divergent λmax underestimate and re-ran the CG
+	// bootstrap with twice the iterations (§III-D robustness).
+	Rebootstraps int
 	// TotalInner is the total Chebyshev inner steps (PPCG) or main
 	// Chebyshev iterations (Chebyshev solver).
 	TotalInner int
@@ -211,76 +268,6 @@ type Result struct {
 	Alphas, Betas []float64
 	// Eigen is the extremal eigenvalue estimate used (Chebyshev/PPCG).
 	Eigen *eigen.Estimate
-}
-
-// env bundles the per-solve execution context.
-type env struct {
-	p     *par.Pool
-	c     comm.Communicator
-	tr    *stats.Trace
-	op    *stencil.Operator2D
-	in    grid.Bounds
-	cells int
-}
-
-func newEnv(p Problem, o Options) *env {
-	return &env{
-		p: o.Pool, c: o.Comm, tr: o.Comm.Trace(),
-		op: p.Op, in: p.Op.Grid.Interior(), cells: p.Op.Grid.Cells(),
-	}
-}
-
-// exchange refreshes halos through the communicator.
-func (e *env) exchange(depth int, fields ...*grid.Field2D) error {
-	return e.c.Exchange(depth, fields...)
-}
-
-// dot computes a globally reduced dot product over the interior.
-func (e *env) dot(x, y *grid.Field2D) float64 {
-	e.tr.AddDot(e.cells)
-	return e.c.AllReduceSum(kernels.Dot(e.p, e.in, x, y))
-}
-
-// dotPair computes (r·z, r·r) in a single grid sweep and a single
-// reduction round, the fused form of the ρ/‖r‖ pair every PCG iteration
-// needs.
-func (e *env) dotPair(z, r *grid.Field2D) (rz, rr float64) {
-	e.tr.AddDot(e.cells)
-	return e.c.AllReduceSum2(kernels.Dot2(e.p, e.in, z, r, r))
-}
-
-// matvec applies w = A·p over b and traces it.
-func (e *env) matvec(b grid.Bounds, p, w *grid.Field2D) {
-	e.op.Apply(e.p, b, p, w)
-	e.tr.AddMatvec(b.Cells())
-}
-
-// matvecDot fuses w = A·p with the global pw reduction (Listing 1).
-func (e *env) matvecDot(b grid.Bounds, p, w *grid.Field2D) float64 {
-	local := e.op.ApplyDot(e.p, b, p, w)
-	e.tr.AddMatvec(b.Cells())
-	e.tr.AddDot(b.Cells())
-	return e.c.AllReduceSum(local)
-}
-
-// initialResidual exchanges u, computes r = rhs − A·u on the interior and
-// returns the globally reduced ‖r‖².
-func (e *env) initialResidual(u, rhs, r *grid.Field2D) (float64, error) {
-	if err := e.exchange(1, u); err != nil {
-		return 0, err
-	}
-	e.op.Residual(e.p, e.in, u, rhs, r)
-	e.tr.AddMatvec(e.in.Cells())
-	return e.dot(r, r), nil
-}
-
-// applyPrecond applies z = M⁻¹r over b with tracing. Returns z itself,
-// honouring the identity-aliasing convention (None with r==z is free).
-func (e *env) applyPrecond(m precond.Preconditioner, b grid.Bounds, r, z *grid.Field2D) {
-	m.Apply(e.p, b, r, z)
-	if _, isNone := m.(precond.None); !isNone {
-		e.tr.AddPrecond(b.Cells())
-	}
 }
 
 // isNone reports whether m is the identity preconditioner.
@@ -302,6 +289,15 @@ func Solve(kind Kind, p Problem, o Options) (Result, error) {
 		return SolvePPCG(p, o)
 	}
 	return Result{}, fmt.Errorf("solver: unknown kind %q", kind)
+}
+
+// requireNoDeflation rejects deflation for solver kinds it does not
+// compose with: only CG runs on the projected operator.
+func (o Options) requireNoDeflation(kind Kind) error {
+	if o.Deflation != nil {
+		return fmt.Errorf("solver: deflation composes with the cg solver only (got %s); drop tl_use_deflation or switch to tl_use_cg", kind)
+	}
+	return nil
 }
 
 // relResidual converts a squared norm and baseline into a relative

@@ -4,12 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"tealeaf/internal/comm"
 	"tealeaf/internal/grid"
-	"tealeaf/internal/kernels"
-	"tealeaf/internal/par"
 	"tealeaf/internal/precond"
-	"tealeaf/internal/stats"
 	"tealeaf/internal/stencil"
 )
 
@@ -18,7 +14,9 @@ import (
 // solution on exit. Like the 2D Problem, the same code runs single-rank
 // (comm.Serial) and distributed (a RankComm over a grid.Partition3D):
 // every face exchange goes through Communicator.Exchange3D and every
-// global scalar through the allreduce family.
+// global scalar through the allreduce family — and since the loop bodies
+// in loops.go are dimension-agnostic, "the 3D solver" is nothing more
+// than the sys3d backend plus the thin constructors in this package.
 type Problem3D struct {
 	Op  *stencil.Operator3D
 	U   *grid.Field3D
@@ -33,77 +31,12 @@ func (o Options) validate3(p Problem3D) error {
 	if p.U.Grid != g || p.RHS.Grid != g {
 		return errors.New("solver: all 3D problem fields must share the operator's grid")
 	}
-	if o.HaloDepth > g.Halo {
-		return fmt.Errorf("solver: halo depth %d exceeds grid halo %d", o.HaloDepth, g.Halo)
-	}
-	return nil
+	return o.validateCommon(g.Halo, o.Precond3D.Name(), 3)
 }
 
-// env3 bundles the per-solve execution context of the 3D path.
-type env3 struct {
-	p     *par.Pool
-	c     comm.Communicator
-	tr    *stats.Trace
-	op    *stencil.Operator3D
-	in    grid.Bounds3D
-	cells int
-}
-
-func newEnv3(p Problem3D, o Options) *env3 {
-	return &env3{
-		p: o.Pool, c: o.Comm, tr: o.Comm.Trace(),
-		op: p.Op, in: p.Op.Grid.Interior(), cells: p.Op.Grid.Cells(),
-	}
-}
-
-// exchange refreshes halos through the communicator.
-func (e *env3) exchange(depth int, fields ...*grid.Field3D) error {
-	return e.c.Exchange3D(depth, fields...)
-}
-
-// dot computes a globally reduced dot product over the interior.
-func (e *env3) dot(x, y *grid.Field3D) float64 {
-	e.tr.AddDot(e.cells)
-	return e.c.AllReduceSum(kernels.Dot3D(e.p, e.in, x, y))
-}
-
-// dotPair computes (r·z, r·r) in one grid sweep and one reduction round.
-func (e *env3) dotPair(z, r *grid.Field3D) (rz, rr float64) {
-	e.tr.AddDot(e.cells)
-	return e.c.AllReduceSum2(kernels.Dot23D(e.p, e.in, z, r, r))
-}
-
-// matvec applies w = A·p over b and traces it.
-func (e *env3) matvec(b grid.Bounds3D, p, w *grid.Field3D) {
-	e.op.Apply(e.p, b, p, w)
-	e.tr.AddMatvec(b.Cells())
-}
-
-// matvecDot fuses w = A·p with the global pw reduction.
-func (e *env3) matvecDot(b grid.Bounds3D, p, w *grid.Field3D) float64 {
-	local := e.op.ApplyDot(e.p, b, p, w)
-	e.tr.AddMatvec(b.Cells())
-	e.tr.AddDot(b.Cells())
-	return e.c.AllReduceSum(local)
-}
-
-// initialResidual exchanges u, computes r = rhs − A·u on the interior and
-// returns the globally reduced ‖r‖².
-func (e *env3) initialResidual(u, rhs, r *grid.Field3D) (float64, error) {
-	if err := e.exchange(1, u); err != nil {
-		return 0, err
-	}
-	e.op.Residual(e.p, e.in, u, rhs, r)
-	e.tr.AddMatvec(e.in.Cells())
-	return e.dot(r, r), nil
-}
-
-// applyPrecond applies z = M⁻¹r over b with tracing.
-func (e *env3) applyPrecond(m precond.Preconditioner3D, b grid.Bounds3D, r, z *grid.Field3D) {
-	m.Apply3D(e.p, b, r, z)
-	if _, isNone := m.(precond.None3D); !isNone {
-		e.tr.AddPrecond(b.Cells())
-	}
+// newEngine3D builds the 3D engine over a validated problem.
+func newEngine3D(p Problem3D, o Options) *engine[*grid.Field3D, grid.Bounds3D] {
+	return newEngine[*grid.Field3D, grid.Bounds3D](newSys3D(p, o), o, p.U, p.RHS)
 }
 
 // isNone3 reports whether m is the identity preconditioner.
@@ -124,12 +57,4 @@ func Solve3D(kind Kind, p Problem3D, o Options) (Result, error) {
 		return SolvePPCG3D(p, o)
 	}
 	return Result{}, fmt.Errorf("solver: unknown or unsupported 3D kind %q", kind)
-}
-
-// axpbyInPlace3 computes y = a·y + b·z over bnd (the 3D Chebyshev
-// direction update, where y aliases the output): AxpbyPre3D with the
-// identity preconditioner, plus tracing.
-func axpbyInPlace3(e *env3, bnd grid.Bounds3D, a float64, y *grid.Field3D, b float64, z *grid.Field3D) {
-	kernels.AxpbyPre3D(e.p, bnd, a, y, b, nil, z)
-	e.tr.AddVectorPass(bnd.Cells())
 }

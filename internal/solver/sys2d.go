@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"tealeaf/internal/comm"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/halo"
+	"tealeaf/internal/kernels"
+	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
+	"tealeaf/internal/stencil"
+)
+
+// sys2d backs the dimension-agnostic solver core with the 2D kernels,
+// the 5-point operator and the 2D exchange path. Every method is a
+// mechanical pass-through; the loop logic lives in loops.go.
+type sys2d struct {
+	p    *par.Pool
+	op   *stencil.Operator2D
+	m    precond.Preconditioner
+	c    comm.Communicator
+	defl deflator[*grid.Field2D]
+}
+
+func newSys2D(p Problem, o Options) *sys2d {
+	s := &sys2d{p: o.Pool, op: p.Op, m: o.Precond, c: o.Comm}
+	if o.Deflation != nil {
+		s.defl = o.Deflation
+	}
+	return s
+}
+
+func (s *sys2d) NewVec() *grid.Field2D   { return grid.NewField2D(s.op.Grid) }
+func (s *sys2d) Interior() grid.Bounds   { return s.op.Grid.Interior() }
+func (s *sys2d) GridHalo() int           { return s.op.Grid.Halo }
+func (s *sys2d) Cells(b grid.Bounds) int { return b.Cells() }
+
+func (s *sys2d) Exchange(depth int, fields ...*grid.Field2D) error {
+	return s.c.Exchange(depth, fields...)
+}
+
+func (s *sys2d) NewPowers(depth int) (powersSched[grid.Bounds], error) {
+	phys := s.c.Physical()
+	adj := halo.Sides{Left: !phys.Left, Right: !phys.Right, Down: !phys.Down, Up: !phys.Up}
+	return halo.NewSchedule(s.op.Grid, depth, adj)
+}
+
+func (s *sys2d) Residual(b grid.Bounds, u, rhs, r *grid.Field2D) {
+	s.op.Residual(s.p, b, u, rhs, r)
+}
+
+func (s *sys2d) Apply(b grid.Bounds, p, w *grid.Field2D) { s.op.Apply(s.p, b, p, w) }
+
+func (s *sys2d) ApplyDot(b grid.Bounds, p, w *grid.Field2D) float64 {
+	return s.op.ApplyDot(s.p, b, p, w)
+}
+
+func (s *sys2d) ApplyPreDot(b grid.Bounds, minv, r, w *grid.Field2D) float64 {
+	return s.op.ApplyPreDot(s.p, b, minv, r, w)
+}
+
+func (s *sys2d) ApplyPreDotInit(b grid.Bounds, minv, r, w *grid.Field2D) (gamma, delta, rr float64) {
+	return s.op.ApplyPreDotInit(s.p, b, minv, r, w)
+}
+
+func (s *sys2d) Dot(b grid.Bounds, x, y *grid.Field2D) float64 {
+	return kernels.Dot(s.p, b, x, y)
+}
+
+func (s *sys2d) Dot2(b grid.Bounds, x, y, z *grid.Field2D) (xy, yz float64) {
+	return kernels.Dot2(s.p, b, x, y, z)
+}
+
+func (s *sys2d) Axpy(b grid.Bounds, alpha float64, x, y *grid.Field2D) {
+	kernels.Axpy(s.p, b, alpha, x, y)
+}
+
+func (s *sys2d) Xpay(b grid.Bounds, x *grid.Field2D, beta float64, y *grid.Field2D) {
+	kernels.Xpay(s.p, b, x, beta, y)
+}
+
+func (s *sys2d) Copy(b grid.Bounds, dst, src *grid.Field2D) { kernels.Copy(s.p, b, dst, src) }
+
+func (s *sys2d) CopyAll(dst, src *grid.Field2D) { dst.CopyFrom(src) }
+
+func (s *sys2d) ScaleTo(b grid.Bounds, alpha float64, src, dst *grid.Field2D) {
+	kernels.ScaleTo(s.p, b, alpha, src, dst)
+}
+
+func (s *sys2d) AxpyAxpy(b grid.Bounds, a1 float64, x1, y1 *grid.Field2D, a2 float64, x2, y2 *grid.Field2D) {
+	kernels.AxpyAxpy(s.p, b, a1, x1, y1, a2, x2, y2)
+}
+
+func (s *sys2d) AxpbyPre(b grid.Bounds, a float64, y *grid.Field2D, beta float64, minv, r *grid.Field2D) {
+	kernels.AxpbyPre(s.p, b, a, y, beta, minv, r)
+}
+
+func (s *sys2d) FusedCGDirections(b grid.Bounds, minv, r, w *grid.Field2D, beta float64, p, sv *grid.Field2D) {
+	kernels.FusedCGDirections(s.p, b, minv, r, w, beta, p, sv)
+}
+
+func (s *sys2d) FusedCGUpdate(b grid.Bounds, alpha float64, p, sv, x, r, minv *grid.Field2D) (gamma, rr float64) {
+	return kernels.FusedCGUpdate(s.p, b, alpha, p, sv, x, r, minv)
+}
+
+func (s *sys2d) FusedPPCGInner(b, in grid.Bounds, alpha, beta float64, w, rtemp, minv, sd, z *grid.Field2D) {
+	kernels.FusedPPCGInner(s.p, b, in, alpha, beta, w, rtemp, minv, sd, z)
+}
+
+func (s *sys2d) PrecondApply(b grid.Bounds, r, z *grid.Field2D) { s.m.Apply(s.p, b, r, z) }
+
+func (s *sys2d) PrecondIsIdentity() bool { return isNone(s.m) }
+
+func (s *sys2d) PrecondName() string { return s.m.Name() }
+
+func (s *sys2d) FoldableDiag() (*grid.Field2D, bool) { return precond.FoldableDiag(s.m) }
+
+func (s *sys2d) Deflation() deflator[*grid.Field2D] { return s.defl }

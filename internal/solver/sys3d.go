@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"tealeaf/internal/comm"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/halo"
+	"tealeaf/internal/kernels"
+	"tealeaf/internal/par"
+	"tealeaf/internal/precond"
+	"tealeaf/internal/stencil"
+)
+
+// sys3d backs the dimension-agnostic solver core with the 3D kernels,
+// the 7-point operator and the six-face exchange path — the 3D twin of
+// sys2d, and the whole of what "the 3D solver" is now: every loop body
+// lives in loops.go.
+type sys3d struct {
+	p  *par.Pool
+	op *stencil.Operator3D
+	m  precond.Preconditioner3D
+	c  comm.Communicator
+}
+
+func newSys3D(p Problem3D, o Options) *sys3d {
+	return &sys3d{p: o.Pool, op: p.Op, m: o.Precond3D, c: o.Comm}
+}
+
+func (s *sys3d) NewVec() *grid.Field3D     { return grid.NewField3D(s.op.Grid) }
+func (s *sys3d) Interior() grid.Bounds3D   { return s.op.Grid.Interior() }
+func (s *sys3d) GridHalo() int             { return s.op.Grid.Halo }
+func (s *sys3d) Cells(b grid.Bounds3D) int { return b.Cells() }
+
+func (s *sys3d) Exchange(depth int, fields ...*grid.Field3D) error {
+	return s.c.Exchange3D(depth, fields...)
+}
+
+func (s *sys3d) NewPowers(depth int) (powersSched[grid.Bounds3D], error) {
+	phys := s.c.Physical3D()
+	adj := halo.Sides3D{
+		Left: !phys.Left, Right: !phys.Right,
+		Down: !phys.Down, Up: !phys.Up,
+		Back: !phys.Back, Front: !phys.Front,
+	}
+	return halo.NewSchedule3D(s.op.Grid, depth, adj)
+}
+
+func (s *sys3d) Residual(b grid.Bounds3D, u, rhs, r *grid.Field3D) {
+	s.op.Residual(s.p, b, u, rhs, r)
+}
+
+func (s *sys3d) Apply(b grid.Bounds3D, p, w *grid.Field3D) { s.op.Apply(s.p, b, p, w) }
+
+func (s *sys3d) ApplyDot(b grid.Bounds3D, p, w *grid.Field3D) float64 {
+	return s.op.ApplyDot(s.p, b, p, w)
+}
+
+func (s *sys3d) ApplyPreDot(b grid.Bounds3D, minv, r, w *grid.Field3D) float64 {
+	return s.op.ApplyPreDot(s.p, b, minv, r, w)
+}
+
+func (s *sys3d) ApplyPreDotInit(b grid.Bounds3D, minv, r, w *grid.Field3D) (gamma, delta, rr float64) {
+	return s.op.ApplyPreDotInit(s.p, b, minv, r, w)
+}
+
+func (s *sys3d) Dot(b grid.Bounds3D, x, y *grid.Field3D) float64 {
+	return kernels.Dot3D(s.p, b, x, y)
+}
+
+func (s *sys3d) Dot2(b grid.Bounds3D, x, y, z *grid.Field3D) (xy, yz float64) {
+	return kernels.Dot23D(s.p, b, x, y, z)
+}
+
+func (s *sys3d) Axpy(b grid.Bounds3D, alpha float64, x, y *grid.Field3D) {
+	kernels.Axpy3D(s.p, b, alpha, x, y)
+}
+
+func (s *sys3d) Xpay(b grid.Bounds3D, x *grid.Field3D, beta float64, y *grid.Field3D) {
+	kernels.Xpay3D(s.p, b, x, beta, y)
+}
+
+func (s *sys3d) Copy(b grid.Bounds3D, dst, src *grid.Field3D) { kernels.Copy3D(s.p, b, dst, src) }
+
+func (s *sys3d) CopyAll(dst, src *grid.Field3D) { dst.CopyFrom(src) }
+
+func (s *sys3d) ScaleTo(b grid.Bounds3D, alpha float64, src, dst *grid.Field3D) {
+	kernels.ScaleTo3D(s.p, b, alpha, src, dst)
+}
+
+func (s *sys3d) AxpyAxpy(b grid.Bounds3D, a1 float64, x1, y1 *grid.Field3D, a2 float64, x2, y2 *grid.Field3D) {
+	kernels.AxpyAxpy3D(s.p, b, a1, x1, y1, a2, x2, y2)
+}
+
+func (s *sys3d) AxpbyPre(b grid.Bounds3D, a float64, y *grid.Field3D, beta float64, minv, r *grid.Field3D) {
+	kernels.AxpbyPre3D(s.p, b, a, y, beta, minv, r)
+}
+
+func (s *sys3d) FusedCGDirections(b grid.Bounds3D, minv, r, w *grid.Field3D, beta float64, p, sv *grid.Field3D) {
+	kernels.FusedCGDirections3D(s.p, b, minv, r, w, beta, p, sv)
+}
+
+func (s *sys3d) FusedCGUpdate(b grid.Bounds3D, alpha float64, p, sv, x, r, minv *grid.Field3D) (gamma, rr float64) {
+	return kernels.FusedCGUpdate3D(s.p, b, alpha, p, sv, x, r, minv)
+}
+
+func (s *sys3d) FusedPPCGInner(b, in grid.Bounds3D, alpha, beta float64, w, rtemp, minv, sd, z *grid.Field3D) {
+	kernels.FusedPPCGInner3D(s.p, b, in, alpha, beta, w, rtemp, minv, sd, z)
+}
+
+func (s *sys3d) PrecondApply(b grid.Bounds3D, r, z *grid.Field3D) { s.m.Apply3D(s.p, b, r, z) }
+
+func (s *sys3d) PrecondIsIdentity() bool { return isNone3(s.m) }
+
+func (s *sys3d) PrecondName() string { return s.m.Name() }
+
+func (s *sys3d) FoldableDiag() (*grid.Field3D, bool) { return precond.FoldableDiag3D(s.m) }
+
+func (s *sys3d) Deflation() deflator[*grid.Field3D] { return nil }

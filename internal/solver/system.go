@@ -1,0 +1,208 @@
+package solver
+
+import (
+	"tealeaf/internal/comm"
+	"tealeaf/internal/stats"
+)
+
+// This file defines the dimension-agnostic solver core. The CG, Chebyshev
+// and PPCG single-reduction loops in loops.go are written exactly once,
+// against the system interface below; sys2d.go and sys3d.go back it with
+// the existing 2D and 3D kernels, operators and exchange paths. The
+// per-dimension Solve* entry points are thin constructors: they build a
+// system and an engine and hand control to the shared loops, so a solver
+// bugfix or a new iteration variant lands in one place and serves both
+// dimensionalities (the Chebyshev tail-check fix in PR 2 had to be made
+// twice; its successors will not).
+
+// system abstracts one dimensionality's execution backend: vector
+// allocation, the stencil operator (plain, fused-dot and folded-
+// preconditioner forms), the BLAS1 and fused update kernels, the
+// configured preconditioner, halo exchange, and the matrix-powers
+// schedule. F is the field type (*grid.Field2D or *grid.Field3D) and B
+// the bounds type (grid.Bounds or grid.Bounds3D).
+//
+// All kernel methods are rank-local and trace-free: the engine wraps them
+// with stats.Trace accounting and global reductions, so the loops never
+// touch a dimension-specific type.
+type system[F comparable, B any] interface {
+	// NewVec allocates a zeroed field on the operator's grid.
+	NewVec() F
+	// Interior returns the rank-local interior bounds.
+	Interior() B
+	// GridHalo returns the allocated halo depth of the grid.
+	GridHalo() int
+	// Cells counts the cells of a bounds value.
+	Cells(b B) int
+
+	// Exchange refreshes halos to the given depth through the communicator.
+	Exchange(depth int, fields ...F) error
+	// NewPowers builds the matrix-powers exchange schedule for the given
+	// depth, with adjacency taken from the communicator's physical sides.
+	NewPowers(depth int) (powersSched[B], error)
+
+	// Residual computes r = rhs − A·u over b.
+	Residual(b B, u, rhs, r F)
+	// Apply computes w = A·p over b.
+	Apply(b B, p, w F)
+	// ApplyDot fuses w = A·p with the local p·w dot.
+	ApplyDot(b B, p, w F) float64
+	// ApplyPreDot computes w = A·(minv⊙r) with the local (minv⊙r)·w dot
+	// (zero minv = identity).
+	ApplyPreDot(b B, minv, r, w F) float64
+	// ApplyPreDotInit is the fused-CG startup sweep: w = A·(minv⊙r) with
+	// the local γ = r·(minv⊙r), δ = (minv⊙r)·w and ‖r‖² scalars.
+	ApplyPreDotInit(b B, minv, r, w F) (gamma, delta, rr float64)
+
+	// Dot computes the local x·y over b.
+	Dot(b B, x, y F) float64
+	// Dot2 computes the local (x·y, y·z) pair in one sweep.
+	Dot2(b B, x, y, z F) (xy, yz float64)
+	// Axpy computes y += alpha·x over b.
+	Axpy(b B, alpha float64, x, y F)
+	// Xpay computes y = x + beta·y over b.
+	Xpay(b B, x F, beta float64, y F)
+	// Copy copies src to dst over b.
+	Copy(b B, dst, src F)
+	// CopyAll copies the whole field including halos.
+	CopyAll(dst, src F)
+	// ScaleTo computes dst = alpha·src over b.
+	ScaleTo(b B, alpha float64, src, dst F)
+	// AxpyAxpy fuses y1 += a1·x1 and y2 += a2·x2 into one sweep.
+	AxpyAxpy(b B, a1 float64, x1, y1 F, a2 float64, x2, y2 F)
+	// AxpbyPre computes y = a·y + beta·(minv⊙r) (zero minv = identity).
+	AxpbyPre(b B, a float64, y F, beta float64, minv, r F)
+	// FusedCGDirections is fused-CG sweep one: p = (minv⊙r) + β·p and
+	// s = w + β·s.
+	FusedCGDirections(b B, minv, r, w F, beta float64, p, s F)
+	// FusedCGUpdate is fused-CG sweep two: x += α·p, r −= α·s, returning
+	// the local γ' = r·(minv⊙r) and ‖r‖².
+	FusedCGUpdate(b B, alpha float64, p, s, x, r, minv F) (gamma, rr float64)
+	// FusedPPCGInner is the fused PPCG inner step: everything after the
+	// matvec (residual update, preconditioner, direction, accumulate) in
+	// one sweep over b, accumulating into z over in.
+	FusedPPCGInner(b, in B, alpha, beta float64, w, rtemp, minv, sd, z F)
+
+	// PrecondApply applies the configured preconditioner z = M⁻¹r over b.
+	PrecondApply(b B, r, z F)
+	// PrecondIsIdentity reports whether the configured preconditioner is
+	// the identity (its applications are free and untraced).
+	PrecondIsIdentity() bool
+	// PrecondName returns the configured preconditioner's deck name, for
+	// registry capability lookups.
+	PrecondName() string
+	// FoldableDiag returns the inverse-diagonal field to fold into fused
+	// sweeps and whether folding is possible (zero field = identity).
+	FoldableDiag() (F, bool)
+
+	// Deflation returns the configured outer deflation projector, or nil.
+	// Only the 2D backend can carry one today.
+	Deflation() deflator[F]
+}
+
+// powersSched is the matrix-powers exchange schedule (halo.Schedule and
+// halo.Schedule3D both satisfy it for their bounds type).
+type powersSched[B any] interface {
+	Depth() int
+	Next() (B, bool)
+	Refill()
+}
+
+// deflator is the outer deflation projector the classic CG loop composes
+// with (§VII future work): CoarseCorrect zeroes the deflation-space
+// component of the residual, ProjectW applies w ← P·w = w − A·W·E⁻¹·Wᵀ·w.
+// Its method set matches the user-facing Deflator exactly, so a 2D
+// Options.Deflation value satisfies deflator[*grid.Field2D] directly.
+type deflator[F any] interface {
+	CoarseCorrect(r, u F)
+	ProjectW(w F)
+}
+
+// isZeroF reports whether f is the zero value of its type (a nil field
+// pointer: the identity preconditioner in folded form).
+func isZeroF[F comparable](f F) bool {
+	var zero F
+	return f == zero
+}
+
+// engine bundles a system with the per-solve execution context — the
+// communicator, its trace, and the solve options — and provides the
+// traced, globally-reduced operations the loops are written against.
+// It is the dimension-agnostic successor of the old env/env3 pair.
+type engine[F comparable, B any] struct {
+	sys   system[F, B]
+	o     Options
+	c     comm.Communicator
+	tr    *stats.Trace
+	in    B
+	cells int
+	// u holds the initial guess on entry and the solution on exit; rhs is
+	// the right-hand side. Both live on the system's grid.
+	u, rhs F
+}
+
+func newEngine[F comparable, B any](sys system[F, B], o Options, u, rhs F) *engine[F, B] {
+	in := sys.Interior()
+	return &engine[F, B]{
+		sys: sys, o: o, c: o.Comm, tr: o.Comm.Trace(),
+		in: in, cells: sys.Cells(in), u: u, rhs: rhs,
+	}
+}
+
+// exchange refreshes halos through the communicator.
+func (e *engine[F, B]) exchange(depth int, fields ...F) error {
+	return e.sys.Exchange(depth, fields...)
+}
+
+// dot computes a globally reduced dot product over the interior.
+func (e *engine[F, B]) dot(x, y F) float64 {
+	e.tr.AddDot(e.cells)
+	return e.c.AllReduceSum(e.sys.Dot(e.in, x, y))
+}
+
+// dotPair computes (r·z, r·r) in a single grid sweep and a single
+// reduction round, the fused form of the ρ/‖r‖ pair every PCG iteration
+// needs.
+func (e *engine[F, B]) dotPair(z, r F) (rz, rr float64) {
+	e.tr.AddDot(e.cells)
+	return e.c.AllReduceSum2(e.sys.Dot2(e.in, z, r, r))
+}
+
+// matvec applies w = A·p over b and traces it.
+func (e *engine[F, B]) matvec(b B, p, w F) {
+	e.sys.Apply(b, p, w)
+	e.tr.AddMatvec(e.sys.Cells(b))
+}
+
+// matvecDot fuses w = A·p with the global pw reduction (Listing 1).
+func (e *engine[F, B]) matvecDot(b B, p, w F) float64 {
+	local := e.sys.ApplyDot(b, p, w)
+	e.tr.AddMatvec(e.sys.Cells(b))
+	e.tr.AddDot(e.sys.Cells(b))
+	return e.c.AllReduceSum(local)
+}
+
+// initialResidual exchanges u, computes r = rhs − A·u on the interior and
+// returns the globally reduced ‖r‖².
+func (e *engine[F, B]) initialResidual(u, rhs, r F) (float64, error) {
+	if err := e.exchange(1, u); err != nil {
+		return 0, err
+	}
+	e.sys.Residual(e.in, u, rhs, r)
+	e.tr.AddMatvec(e.cells)
+	return e.dot(r, r), nil
+}
+
+// applyPrecond applies z = M⁻¹r over b with tracing (identity
+// applications with r == z are free and untraced).
+func (e *engine[F, B]) applyPrecond(b B, r, z F) {
+	e.sys.PrecondApply(b, r, z)
+	if !e.sys.PrecondIsIdentity() {
+		e.tr.AddPrecond(e.sys.Cells(b))
+	}
+}
+
+// vectorPass traces one BLAS1-style sweep over b.
+func (e *engine[F, B]) vectorPass(b B) {
+	e.tr.AddVectorPass(e.sys.Cells(b))
+}
