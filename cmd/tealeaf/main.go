@@ -10,6 +10,14 @@
 // With no deck argument, a built-in crooked-pipe deck (-mesh cells per
 // side) is used. -px/-py run the problem decomposed over goroutine ranks,
 // exercising the same halo-exchange and reduction paths as an MPI run.
+//
+// The -net flag selects the communication backend for decomposed runs:
+// "hub" (default) keeps every rank a goroutine in this process; "tcp"
+// runs this process as ONE rank of a real-network solve (-rank and
+// -peers name this rank and every rank's host:port); "launch" forks one
+// local -net tcp process per rank over loopback ports — the
+// single-machine form of a multi-machine run. See docs/deck-format.md
+// for the full flag and deck-key reference.
 package main
 
 import (
@@ -46,6 +54,9 @@ func run() error {
 		stiff   = flag.Bool("stiff", false, "use the built-in stiff near-steady deck (dt=10; the deflation regime) instead of the crooked pipe")
 		deflate = flag.Bool("deflate", false, "enable subdomain deflation (tl_use_deflation; CG, 2D, single-rank)")
 		deflBlk = flag.Int("deflate-blocks", 0, "override deflation subdomains per direction (tl_deflation_blocks)")
+		netMode = flag.String("net", "hub", "comm backend for decomposed runs: hub (goroutine ranks), tcp (this process is one rank; needs -rank/-peers), launch (fork local tcp ranks)")
+		rank    = flag.Int("rank", 0, "this process's rank (with -net tcp)")
+		peers   = flag.String("peers", "", "comma-separated host:port of every rank, indexed by rank (with -net tcp)")
 		ppm     = flag.String("ppm", "", "write final temperature heatmap to this PPM file")
 		vtk     = flag.String("vtk", "", "write final fields to this VTK file")
 		ascii   = flag.Bool("ascii", false, "print an ASCII heatmap of the final temperature")
@@ -104,6 +115,20 @@ func run() error {
 		nSteps = d.Steps()
 	}
 
+	switch *netMode {
+	case "hub":
+		// Goroutine ranks in this process; handled below.
+	case "tcp":
+		if *peers == "" {
+			return fmt.Errorf("-net tcp needs -peers (every rank's host:port, comma-separated)")
+		}
+		return runTCPRank(d, nSteps, *px, *py, *pz, *workers, *rank, *peers, *quiet, *ascii, *ppm, *vtk)
+	case "launch":
+		return runLaunch(d, *px, *py, *pz)
+	default:
+		return fmt.Errorf("unknown -net backend %q (have: hub, tcp, launch)", *netMode)
+	}
+
 	if d.Dims == 3 {
 		return run3D(d, nSteps, *px, *py, *pz, *workers, *quiet)
 	}
@@ -127,6 +152,13 @@ func run() error {
 		}
 		if *ppm != "" {
 			if err := writePPM(*ppm, res.Energy); err != nil {
+				return err
+			}
+		}
+		if *vtk != "" {
+			// Distributed runs gather only the energy field; write that
+			// rather than silently dropping the flag.
+			if err := writeVTKEnergy(*vtk, res.Energy); err != nil {
 				return err
 			}
 		}
@@ -239,4 +271,15 @@ func writePPM(path string, f *grid.Field2D) error {
 	}
 	defer out.Close()
 	return output.WritePPM(out, f, 0, 0)
+}
+
+// writeVTKEnergy writes a gathered energy field as VTK (the distributed
+// paths gather energy only; the serial path also writes density and u).
+func writeVTKEnergy(path string, energy *grid.Field2D) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return output.WriteVTK(out, "tealeaf", map[string]*grid.Field2D{"energy": energy})
 }

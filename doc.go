@@ -5,11 +5,14 @@
 // the communication-avoiding Chebyshev polynomially preconditioned CG
 // (CPPCG) — for the implicit linear heat-conduction equation on regular
 // 2D/3D grids, with block-Jacobi preconditioning, the matrix-powers
-// deep-halo kernel, a goroutine/channel MPI substitute (rectangular 2D
-// partitions and box 3D partitions with a three-phase six-face
-// exchange), a geometric multigrid baseline standing in for PETSc CG +
-// Hypre BoomerAMG, and an analytic strong-scaling model of the paper's
-// three evaluation machines (Titan, Piz Daint, Spruce).
+// deep-halo kernel, a pluggable MPI substitute (a goroutine/channel Hub
+// for in-process ranks and a real-network TCP backend with a
+// length-prefixed wire protocol for one-process-per-rank runs across
+// machines; rectangular 2D partitions and box 3D partitions with a
+// three-phase six-face exchange), a geometric multigrid baseline
+// standing in for PETSc CG + Hypre BoomerAMG, and an analytic
+// strong-scaling model of the paper's three evaluation machines (Titan,
+// Piz Daint, Spruce).
 //
 // The solver core is dimension-agnostic: each iteration body (the fused
 // single-reduction Chronopoulos–Gear CG, the guarded Chebyshev loop and
@@ -28,19 +31,22 @@
 //
 //   - cmd/tealeaf — run an input deck (tea.in dialect), serially or over
 //     goroutine ranks (-px/-py, plus -pz and -dims 3 for the 3D path;
-//     -stiff/-deflate for the deflation regime).
+//     -stiff/-deflate for the deflation regime). The -net flag selects
+//     the comm backend: hub (goroutine ranks), tcp (this process is one
+//     rank of a real-network run; -rank/-peers) or launch (fork N local
+//     tcp ranks over loopback — the single-machine cluster).
 //   - cmd/teabench — regenerate Table I and Figures 3–8 plus the ablation
 //     studies, the 3D strong-scaling sweep (-exp scale3d), the deflation
 //     comparison (-exp deflation) and the CI smoke run (-exp smoke).
 //   - examples/ — quickstart, crooked pipe, scaling study, mesh
 //     convergence, heat3d (distributed 3D PPCG), deflation.
 //
-// The library lives under internal/; see DESIGN.md for the system
-// inventory, including the fused single-reduction solver core
-// (persistent worker pools, fused stencil+BLAS1 kernels, and the
-// Chronopoulos–Gear CG / fused PPCG iteration loops behind
-// solver.Options.Fused) and the dimension-agnostic core plus
-// preconditioner capability matrix added in PR 3. The benchmarks in
+// The library lives under internal/; see README.md for the quickstart
+// and architecture map, DESIGN.md for the system inventory (the fused
+// single-reduction solver core, the dimension-agnostic loop bodies, the
+// preconditioner capability matrix, and the comm backends including the
+// TCP wire protocol), and docs/deck-format.md for the complete deck-key
+// and CLI-flag reference. The benchmarks in
 // bench_test.go regenerate every table and figure under `go test
 // -bench`, and `teabench -exp bench` dumps hot-path timings to
 // BENCH_kernels.json so the performance trajectory is machine-readable

@@ -1,14 +1,23 @@
 // Package comm is the distributed-memory communication substrate: the role
-// MPI plays in the original TeaLeaf. Ranks are goroutines; point-to-point
-// halo messages travel over buffered channels; global reductions use a
-// shared generation-counted accumulator (semantically an MPI_Allreduce).
+// MPI plays in the original TeaLeaf. Three backends implement the same
+// Communicator contract:
+//
+//   - Serial: single-rank; halo exchanges reduce to reflective boundary
+//     fills and reductions are identities.
+//   - Hub / RankComm: ranks are goroutines in one process; point-to-point
+//     halo messages travel over buffered channels and global reductions
+//     use a shared generation-counted accumulator (semantically an
+//     MPI_Allreduce). This is the reference implementation.
+//   - TCP: one process per rank on a real network, speaking the
+//     length-prefixed frame protocol in wire.go over per-neighbour
+//     persistent connections, with recursive-doubling reductions — the
+//     backend that takes the same solver code across actual machines.
 //
 // Solvers are written against the Communicator interface exactly as
 // TeaLeaf's solvers are written against MPI: every deep-halo exchange and
 // every dot-product reduction goes through it, so the same solver code
-// runs single-rank (Serial) or multi-rank (Hub/RankComm), and every
-// communication event is recorded in a stats.Trace for the performance
-// model.
+// runs single-rank or multi-rank on any backend, and every communication
+// event is recorded in a stats.Trace for the performance model.
 package comm
 
 import (
@@ -46,6 +55,13 @@ type Communicator interface {
 	AllReduceMax(x float64) float64
 	// Barrier blocks until every rank has entered it.
 	Barrier()
+	// GatherInterior assembles the ranks' interior blocks into the global
+	// field dst on rank 0 (dst may be nil on other ranks). Collective:
+	// every rank must call it. Used for output and verification, not in
+	// solver inner loops.
+	GatherInterior(local *grid.Field2D, dst *grid.Field2D) error
+	// GatherInterior3D is GatherInterior for 3D fields.
+	GatherInterior3D(local *grid.Field3D, dst *grid.Field3D) error
 	// Physical reports which sides of this rank touch the domain boundary.
 	Physical() PhysicalSides
 	// Physical3D is Physical for the six faces of a 3D sub-domain.
@@ -172,6 +188,41 @@ func (s *Serial) AllReduceMax(x float64) float64 {
 
 // Barrier implements Communicator.
 func (s *Serial) Barrier() {}
+
+// GatherInterior implements Communicator: single-rank, the "gather" is a
+// straight interior copy into dst (which must match the local shape).
+func (s *Serial) GatherInterior(local *grid.Field2D, dst *grid.Field2D) error {
+	if dst == nil {
+		return fmt.Errorf("comm: rank 0 needs a destination field")
+	}
+	g := local.Grid
+	if dst.Grid.NX != g.NX || dst.Grid.NY != g.NY {
+		return fmt.Errorf("comm: destination %dx%d does not match global %dx%d",
+			dst.Grid.NX, dst.Grid.NY, g.NX, g.NY)
+	}
+	for k := 0; k < g.NY; k++ {
+		copy(dst.Row(k, 0, g.NX), local.Row(k, 0, g.NX))
+	}
+	return nil
+}
+
+// GatherInterior3D implements Communicator: the 3D twin of GatherInterior.
+func (s *Serial) GatherInterior3D(local *grid.Field3D, dst *grid.Field3D) error {
+	if dst == nil {
+		return fmt.Errorf("comm: rank 0 needs a destination field")
+	}
+	g := local.Grid
+	if dst.Grid.NX != g.NX || dst.Grid.NY != g.NY || dst.Grid.NZ != g.NZ {
+		return fmt.Errorf("comm: destination %dx%dx%d does not match global %dx%dx%d",
+			dst.Grid.NX, dst.Grid.NY, dst.Grid.NZ, g.NX, g.NY, g.NZ)
+	}
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			copy(dst.Row(j, k, 0, g.NX), local.Row(j, k, 0, g.NX))
+		}
+	}
+	return nil
+}
 
 // Trace implements Communicator.
 func (s *Serial) Trace() *stats.Trace { return &s.trace }

@@ -125,12 +125,28 @@ func (c *RankComm) Physical3D() PhysicalSides3D {
 	}
 }
 
-// Exchange implements Communicator with the standard two-phase scheme:
-// first the x-direction strips over interior rows, then the y-direction
-// strips spanning the freshly filled x-halos, so corner halo cells receive
-// the diagonal neighbour's data without explicit corner messages — exactly
-// TeaLeaf's update_halo ordering. Physical sides are filled by zero-flux
-// mirroring in the same phase order.
+// hubSlabs carries exchange slabs over the Hub's buffered mailbox
+// channels; it is RankComm's slabTransport for the shared exchange core.
+type hubSlabs struct{ c *RankComm }
+
+func (h hubSlabs) sendSlab(to int, side grid.Side, msg []float64) error {
+	h.c.hub.mail[to][side] <- msg
+	return nil
+}
+
+func (h hubSlabs) recvSlab(from int, side grid.Side, wantLen int) ([]float64, error) {
+	msg := <-h.c.hub.mail[h.c.rank][side]
+	if len(msg) != wantLen {
+		return nil, fmt.Errorf("comm: rank %d: exchange slab from rank %d has %d values, want %d (mismatched field sets across ranks?)",
+			h.c.rank, from, len(msg), wantLen)
+	}
+	return msg, nil
+}
+
+// Exchange implements Communicator with the standard two-phase
+// corner-correct scheme — exactly TeaLeaf's update_halo ordering. The
+// phase core (validation, reflect/pack/send/recv/unpack) is shared with
+// the TCP backend in exchange.go; only the slab transport differs.
 func (c *RankComm) Exchange(depth int, fields ...*grid.Field2D) error {
 	if len(fields) == 0 {
 		return nil
@@ -138,80 +154,10 @@ func (c *RankComm) Exchange(depth int, fields ...*grid.Field2D) error {
 	if c.hub.part == nil {
 		return fmt.Errorf("comm: 2D exchange on a 3D-partition communicator")
 	}
-	g := fields[0].Grid
-	if depth < 1 || depth > g.Halo {
-		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	messages, bytes, err := exchange2D(hubSlabs{c}, c.hub.part, c.rank, c.Physical(), depth, fields)
+	if err != nil {
+		return err
 	}
-	// A sub-domain thinner than the depth cannot supply its neighbour's
-	// halo from interior cells: packing would send stale halo data.
-	// Validate against the partition-wide minimum so every rank reaches
-	// the same verdict (a per-rank check could leave peers deadlocked on
-	// their mailboxes).
-	if mnx, mny := c.hub.part.MinExtent(); depth > mnx || depth > mny {
-		return fmt.Errorf("comm: exchange depth %d exceeds the smallest sub-domain extent %dx%d", depth, mnx, mny)
-	}
-	for _, f := range fields {
-		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.Halo != g.Halo {
-			return fmt.Errorf("comm: all fields in one exchange must share grid shape")
-		}
-	}
-	part := c.hub.part
-	phys := c.Physical()
-	left := part.Neighbor(c.rank, grid.Left)
-	right := part.Neighbor(c.rank, grid.Right)
-	down := part.Neighbor(c.rank, grid.Down)
-	up := part.Neighbor(c.rank, grid.Up)
-
-	messages := 0
-	var bytes int64
-
-	// --- Phase X ---
-	for _, f := range fields {
-		f.ReflectHalosSides(depth, phys.Left, phys.Right, false, false)
-	}
-	// Send before receive: the buffered mailboxes make this deadlock-free.
-	if right >= 0 {
-		msg := packX(fields, g.NX-depth, g.NX, depth)
-		c.hub.mail[right][grid.Left] <- msg
-		messages++
-		bytes += int64(len(msg) * 8)
-	}
-	if left >= 0 {
-		msg := packX(fields, 0, depth, depth)
-		c.hub.mail[left][grid.Right] <- msg
-		messages++
-		bytes += int64(len(msg) * 8)
-	}
-	if left >= 0 {
-		unpackX(fields, <-c.hub.mail[c.rank][grid.Left], -depth, 0, depth)
-	}
-	if right >= 0 {
-		unpackX(fields, <-c.hub.mail[c.rank][grid.Right], g.NX, g.NX+depth, depth)
-	}
-
-	// --- Phase Y (spans x-halos filled above) ---
-	for _, f := range fields {
-		f.ReflectHalosSides(depth, false, false, phys.Down, phys.Up)
-	}
-	if up >= 0 {
-		msg := packY(fields, g.NY-depth, g.NY, depth)
-		c.hub.mail[up][grid.Down] <- msg
-		messages++
-		bytes += int64(len(msg) * 8)
-	}
-	if down >= 0 {
-		msg := packY(fields, 0, depth, depth)
-		c.hub.mail[down][grid.Up] <- msg
-		messages++
-		bytes += int64(len(msg) * 8)
-	}
-	if down >= 0 {
-		unpackY(fields, <-c.hub.mail[c.rank][grid.Down], -depth, 0, depth)
-	}
-	if up >= 0 {
-		unpackY(fields, <-c.hub.mail[c.rank][grid.Up], g.NY, g.NY+depth, depth)
-	}
-
 	c.trace.AddExchange(depth, messages, bytes)
 	return nil
 }

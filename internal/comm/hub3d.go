@@ -8,13 +8,11 @@ import (
 )
 
 // Exchange3D implements Communicator for 3D fields with the three-phase
-// extension of the 2D two-phase scheme: x-direction slabs over interior
-// rows and planes, then y-direction slabs spanning the freshly filled
-// x-halos, then z-direction slabs spanning both — so every edge and
-// corner halo cell receives its diagonal neighbour's data without
-// explicit diagonal messages, exactly as TeaLeaf's update_halo ordering
-// generalises to 3D. Physical faces are filled by zero-flux mirroring in
-// the same phase order.
+// extension of the 2D two-phase scheme, so every edge and corner halo
+// cell receives its diagonal neighbour's data without explicit diagonal
+// messages — exactly as TeaLeaf's update_halo ordering generalises to
+// 3D. The phase core is shared with the TCP backend in exchange.go; only
+// the slab transport differs.
 func (c *RankComm) Exchange3D(depth int, fields ...*grid.Field3D) error {
 	if len(fields) == 0 {
 		return nil
@@ -22,90 +20,10 @@ func (c *RankComm) Exchange3D(depth int, fields ...*grid.Field3D) error {
 	if c.hub.part3 == nil {
 		return fmt.Errorf("comm: 3D exchange on a 2D-partition communicator")
 	}
-	g := fields[0].Grid
-	if depth < 1 || depth > g.Halo {
-		return fmt.Errorf("comm: exchange depth %d outside [1,%d]", depth, g.Halo)
+	messages, bytes, err := exchange3D(hubSlabs{c}, c.hub.part3, c.rank, c.Physical3D(), depth, fields)
+	if err != nil {
+		return err
 	}
-	// As in the 2D exchange: a sub-domain thinner than the depth cannot
-	// supply its neighbour's halo from interior cells. The partition-wide
-	// minimum keeps the verdict identical on every rank.
-	if mnx, mny, mnz := c.hub.part3.MinExtent(); depth > mnx || depth > mny || depth > mnz {
-		return fmt.Errorf("comm: exchange depth %d exceeds the smallest sub-domain extent %dx%dx%d", depth, mnx, mny, mnz)
-	}
-	for _, f := range fields {
-		if f.Grid.NX != g.NX || f.Grid.NY != g.NY || f.Grid.NZ != g.NZ || f.Grid.Halo != g.Halo {
-			return fmt.Errorf("comm: all fields in one exchange must share grid shape")
-		}
-	}
-	part := c.hub.part3
-	phys := c.Physical3D()
-	left := part.Neighbor(c.rank, grid.Left)
-	right := part.Neighbor(c.rank, grid.Right)
-	down := part.Neighbor(c.rank, grid.Down)
-	up := part.Neighbor(c.rank, grid.Up)
-	back := part.Neighbor(c.rank, grid.Back)
-	front := part.Neighbor(c.rank, grid.Front)
-
-	messages := 0
-	var bytes int64
-	send := func(to int, side grid.Side, msg []float64) {
-		c.hub.mail[to][side] <- msg
-		messages++
-		bytes += int64(len(msg) * 8)
-	}
-
-	// --- Phase X (interior rows and planes) ---
-	for _, f := range fields {
-		f.ReflectHalosSides(depth, phys.Left, phys.Right, false, false, false, false)
-	}
-	// Send before receive: the buffered mailboxes make this deadlock-free.
-	if right >= 0 {
-		send(right, grid.Left, packX3(fields, g.NX-depth, g.NX, depth))
-	}
-	if left >= 0 {
-		send(left, grid.Right, packX3(fields, 0, depth, depth))
-	}
-	if left >= 0 {
-		unpackX3(fields, <-c.hub.mail[c.rank][grid.Left], -depth, 0, depth)
-	}
-	if right >= 0 {
-		unpackX3(fields, <-c.hub.mail[c.rank][grid.Right], g.NX, g.NX+depth, depth)
-	}
-
-	// --- Phase Y (spans the x-halos filled above) ---
-	for _, f := range fields {
-		f.ReflectHalosSides(depth, false, false, phys.Down, phys.Up, false, false)
-	}
-	if up >= 0 {
-		send(up, grid.Down, packY3(fields, g.NY-depth, g.NY, depth))
-	}
-	if down >= 0 {
-		send(down, grid.Up, packY3(fields, 0, depth, depth))
-	}
-	if down >= 0 {
-		unpackY3(fields, <-c.hub.mail[c.rank][grid.Down], -depth, 0, depth)
-	}
-	if up >= 0 {
-		unpackY3(fields, <-c.hub.mail[c.rank][grid.Up], g.NY, g.NY+depth, depth)
-	}
-
-	// --- Phase Z (spans the x- and y-halos filled above) ---
-	for _, f := range fields {
-		f.ReflectHalosSides(depth, false, false, false, false, phys.Back, phys.Front)
-	}
-	if front >= 0 {
-		send(front, grid.Back, packZ3(fields, g.NZ-depth, g.NZ, depth))
-	}
-	if back >= 0 {
-		send(back, grid.Front, packZ3(fields, 0, depth, depth))
-	}
-	if back >= 0 {
-		unpackZ3(fields, <-c.hub.mail[c.rank][grid.Back], -depth, 0, depth)
-	}
-	if front >= 0 {
-		unpackZ3(fields, <-c.hub.mail[c.rank][grid.Front], g.NZ, g.NZ+depth, depth)
-	}
-
 	c.trace.AddExchange(depth, messages, bytes)
 	return nil
 }

@@ -1,0 +1,96 @@
+package comm
+
+import (
+	"fmt"
+
+	"tealeaf/internal/grid"
+)
+
+// Exchange3D implements Communicator over the wire. The three-phase
+// corner-correct core is literally the Hub's — shared in exchange.go —
+// so the two backends are bit-identical by construction; only the slab
+// transport differs.
+func (t *TCP) Exchange3D(depth int, fields ...*grid.Field3D) error {
+	if len(fields) == 0 {
+		return nil
+	}
+	if t.part3 == nil {
+		return fmt.Errorf("comm: 3D exchange on a 2D-partition communicator")
+	}
+	messages, bytes, err := exchange3D(tcpSlabs{t}, t.part3, t.rank, t.Physical3D(), depth, fields)
+	if err != nil {
+		return err
+	}
+	t.trace.AddExchange(depth, messages, bytes)
+	return nil
+}
+
+// GatherInterior3D implements Communicator: the 3D twin of GatherInterior,
+// assembling each rank's interior box into dst on rank 0 by partition
+// extent, with the trailing barrier keeping consecutive gathers from
+// interleaving.
+func (t *TCP) GatherInterior3D(local *grid.Field3D, dst *grid.Field3D) error {
+	if t.part3 == nil {
+		return fmt.Errorf("comm: 3D gather on a 2D-partition communicator")
+	}
+	ext := t.part3.ExtentOf(t.rank)
+	g := local.Grid
+	if g.NX != ext.NX() || g.NY != ext.NY() || g.NZ != ext.NZ() {
+		return fmt.Errorf("comm: local field %dx%dx%d does not match extent %dx%dx%d",
+			g.NX, g.NY, g.NZ, ext.NX(), ext.NY(), ext.NZ())
+	}
+	if t.rank != 0 {
+		data := make([]float64, 0, ext.Cells())
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				data = append(data, local.Row(j, k, 0, g.NX)...)
+			}
+		}
+		if err := t.send(0, frameGather, 0, data); err != nil {
+			return err
+		}
+		return t.Protect(func() error { t.Barrier(); return nil })
+	}
+	p := t.part3
+	var err error
+	switch {
+	case dst == nil:
+		err = fmt.Errorf("comm: rank 0 needs a destination field")
+	case dst.Grid.NX != p.NX || dst.Grid.NY != p.NY || dst.Grid.NZ != p.NZ:
+		err = fmt.Errorf("comm: destination %dx%dx%d does not match global %dx%dx%d",
+			dst.Grid.NX, dst.Grid.NY, dst.Grid.NZ, p.NX, p.NY, p.NZ)
+	}
+	if err == nil {
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				copy(dst.Row(ext.Y0+j, ext.Z0+k, ext.X0, ext.X1), local.Row(j, k, 0, g.NX))
+			}
+		}
+	}
+	// Drain every peer's block even on error, so the streams stay in sync.
+	for r := 1; r < t.size; r++ {
+		re := p.ExtentOf(r)
+		data, rerr := t.recvFloats(r, frameGather, 0, "gather")
+		if rerr != nil {
+			return rerr
+		}
+		if len(data) != re.Cells() {
+			return fmt.Errorf("comm: tcp rank 0: gather block from rank %d has %d values, want %d", r, len(data), re.Cells())
+		}
+		if err != nil {
+			continue
+		}
+		pos := 0
+		w := re.NX()
+		for k := re.Z0; k < re.Z1; k++ {
+			for j := re.Y0; j < re.Y1; j++ {
+				copy(dst.Row(j, k, re.X0, re.X1), data[pos:pos+w])
+				pos += w
+			}
+		}
+	}
+	if berr := t.Protect(func() error { t.Barrier(); return nil }); berr != nil {
+		return berr
+	}
+	return err
+}

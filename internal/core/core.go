@@ -3,8 +3,11 @@
 // solve per step — the stability-limit-free backward-Euler method of §II),
 // and produces the field summaries TeaLeaf reports. The same Instance code
 // drives a single-rank run (comm.Serial) and each rank of a distributed
-// run (comm.RankComm); RunDistributed wires the latter together over a
-// goroutine-per-rank hub.
+// run (comm.RankComm or comm.TCP); RunDistributed wires the latter
+// together over a goroutine-per-rank hub by default, or over real
+// loopback TCP sockets with WithBackend(BackendTCP). Multi-machine runs
+// use one process per rank (cmd/tealeaf -net tcp) around the same
+// NewInstance code.
 package core
 
 import (
@@ -247,52 +250,122 @@ type DistResult struct {
 	Summary Summary
 }
 
-// RunDistributed runs the deck for the given number of steps on a px×py
-// goroutine-rank decomposition and gathers the final energy field.
-// workersPerRank sizes each rank's thread team (the hybrid MPI+OpenMP
-// configuration of §IV-A); 1 reproduces flat MPI.
-func RunDistributed(d *deck.Deck, px, py, steps, workersPerRank int) (*DistResult, error) {
-	part, err := grid.NewPartition(d.XCells, d.YCells, px, py)
-	if err != nil {
-		return nil, err
+// Backend names a multi-rank communication fabric RunDistributed can run
+// over. Both backends drive the identical rank code — the selector only
+// changes what carries the halo slabs and reduction scalars.
+type Backend string
+
+// The registered comm backends.
+const (
+	// BackendHub is the in-process reference: ranks are goroutines,
+	// messages travel over channels (comm.Hub).
+	BackendHub Backend = "hub"
+	// BackendTCP runs every rank over real loopback TCP sockets speaking
+	// the comm.TCP wire protocol — the single-machine configuration of
+	// the real-network backend, used for testing and as the template for
+	// multi-machine runs (where each rank is its own process; see
+	// cmd/tealeaf -net tcp).
+	BackendTCP Backend = "tcp"
+)
+
+// DistOption tweaks a RunDistributed / RunDistributed3D call.
+type DistOption func(*distConfig)
+
+type distConfig struct {
+	backend Backend
+}
+
+// WithBackend selects the communication fabric (default BackendHub).
+func WithBackend(b Backend) DistOption {
+	return func(c *distConfig) { c.backend = b }
+}
+
+func applyDistOptions(opts []DistOption) distConfig {
+	cfg := distConfig{backend: BackendHub}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// RunRank executes one rank of a distributed 2D run: the communicator
+// must span the given partition (its Rank selects the sub-domain). On
+// rank 0 the returned DistResult carries the gathered global energy
+// field; on other ranks Energy is nil. The Summary is globally reduced
+// and valid on every rank. This is the per-process entry point of a
+// real-network run (cmd/tealeaf -net tcp); RunDistributed drives the same
+// code with one goroutine per rank.
+func RunRank(d *deck.Deck, part *grid.Partition, c comm.Communicator, steps, workersPerRank int) (*DistResult, error) {
+	if part.NX != d.XCells || part.NY != d.YCells {
+		return nil, fmt.Errorf("core: partition %dx%d does not match the deck's %dx%d cells",
+			part.NX, part.NY, d.XCells, d.YCells)
 	}
 	gg, err := grid.NewGrid2D(d.XCells, d.YCells, HaloFor(d), d.XMin, d.XMax, d.YMin, d.YMax)
 	if err != nil {
 		return nil, err
 	}
-	out := &DistResult{Energy: grid.NewField2D(gg)}
-	var summary Summary
-
-	err = comm.Run(part, func(c *comm.RankComm) error {
-		ext := part.ExtentOf(c.Rank())
-		sub, err := gg.Sub(ext.X0, ext.X1, ext.Y0, ext.Y1)
-		if err != nil {
-			return err
-		}
-		pool := par.Serial
-		if workersPerRank > 1 {
-			pool = par.NewPool(workersPerRank)
-		}
-		inst, err := NewInstance(d, sub, pool, c)
-		if err != nil {
-			return err
-		}
-		sum, err := inst.Run(steps)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			summary = sum
-		}
-		var dst *grid.Field2D
-		if c.Rank() == 0 {
-			dst = out.Energy
-		}
-		return c.GatherInterior(inst.Energy, dst)
-	})
+	ext := part.ExtentOf(c.Rank())
+	sub, err := gg.Sub(ext.X0, ext.X1, ext.Y0, ext.Y1)
 	if err != nil {
 		return nil, err
 	}
-	out.Summary = summary
+	pool := par.Serial
+	if workersPerRank > 1 {
+		pool = par.NewPool(workersPerRank)
+	}
+	inst, err := NewInstance(d, sub, pool, c)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := inst.Run(steps)
+	if err != nil {
+		return nil, err
+	}
+	out := &DistResult{Summary: sum}
+	if c.Rank() == 0 {
+		out.Energy = grid.NewField2D(gg)
+	}
+	if err := c.GatherInterior(inst.Energy, out.Energy); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunDistributed runs the deck for the given number of steps on a px×py
+// rank decomposition and gathers the final energy field. workersPerRank
+// sizes each rank's thread team (the hybrid MPI+OpenMP configuration of
+// §IV-A); 1 reproduces flat MPI. By default ranks are goroutines wired
+// through a comm.Hub; WithBackend(BackendTCP) runs the same rank code
+// over real loopback TCP sockets instead.
+func RunDistributed(d *deck.Deck, px, py, steps, workersPerRank int, opts ...DistOption) (*DistResult, error) {
+	cfg := applyDistOptions(opts)
+	part, err := grid.NewPartition(d.XCells, d.YCells, px, py)
+	if err != nil {
+		return nil, err
+	}
+	out := &DistResult{}
+	rank := func(c comm.Communicator) error {
+		res, err := RunRank(d, part, c, steps, workersPerRank)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			*out = *res
+		}
+		return nil
+	}
+	switch cfg.backend {
+	case BackendTCP:
+		err = comm.RunTCP(part, rank)
+	case BackendHub:
+		err = comm.Run(part, func(c *comm.RankComm) error { return rank(c) })
+	default:
+		// An unknown backend must not silently run as a hub: callers
+		// comparing backends would then compare hub against hub.
+		err = fmt.Errorf("core: unknown comm backend %q (have: hub, tcp)", cfg.backend)
+	}
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }

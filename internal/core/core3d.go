@@ -203,52 +203,79 @@ type DistResult3D struct {
 }
 
 // RunDistributed3D runs a dims=3 deck for the given number of steps on a
-// px×py×pz goroutine-rank decomposition and gathers the final energy
-// field. workersPerRank sizes each rank's thread team; 1 reproduces flat
-// MPI.
-func RunDistributed3D(d *deck.Deck, px, py, pz, steps, workersPerRank int) (*DistResult3D, error) {
+// px×py×pz rank decomposition and gathers the final energy field.
+// workersPerRank sizes each rank's thread team; 1 reproduces flat MPI.
+// By default ranks are goroutines wired through a comm.Hub;
+// WithBackend(BackendTCP) runs the same rank code over real loopback TCP
+// sockets instead.
+func RunDistributed3D(d *deck.Deck, px, py, pz, steps, workersPerRank int, opts ...DistOption) (*DistResult3D, error) {
+	cfg := applyDistOptions(opts)
 	part, err := grid.NewPartition3D(d.XCells, d.YCells, d.ZCells, px, py, pz)
 	if err != nil {
 		return nil, err
+	}
+	out := &DistResult3D{}
+	rank := func(c comm.Communicator) error {
+		res, err := RunRank3D(d, part, c, steps, workersPerRank)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			*out = *res
+		}
+		return nil
+	}
+	switch cfg.backend {
+	case BackendTCP:
+		err = comm.RunTCP3D(part, rank)
+	case BackendHub:
+		err = comm.Run3D(part, func(c *comm.RankComm) error { return rank(c) })
+	default:
+		err = fmt.Errorf("core: unknown comm backend %q (have: hub, tcp)", cfg.backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunRank3D executes one rank of a distributed 3D run — the 3D twin of
+// RunRank, and the per-process entry point of a real-network dims=3 run.
+// On rank 0 the returned DistResult3D carries the gathered global energy
+// field; the Summary is globally reduced and valid on every rank.
+func RunRank3D(d *deck.Deck, part *grid.Partition3D, c comm.Communicator, steps, workersPerRank int) (*DistResult3D, error) {
+	if part.NX != d.XCells || part.NY != d.YCells || part.NZ != d.ZCells {
+		return nil, fmt.Errorf("core: partition %dx%dx%d does not match the deck's %dx%dx%d cells",
+			part.NX, part.NY, part.NZ, d.XCells, d.YCells, d.ZCells)
 	}
 	gg, err := grid.NewGrid3D(d.XCells, d.YCells, d.ZCells, HaloFor(d),
 		d.XMin, d.XMax, d.YMin, d.YMax, d.ZMin, d.ZMax)
 	if err != nil {
 		return nil, err
 	}
-	out := &DistResult3D{Energy: grid.NewField3D(gg)}
-	var summary Summary
-
-	err = comm.Run3D(part, func(c *comm.RankComm) error {
-		ext := part.ExtentOf(c.Rank())
-		sub, err := gg.Sub(ext.X0, ext.X1, ext.Y0, ext.Y1, ext.Z0, ext.Z1)
-		if err != nil {
-			return err
-		}
-		pool := par.Serial
-		if workersPerRank > 1 {
-			pool = par.NewPool(workersPerRank)
-		}
-		inst, err := NewInstance3D(d, sub, pool, c)
-		if err != nil {
-			return err
-		}
-		sum, err := inst.Run(steps)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			summary = sum
-		}
-		var dst *grid.Field3D
-		if c.Rank() == 0 {
-			dst = out.Energy
-		}
-		return c.GatherInterior3D(inst.Energy, dst)
-	})
+	ext := part.ExtentOf(c.Rank())
+	sub, err := gg.Sub(ext.X0, ext.X1, ext.Y0, ext.Y1, ext.Z0, ext.Z1)
 	if err != nil {
 		return nil, err
 	}
-	out.Summary = summary
+	pool := par.Serial
+	if workersPerRank > 1 {
+		pool = par.NewPool(workersPerRank)
+	}
+	inst, err := NewInstance3D(d, sub, pool, c)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := inst.Run(steps)
+	if err != nil {
+		return nil, err
+	}
+	out := &DistResult3D{Summary: sum}
+	if c.Rank() == 0 {
+		out.Energy = grid.NewField3D(gg)
+	}
+	if err := c.GatherInterior3D(inst.Energy, out.Energy); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -1,0 +1,36 @@
+package deck_test
+
+import (
+	"fmt"
+	"log"
+
+	"tealeaf/internal/deck"
+)
+
+// ExampleParseString parses a minimal tea.in-dialect deck: defaults fill
+// everything the deck does not set, and unknown keys are parse errors.
+// See docs/deck-format.md for the complete key reference.
+func ExampleParseString() {
+	d, err := deck.ParseString(`
+*tea
+x_cells=64
+y_cells=64
+end_step=5
+tl_use_ppcg
+tl_ppcg_inner_steps=8
+tl_preconditioner_type jac_diag
+tl_eps=1e-12
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=0.0 xmax=1.0 ymin=1.0 ymax=2.0
+*endtea
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%dx%d cells, solver=%s precond=%s eps=%g\n",
+		d.XCells, d.YCells, d.Solver, d.Precond, d.Eps)
+	fmt.Printf("steps=%d states=%d inner=%d\n", d.Steps(), len(d.States), d.InnerSteps)
+	// Output:
+	// 64x64 cells, solver=ppcg precond=jac_diag eps=1e-12
+	// steps=5 states=2 inner=8
+}
