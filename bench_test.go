@@ -475,16 +475,16 @@ func BenchmarkAblationDeflation(b *testing.B) {
 		}
 	})
 	b.Run("deflated-8x8", func(b *testing.B) {
-		defl, err := deflate.New(par.Serial, op, 8, 8)
+		defl, err := deflate.New(par.Serial, nil, op, deflate.Geometry{}, deflate.Config{BX: 8, BY: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			u := rhs.Clone()
-			iters, _, ok := defl.SolveDeflatedCG(u, rhs, 1e-9, 10000)
-			if !ok {
-				b.Fatal("no convergence")
+			iters, _, ok, err := defl.SolveDeflatedCG(u, rhs, 1e-9, 10000)
+			if err != nil || !ok {
+				b.Fatal("no convergence: ", err)
 			}
 			b.ReportMetric(float64(iters), "iters")
 		}

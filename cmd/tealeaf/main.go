@@ -51,9 +51,10 @@ func run() error {
 		workers = flag.Int("workers", 1, "worker threads per rank (hybrid mode)")
 		solver  = flag.String("solver", "", "override deck solver (cg|ppcg|chebyshev|jacobi)")
 		depth   = flag.Int("halo-depth", 0, "override matrix-powers halo depth")
-		stiff   = flag.Bool("stiff", false, "use the built-in stiff near-steady deck (dt=10; the deflation regime) instead of the crooked pipe")
-		deflate = flag.Bool("deflate", false, "enable subdomain deflation (tl_use_deflation; CG, 2D, single-rank)")
+		stiff   = flag.Bool("stiff", false, "use the built-in stiff near-steady deck (dt=10; the deflation regime) instead of the crooked pipe; honours -dims 3")
+		deflate = flag.Bool("deflate", false, "enable subdomain deflation (tl_use_deflation; cg/ppcg, 2D and 3D, single- or multi-rank)")
 		deflBlk = flag.Int("deflate-blocks", 0, "override deflation subdomains per direction (tl_deflation_blocks)")
+		deflLvl = flag.Int("deflate-levels", 0, "override nested deflation hierarchy depth (tl_deflation_levels)")
 		netMode = flag.String("net", "hub", "comm backend for decomposed runs: hub (goroutine ranks), tcp (this process is one rank; needs -rank/-peers), launch (fork local tcp ranks)")
 		rank    = flag.Int("rank", 0, "this process's rank (with -net tcp)")
 		peers   = flag.String("peers", "", "comma-separated host:port of every rank, indexed by rank (with -net tcp)")
@@ -80,9 +81,10 @@ func run() error {
 		}
 	} else if *stiff {
 		if *dims == 3 {
-			return fmt.Errorf("-stiff is 2D-only (the stiff deflation-regime deck has no 3D variant)")
+			d = problem.StiffDeck3D(*mesh)
+		} else {
+			d = problem.StiffDeck(*mesh)
 		}
-		d = problem.StiffDeck(*mesh)
 	} else if *dims == 3 {
 		d = problem.BenchmarkDeck3D(*mesh)
 	} else {
@@ -103,8 +105,11 @@ func run() error {
 	if *deflBlk > 0 {
 		d.DeflationBlocks = *deflBlk
 	}
+	if *deflLvl > 0 {
+		d.DeflationLevels = *deflLvl
+	}
 	if d.UseDeflation {
-		// Surface the composition errors (dims/ranks/solver) before the
+		// Surface the geometry errors (blocks/levels vs mesh) before the
 		// run starts, with the deck re-validated after the overrides.
 		if err := d.Validate(); err != nil {
 			return err
@@ -133,12 +138,8 @@ func run() error {
 		return run3D(d, nSteps, *px, *py, *pz, *workers, *quiet)
 	}
 
-	deflNote := ""
-	if d.UseDeflation {
-		deflNote = fmt.Sprintf(" deflation=%dx%d", d.DeflationBlocks, d.DeflationBlocks)
-	}
 	fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s%s eps=%.1e dt=%g, %d steps\n",
-		d.XCells, d.YCells, d.Solver, orNone(d.Precond), deflNote, d.Eps, d.InitialTimestep, nSteps)
+		d.XCells, d.YCells, d.Solver, orNone(d.Precond), deflNote(d), d.Eps, d.InitialTimestep, nSteps)
 
 	if *px**py > 1 {
 		fmt.Printf("decomposition: %dx%d ranks, %d workers/rank\n", *px, *py, *workers)
@@ -213,8 +214,8 @@ func run() error {
 // run3D drives a dims=3 deck end-to-end: the 7-point operator, the 3D
 // fused solvers, and (with -px/-py/-pz > 1) the distributed 3D rank layer.
 func run3D(d *deck.Deck, nSteps, px, py, pz, workers int, quiet bool) error {
-	fmt.Printf("TeaLeaf (Go): %dx%dx%d cells (3D), solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
-		d.XCells, d.YCells, d.ZCells, d.Solver, orNone(d.Precond), d.Eps, d.InitialTimestep, nSteps)
+	fmt.Printf("TeaLeaf (Go): %dx%dx%d cells (3D), solver=%s precond=%s%s eps=%.1e dt=%g, %d steps\n",
+		d.XCells, d.YCells, d.ZCells, d.Solver, orNone(d.Precond), deflNote(d), d.Eps, d.InitialTimestep, nSteps)
 
 	if px*py*pz > 1 {
 		fmt.Printf("decomposition: %dx%dx%d ranks, %d workers/rank\n", px, py, pz, workers)
@@ -262,6 +263,18 @@ func orNone(s string) string {
 		return "none"
 	}
 	return s
+}
+
+// deflNote renders the deflation configuration for the run banner.
+func deflNote(d *deck.Deck) string {
+	if !d.UseDeflation {
+		return ""
+	}
+	note := fmt.Sprintf(" deflation=%d", d.DeflationBlocks)
+	if d.DeflationLevels > 1 {
+		note += fmt.Sprintf(" levels=%d", d.DeflationLevels)
+	}
+	return note
 }
 
 func writePPM(path string, f *grid.Field2D) error {

@@ -70,12 +70,12 @@ func runTCPRank(d *deck.Deck, nSteps, px, py, pz, workers, rank int, peerList st
 
 	if rank == 0 && !quiet {
 		if d.Dims == 3 {
-			fmt.Printf("TeaLeaf (Go): %dx%dx%d cells (3D), solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
-				d.XCells, d.YCells, d.ZCells, d.Solver, orNone(d.Precond), d.Eps, d.InitialTimestep, nSteps)
+			fmt.Printf("TeaLeaf (Go): %dx%dx%d cells (3D), solver=%s precond=%s%s eps=%.1e dt=%g, %d steps\n",
+				d.XCells, d.YCells, d.ZCells, d.Solver, orNone(d.Precond), deflNote(d), d.Eps, d.InitialTimestep, nSteps)
 			fmt.Printf("decomposition: %dx%dx%d ranks over tcp, %d workers/rank\n", px, py, pz, workers)
 		} else {
-			fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s eps=%.1e dt=%g, %d steps\n",
-				d.XCells, d.YCells, d.Solver, orNone(d.Precond), d.Eps, d.InitialTimestep, nSteps)
+			fmt.Printf("TeaLeaf (Go): %dx%d cells, solver=%s precond=%s%s eps=%.1e dt=%g, %d steps\n",
+				d.XCells, d.YCells, d.Solver, orNone(d.Precond), deflNote(d), d.Eps, d.InitialTimestep, nSteps)
 			fmt.Printf("decomposition: %dx%d ranks over tcp, %d workers/rank\n", px, py, workers)
 		}
 	}

@@ -23,9 +23,12 @@
 // execution in both dimensionalities. Preconditioners live in a unified
 // registry with capability flags (none / jac_diag / jac_block, the
 // latter as tridiagonal y-strips in 2D and z-lines in 3D), and subdomain
-// deflation (§VII future work) composes as an outer projector around the
-// CG solve, reachable from deck keys (tl_use_deflation,
-// tl_deflation_blocks) through solver.Options.Deflation.
+// deflation (§VII future work) composes as a distributed outer projector
+// around the CG and PPCG solves in both dimensionalities — rank-local
+// restriction over the global coarse partition, one allreduce per
+// projection, an optional nested multi-level hierarchy — reachable from
+// deck keys (tl_use_deflation, tl_deflation_blocks, tl_deflation_levels)
+// through solver.Options.Deflation and Options.Deflation3D.
 //
 // Entry points:
 //

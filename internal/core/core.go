@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"tealeaf/internal/comm"
 	"tealeaf/internal/deck"
@@ -125,23 +126,33 @@ func NewInstance(d *deck.Deck, g *grid.Grid2D, pool *par.Pool, c comm.Communicat
 		FusedDots:    d.FusedDots,
 	}
 	if d.UseDeflation {
-		// tl_use_deflation: build the coarse subdomain projector over this
-		// solve operator and compose it into the CG solve. The composition
-		// rules (CG-only, single-rank) are enforced here with deck-level
-		// vocabulary; solver.Options.validate re-checks them.
-		if kind != solver.KindCG {
-			return nil, fmt.Errorf("core: tl_use_deflation composes with tl_use_cg only (deck selects %s)", kind)
+		// tl_use_deflation: build the distributed coarse subdomain
+		// projector over this rank's slice of the solve operator (the
+		// coarse partition spans the GLOBAL mesh; the constructor is
+		// collective) and compose it into the CG or PPCG solve.
+		if kind != solver.KindCG && kind != solver.KindPPCG {
+			return nil, fmt.Errorf("core: tl_use_deflation composes with tl_use_cg and tl_use_ppcg only (deck selects %s)", kind)
 		}
-		if c.Size() > 1 {
-			return nil, fmt.Errorf("core: tl_use_deflation is single-rank only (the coarse solve is not distributed); run undistributed or drop the key")
-		}
-		defl, err := deflate.New(pool, op, d.DeflationBlocks, d.DeflationBlocks)
+		defl, err := deflate.New(pool, c, op, deflGeometry(d, g), deflate.Config{
+			BX: d.DeflationBlocks, BY: d.DeflationBlocks, Levels: d.DeflationLevels,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: tl_use_deflation: %w", err)
 		}
 		inst.opts.Deflation = defl
 	}
 	return inst, nil
+}
+
+// deflGeometry locates a rank's sub-grid inside the deck's global mesh.
+// Sub-grids carry true physical coordinates (grid.Grid2D.Sub), so the
+// offset is the vertex distance in cell widths, exact up to rounding.
+func deflGeometry(d *deck.Deck, g *grid.Grid2D) deflate.Geometry {
+	return deflate.Geometry{
+		GlobalNX: d.XCells, GlobalNY: d.YCells,
+		OffsetX: int(math.Round((g.XMin - d.XMin) / g.DX)),
+		OffsetY: int(math.Round((g.YMin - d.YMin) / g.DY)),
+	}
 }
 
 // Options exposes the derived solver options (for harnesses that tweak

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"tealeaf/internal/comm"
 	"tealeaf/internal/deck"
+	"tealeaf/internal/deflate"
 	"tealeaf/internal/grid"
 	"tealeaf/internal/par"
 	"tealeaf/internal/precond"
@@ -92,9 +94,6 @@ func NewInstance3D(d *deck.Deck, g *grid.Grid3D, pool *par.Pool, c comm.Communic
 	if err != nil {
 		return nil, err
 	}
-	if kind == solver.KindJacobi {
-		return nil, fmt.Errorf("core: the jacobi solver has no 3D loop (use cg, chebyshev or ppcg)")
-	}
 	inst.kind = kind
 	m, err := precond.FromName3D(d.Precond, pool, op)
 	if err != nil {
@@ -111,7 +110,34 @@ func NewInstance3D(d *deck.Deck, g *grid.Grid3D, pool *par.Pool, c comm.Communic
 		HaloDepth:    d.HaloDepth,
 		FusedDots:    d.FusedDots,
 	}
+	if d.UseDeflation {
+		// tl_use_deflation on a dims=3 deck: the 3D coarse-space projector
+		// over the global box partition, composed into CG or PPCG exactly
+		// as in 2D. Collective across the ranks of a distributed run.
+		if kind != solver.KindCG && kind != solver.KindPPCG {
+			return nil, fmt.Errorf("core: tl_use_deflation composes with tl_use_cg and tl_use_ppcg only (deck selects %s)", kind)
+		}
+		defl, err := deflate.New3D(pool, c, op, deflGeometry3D(d, g), deflate.Config{
+			BX: d.DeflationBlocks, BY: d.DeflationBlocks, BZ: d.DeflationBlocks,
+			Levels: d.DeflationLevels,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: tl_use_deflation: %w", err)
+		}
+		inst.opts.Deflation3D = defl
+	}
 	return inst, nil
+}
+
+// deflGeometry3D locates a rank's sub-grid inside the deck's global 3D
+// mesh — the box twin of deflGeometry.
+func deflGeometry3D(d *deck.Deck, g *grid.Grid3D) deflate.Geometry3D {
+	return deflate.Geometry3D{
+		GlobalNX: d.XCells, GlobalNY: d.YCells, GlobalNZ: d.ZCells,
+		OffsetX: int(math.Round((g.XMin - d.XMin) / g.DX)),
+		OffsetY: int(math.Round((g.YMin - d.YMin) / g.DY)),
+		OffsetZ: int(math.Round((g.ZMin - d.ZMin) / g.DZ)),
+	}
 }
 
 // Options exposes the derived solver options.

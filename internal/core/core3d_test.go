@@ -61,8 +61,8 @@ func TestRunDistributed3DMatchesSerial(t *testing.T) {
 func TestNewInstance3DRejectsBadConfigs(t *testing.T) {
 	d := problem.BenchmarkDeck3D(8)
 	d.Solver = "jacobi"
-	if _, err := NewSerial3D(d, par.Serial); err == nil {
-		t.Error("jacobi must be rejected on the 3D path")
+	if _, err := NewSerial3D(d, par.Serial); err != nil {
+		t.Errorf("jacobi now has a 3D loop and must build: %v", err)
 	}
 	d = problem.BenchmarkDeck3D(8)
 	d.Precond = "bogus"

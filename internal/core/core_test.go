@@ -281,23 +281,45 @@ func TestDeflationDeckEndToEnd(t *testing.T) {
 	t.Logf("stiff deck iterations: plain CG %d, deflated CG %d", plain.TotalIterations, defl.TotalIterations)
 }
 
-// Composition rules surface as actionable errors at instance build time.
+// Composition rules surface as actionable errors at instance build time:
+// deflation composes with cg and ppcg only (in 2D and 3D, distributed or
+// not), and the coarse geometry must fit the mesh and hierarchy.
 func TestDeflationDeckRejectsBadCompositions(t *testing.T) {
 	d := problem.StiffDeck(32)
 	d.UseDeflation = true
-	d.Solver = "ppcg"
+	d.Solver = "jacobi"
 	if _, err := NewSerial(d, par.Serial); err == nil {
-		t.Error("deflation with ppcg must be rejected")
+		t.Error("deflation with jacobi must be rejected")
 	}
 	d = problem.StiffDeck(32)
 	d.UseDeflation = true
-	if _, err := RunDistributed(d, 2, 1, 1, 1); err == nil {
-		t.Error("deflation in a distributed run must be rejected")
+	d.Solver = "chebyshev"
+	if _, err := NewSerial(d, par.Serial); err == nil {
+		t.Error("deflation with chebyshev must be rejected")
 	}
 	d = problem.StiffDeck(32)
 	d.UseDeflation = true
 	d.DeflationBlocks = 64 // exceeds the mesh
 	if err := d.Validate(); err == nil {
 		t.Error("deflation blocks beyond the mesh must be rejected")
+	}
+	d = problem.StiffDeck(32)
+	d.UseDeflation = true
+	d.DeflationBlocks = 4
+	d.DeflationLevels = 4 // a 4-block direction supports at most 3 levels
+	if err := d.Validate(); err == nil {
+		t.Error("deflation levels beyond the hierarchy must be rejected")
+	}
+	// Previously walled off, now first-class: ppcg and distributed runs.
+	d = problem.StiffDeck(32)
+	d.UseDeflation = true
+	d.Solver = "ppcg"
+	if _, err := NewSerial(d, par.Serial); err != nil {
+		t.Errorf("deflation with ppcg must build: %v", err)
+	}
+	d = problem.StiffDeck(32)
+	d.UseDeflation = true
+	if _, err := RunDistributed(d, 2, 1, 1, 1); err != nil {
+		t.Errorf("deflation in a distributed run must work: %v", err)
 	}
 }

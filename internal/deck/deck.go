@@ -6,9 +6,11 @@
 //
 // Beyond stock TeaLeaf, the dialect adds: dims/z_cells/zmin/zmax (3D
 // decks), tl_fused_dots (fused ρ/‖r‖ reductions on the unfused loops),
-// and the deflation keys tl_use_deflation / tl_deflation_blocks=N
-// (subdomain deflation as an outer CG projector; N×N coarse blocks,
-// default 8 — 2D, single-rank, tl_use_cg only).
+// and the deflation keys tl_use_deflation / tl_deflation_blocks=N /
+// tl_deflation_levels=L (subdomain deflation as an outer Krylov
+// projector; N coarse blocks per direction over the global mesh, default
+// 8, with an L-deep nested hierarchy — composes with tl_use_cg and
+// tl_use_ppcg in 2D and 3D, single- or multi-rank).
 package deck
 
 import (
@@ -70,14 +72,22 @@ type Deck struct {
 	FusedDots    bool
 	ProfilerOn   bool
 	// UseDeflation composes subdomain deflation as an outer projector
-	// around the CG solve (tl_use_deflation; §VII future work). 2D,
-	// single-rank, CG-only.
+	// around the CG or PPCG solve (tl_use_deflation; §VII future work).
+	// Works in 2D and 3D, single- and multi-rank: the coarse space is
+	// built over the global mesh and the projector's reductions run
+	// through the solve's communicator.
 	UseDeflation bool
 	// DeflationBlocks is the coarse subdomain count per direction
 	// (tl_deflation_blocks, default 8): the deflation space is spanned by
-	// the indicator vectors of a DeflationBlocks × DeflationBlocks
-	// partition of the mesh.
+	// the indicator vectors of an N×N (2D) or N×N×N (3D) block partition
+	// of the global mesh.
 	DeflationBlocks int
+	// DeflationLevels is the nested coarse-hierarchy depth
+	// (tl_deflation_levels, default 1): 1 solves the coarse matrix by
+	// dense Cholesky; L > 1 deflates it recursively over blocks-of-blocks
+	// aggregations, with the dense solve only at the top — the paper's
+	// §VII "series of nested lower dimensional sub-spaces".
+	DeflationLevels int
 
 	States []State
 }
@@ -101,6 +111,7 @@ func Default() *Deck {
 		Precond:         "none",
 		Coefficient:     "density",
 		DeflationBlocks: 8,
+		DeflationLevels: 1,
 	}
 }
 
@@ -223,6 +234,8 @@ func (d *Deck) parseLine(line string) error {
 		return nil
 	case "tl_deflation_blocks":
 		return d.setInt(&d.DeflationBlocks, val)
+	case "tl_deflation_levels":
+		return d.setInt(&d.DeflationLevels, val)
 	case "tl_coefficient_density":
 		d.Coefficient = "density"
 		return nil
@@ -351,15 +364,28 @@ func (d *Deck) Validate() error {
 		return fmt.Errorf("deck: need at least one state")
 	}
 	if d.UseDeflation {
-		if dims != 2 {
-			return fmt.Errorf("deck: tl_use_deflation is 2D-only (the coarse subdomain space is built over a 2D partition)")
-		}
 		bx := d.DeflationBlocks
 		if bx < 1 {
 			return fmt.Errorf("deck: tl_deflation_blocks must be >= 1, got %d", bx)
 		}
 		if bx > d.XCells || bx > d.YCells {
 			return fmt.Errorf("deck: tl_deflation_blocks %d exceeds the mesh (%dx%d cells)", bx, d.XCells, d.YCells)
+		}
+		if dims == 3 && bx > d.ZCells {
+			return fmt.Errorf("deck: tl_deflation_blocks %d exceeds the mesh in z (%d cells)", bx, d.ZCells)
+		}
+		levels := d.DeflationLevels
+		if levels == 0 {
+			levels = 1 // zero-value decks built in code
+		}
+		if levels < 1 {
+			return fmt.Errorf("deck: tl_deflation_levels must be >= 1, got %d", d.DeflationLevels)
+		}
+		// Each nesting step halves the block grid; the hierarchy bottoms
+		// out once every direction is a single block.
+		if maxHalvings(bx)+1 < levels {
+			return fmt.Errorf("deck: tl_deflation_levels %d exceeds the hierarchy of a %d-block partition (at most %d levels)",
+				levels, bx, maxHalvings(bx)+1)
 		}
 	}
 	if d.States[0].Geometry != GeomNone && d.States[0].Index == 1 {
@@ -374,6 +400,20 @@ func (d *Deck) Validate() error {
 		}
 	}
 	return nil
+}
+
+// maxHalvings counts how many times n can be ceil-halved before reaching
+// 1 — the number of nesting steps a deflation hierarchy over n blocks per
+// direction supports. The (n+1)/2 step must stay in lockstep with the
+// aggregation rule in internal/deflate (hierarchy.go, aggregations): deck
+// validation promises exactly what the constructor will accept.
+func maxHalvings(n int) int {
+	h := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		h++
+	}
+	return h
 }
 
 // Steps returns the number of time steps the deck requests: end_time

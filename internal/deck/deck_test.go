@@ -238,12 +238,32 @@ func TestDeflationKeys(t *testing.T) {
 	if d.DeflationBlocks != 8 {
 		t.Errorf("default deflation blocks = %d, want 8", d.DeflationBlocks)
 	}
-	// Composition errors at deck validation: 3D and over-fine partitions.
-	if _, err := ParseString("*tea\ndims=3\nz_cells=8\nstate 1 density=1 energy=1\ntl_use_deflation\n*endtea"); err == nil {
-		t.Error("tl_use_deflation on a 3D deck must be rejected")
+	// tl_deflation_levels parses, defaults to 1, and is bounded by the
+	// hierarchy the block partition supports.
+	d, err = ParseString("*tea\nstate 1 density=1 energy=1\ntl_use_deflation\ntl_deflation_levels=2\n*endtea")
+	if err != nil {
+		t.Fatal(err)
 	}
+	if d.DeflationLevels != 2 {
+		t.Errorf("deflation levels = %d, want 2", d.DeflationLevels)
+	}
+	if Default().DeflationLevels != 1 {
+		t.Errorf("default deflation levels = %d, want 1", Default().DeflationLevels)
+	}
+	// 3D decks now compose: tl_use_deflation must validate on dims=3.
+	if _, err := ParseString("*tea\ndims=3\nz_cells=8\nstate 1 density=1 energy=1\ntl_use_deflation\n*endtea"); err != nil {
+		t.Errorf("tl_use_deflation on a 3D deck must validate: %v", err)
+	}
+	// Composition errors at deck validation: over-fine partitions (in any
+	// direction, z included) and hierarchies deeper than the block grid.
 	if _, err := ParseString("*tea\nx_cells=4\ny_cells=4\nstate 1 density=1 energy=1\ntl_use_deflation\n*endtea"); err == nil {
 		t.Error("deflation blocks beyond the mesh must be rejected")
+	}
+	if _, err := ParseString("*tea\ndims=3\nz_cells=4\nstate 1 density=1 energy=1\ntl_use_deflation\ntl_deflation_blocks=8\n*endtea"); err == nil {
+		t.Error("deflation blocks beyond the z extent must be rejected")
+	}
+	if _, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_use_deflation\ntl_deflation_blocks=4\ntl_deflation_levels=4\n*endtea"); err == nil {
+		t.Error("deflation levels beyond the hierarchy must be rejected")
 	}
 }
 

@@ -1,0 +1,250 @@
+package deflate
+
+import (
+	"errors"
+	"fmt"
+
+	"tealeaf/internal/comm"
+	"tealeaf/internal/grid"
+	"tealeaf/internal/kernels"
+	"tealeaf/internal/par"
+	"tealeaf/internal/stencil"
+)
+
+// Geometry3D locates a rank's sub-grid within the global 3D mesh. The
+// zero value means "the local grid is the whole mesh".
+type Geometry3D struct {
+	// GlobalNX, GlobalNY, GlobalNZ are the global interior cell counts.
+	GlobalNX, GlobalNY, GlobalNZ int
+	// OffsetX, OffsetY, OffsetZ are the global coordinates of the local
+	// interior cell (0,0,0).
+	OffsetX, OffsetY, OffsetZ int
+}
+
+// Deflation3D is the 3D coarse-space projector — the 7-point twin of
+// Deflation, with a BX×BY×BZ box partition of the global mesh and the
+// same rank-local restriction / single-allreduce / replicated-hierarchy
+// structure.
+type Deflation3D struct {
+	op         *stencil.Operator3D
+	pool       *par.Pool
+	c          comm.Communicator
+	bx, by, bz int
+	bpart      *grid.Partition3D
+	// local[c] is the local-coordinate intersection of block c with this
+	// rank's interior (possibly empty).
+	local []grid.Bounds3D
+	// xblk[i+1] / yblk[j+1] / zblk[k+1] map depth-1 padded coordinates to
+	// block axis indices, clamped to the mesh (see the 2D tables).
+	xblk, yblk, zblk []int
+	coarse           *hierarchy
+	wv, av           *grid.Field3D
+	cr, cl           []float64
+}
+
+// New3D builds the 3D deflation projector for op over a cfg.BX × cfg.BY ×
+// cfg.BZ box partition of the global mesh described by geom. Collective:
+// every rank of a distributed solve must call it (one allreduce assembles
+// the coarse matrix). A nil pool runs serial, a nil c is a fresh
+// single-rank communicator, and the zero geom treats the local grid as
+// the whole mesh.
+func New3D(pool *par.Pool, c comm.Communicator, op *stencil.Operator3D, geom Geometry3D, cfg Config) (*Deflation3D, error) {
+	g := op.Grid
+	cfg = cfg.withDefaults()
+	if pool == nil {
+		pool = par.Serial
+	}
+	if c == nil {
+		c = comm.NewSerial()
+	}
+	if geom.GlobalNX == 0 && geom.GlobalNY == 0 && geom.GlobalNZ == 0 {
+		geom.GlobalNX, geom.GlobalNY, geom.GlobalNZ = g.NX, g.NY, g.NZ
+	}
+	if cfg.BX < 1 || cfg.BY < 1 || cfg.BZ < 1 {
+		return nil, errors.New("deflate: need at least one subdomain per direction")
+	}
+	if cfg.BX > geom.GlobalNX || cfg.BY > geom.GlobalNY || cfg.BZ > geom.GlobalNZ {
+		return nil, fmt.Errorf("deflate: %dx%dx%d subdomains exceed the %dx%dx%d global mesh",
+			cfg.BX, cfg.BY, cfg.BZ, geom.GlobalNX, geom.GlobalNY, geom.GlobalNZ)
+	}
+	if geom.OffsetX < 0 || geom.OffsetY < 0 || geom.OffsetZ < 0 ||
+		geom.OffsetX+g.NX > geom.GlobalNX || geom.OffsetY+g.NY > geom.GlobalNY ||
+		geom.OffsetZ+g.NZ > geom.GlobalNZ {
+		return nil, fmt.Errorf("deflate: local %dx%dx%d grid at offset (%d,%d,%d) outside the %dx%dx%d global mesh",
+			g.NX, g.NY, g.NZ, geom.OffsetX, geom.OffsetY, geom.OffsetZ,
+			geom.GlobalNX, geom.GlobalNY, geom.GlobalNZ)
+	}
+	bpart, err := grid.NewPartition3D(geom.GlobalNX, geom.GlobalNY, geom.GlobalNZ, cfg.BX, cfg.BY, cfg.BZ)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deflation3D{
+		op: op, pool: pool, c: c, bx: cfg.BX, by: cfg.BY, bz: cfg.BZ, bpart: bpart,
+		wv: grid.NewField3D(g), av: grid.NewField3D(g),
+	}
+	nc := cfg.BX * cfg.BY * cfg.BZ
+	d.cr = make([]float64, nc)
+	d.cl = make([]float64, nc)
+
+	d.xblk = make([]int, g.NX+2)
+	for i := -1; i <= g.NX; i++ {
+		d.xblk[i+1] = bpart.ColumnOf(clampInt(geom.OffsetX+i, 0, geom.GlobalNX-1))
+	}
+	d.yblk = make([]int, g.NY+2)
+	for j := -1; j <= g.NY; j++ {
+		d.yblk[j+1] = bpart.RowOf(clampInt(geom.OffsetY+j, 0, geom.GlobalNY-1))
+	}
+	d.zblk = make([]int, g.NZ+2)
+	for k := -1; k <= g.NZ; k++ {
+		d.zblk[k+1] = bpart.PlaneOf(clampInt(geom.OffsetZ+k, 0, geom.GlobalNZ-1))
+	}
+
+	d.local = make([]grid.Bounds3D, nc)
+	in := g.Interior()
+	for cb := 0; cb < nc; cb++ {
+		e := bpart.ExtentOf(cb)
+		d.local[cb] = intersect3D(grid.Bounds3D{
+			X0: e.X0 - geom.OffsetX, X1: e.X1 - geom.OffsetX,
+			Y0: e.Y0 - geom.OffsetY, Y1: e.Y1 - geom.OffsetY,
+			Z0: e.Z0 - geom.OffsetZ, Z1: e.Z1 - geom.OffsetZ,
+		}, in)
+	}
+
+	// Local contribution to E = WᵀAW, column by column; see the 2D
+	// assembly for the structure. A·W_c vanishes outside the block's
+	// one-cell expansion, so only the (at most 3×3×3) adjacent blocks
+	// receive entries, and one AllReduceSumN round replicates E exactly.
+	eflat := make([]float64, nc*nc)
+	for cb := 0; cb < nc; cb++ {
+		ge := bpart.ExtentOf(cb)
+		bApply := grid.Bounds3D{
+			X0: ge.X0 - geom.OffsetX - 1, X1: ge.X1 - geom.OffsetX + 1,
+			Y0: ge.Y0 - geom.OffsetY - 1, Y1: ge.Y1 - geom.OffsetY + 1,
+			Z0: ge.Z0 - geom.OffsetZ - 1, Z1: ge.Z1 - geom.OffsetZ + 1,
+		}.ClampInterior(g)
+		if bApply.Empty() {
+			continue
+		}
+		fill := bApply.Expand(1, g)
+		cx := cb % cfg.BX
+		cy := (cb / cfg.BX) % cfg.BY
+		cz := cb / (cfg.BX * cfg.BY)
+		for k := fill.Z0; k < fill.Z1; k++ {
+			inZ := d.zblk[k+1] == cz
+			for j := fill.Y0; j < fill.Y1; j++ {
+				base := g.Index(0, j, k)
+				inYZ := inZ && d.yblk[j+1] == cy
+				for i := fill.X0; i < fill.X1; i++ {
+					v := 0.0
+					if inYZ && d.xblk[i+1] == cx {
+						v = 1
+					}
+					d.wv.Data[base+i] = v
+				}
+			}
+		}
+		d.op.Apply(pool, bApply, d.wv, d.av)
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					cx2, cy2, cz2 := cx+dx, cy+dy, cz+dz
+					if cx2 < 0 || cx2 >= cfg.BX || cy2 < 0 || cy2 >= cfg.BY || cz2 < 0 || cz2 >= cfg.BZ {
+						continue
+					}
+					cb2 := (cz2*cfg.BY+cy2)*cfg.BX + cx2
+					lb := intersect3D(d.local[cb2], bApply)
+					if !lb.Empty() {
+						eflat[cb2*nc+cb] += d.av.SumBounds(lb)
+					}
+				}
+			}
+		}
+	}
+	eflat = c.AllReduceSumN(eflat)
+
+	aggs, err := aggregations(cfg.Levels, cfg.BX, cfg.BY, cfg.BZ)
+	if err != nil {
+		return nil, err
+	}
+	h, err := newHierarchy(eflat, nc, aggs)
+	if err != nil {
+		return nil, fmt.Errorf("deflate: coarse matrix not SPD: %w", err)
+	}
+	d.coarse = h
+	return d, nil
+}
+
+// Subdomains returns the coarse-space dimension BX·BY·BZ.
+func (d *Deflation3D) Subdomains() int { return len(d.local) }
+
+// Levels returns the coarse-hierarchy depth (1 = dense two-level solve).
+func (d *Deflation3D) Levels() int { return d.coarse.levels() }
+
+// restrict computes the LOCAL contribution to Wᵀ v into out.
+func (d *Deflation3D) restrict(v *grid.Field3D, out []float64) {
+	for c, b := range d.local {
+		if b.Empty() {
+			out[c] = 0
+		} else {
+			out[c] = v.SumBounds(b)
+		}
+	}
+}
+
+// solveCoarse computes λ = E⁻¹·Wᵀ·v into d.cl with one reduction round.
+func (d *Deflation3D) solveCoarse(v *grid.Field3D) {
+	d.restrict(v, d.cr)
+	global := d.c.AllReduceSumN(d.cr)
+	d.coarse.Solve(global, d.cl)
+}
+
+// CoarseCorrect applies u += W·E⁻¹·Wᵀ·r. Collective.
+func (d *Deflation3D) CoarseCorrect(r, u *grid.Field3D) {
+	d.solveCoarse(r)
+	g := u.Grid
+	for c, b := range d.local {
+		if b.Empty() {
+			continue
+		}
+		v := d.cl[c]
+		for k := b.Z0; k < b.Z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				base := g.Index(0, j, k)
+				for i := b.X0; i < b.X1; i++ {
+					u.Data[base+i] += v
+				}
+			}
+		}
+	}
+}
+
+// ProjectW computes w ← P·w = w − A·W·E⁻¹·Wᵀ·w in place: one coarse
+// solve (a single reduction round) plus one rank-local 7-point
+// application on the analytically filled piecewise-constant field.
+// Collective.
+func (d *Deflation3D) ProjectW(w *grid.Field3D) {
+	g := d.op.Grid
+	in := g.Interior()
+	d.solveCoarse(w)
+	fill := in.Expand(1, g)
+	for k := fill.Z0; k < fill.Z1; k++ {
+		zBase := d.zblk[k+1] * d.by
+		for j := fill.Y0; j < fill.Y1; j++ {
+			base := g.Index(0, j, k)
+			rowBase := (zBase + d.yblk[j+1]) * d.bx
+			for i := fill.X0; i < fill.X1; i++ {
+				d.wv.Data[base+i] = d.cl[rowBase+d.xblk[i+1]]
+			}
+		}
+	}
+	d.op.Apply(d.pool, in, d.wv, d.av)
+	kernels.Axpy3D(d.pool, in, -1, d.av, w)
+}
+
+func intersect3D(a, b grid.Bounds3D) grid.Bounds3D {
+	return grid.Bounds3D{
+		X0: max(a.X0, b.X0), X1: min(a.X1, b.X1),
+		Y0: max(a.Y0, b.Y0), Y1: min(a.Y1, b.Y1),
+		Z0: max(a.Z0, b.Z0), Z1: min(a.Z1, b.Z1),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"tealeaf/internal/comm"
 	"tealeaf/internal/grid"
 	"tealeaf/internal/kernels"
 	"tealeaf/internal/par"
@@ -130,13 +131,13 @@ func pipeRHS(t *testing.T, op *stencil.Operator2D, n int) *grid.Field2D {
 
 func TestDeflationValidation(t *testing.T) {
 	op := pipeOperator(t, 16)
-	if _, err := New(par.Serial, op, 0, 4); err == nil {
+	if _, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 0, BY: 4}); err == nil {
 		t.Error("zero subdomains must error")
 	}
-	if _, err := New(par.Serial, op, 32, 4); err == nil {
+	if _, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 32, BY: 4}); err == nil {
 		t.Error("more subdomains than cells must error")
 	}
-	d, err := New(par.Serial, op, 4, 4)
+	d, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 4, BY: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestCoarseMatrixSPD(t *testing.T) {
 	// succeed (E SPD) including high-contrast ones.
 	for _, n := range []int{16, 48} {
 		op := pipeOperator(t, n)
-		if _, err := New(par.Serial, op, 4, 4); err != nil {
+		if _, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 4, BY: 4}); err != nil {
 			t.Errorf("n=%d: %v", n, err)
 		}
 	}
@@ -159,7 +160,7 @@ func TestCoarseMatrixSPD(t *testing.T) {
 func TestCoarseCorrectZeroesCoarseResidual(t *testing.T) {
 	op := pipeOperator(t, 32)
 	g := op.Grid
-	defl, err := New(par.Serial, op, 4, 4)
+	defl, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 4, BY: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestCoarseCorrectZeroesCoarseResidual(t *testing.T) {
 
 func TestProjectWKillsCoarseComponent(t *testing.T) {
 	op := pipeOperator(t, 24)
-	defl, err := New(par.Serial, op, 3, 3)
+	defl, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 3, BY: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,14 +226,14 @@ func TestDeflatedCGMatchesPlainCG(t *testing.T) {
 		t.Fatalf("reference CG: %v %+v", err, res)
 	}
 
-	defl, err := New(par.Serial, op, 4, 4)
+	defl, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 4, BY: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := rhs.Clone()
-	iters, rel, ok := defl.SolveDeflatedCG(u, rhs, 1e-11, 10000)
-	if !ok {
-		t.Fatalf("deflated CG did not converge: %d iters, rel %v", iters, rel)
+	iters, rel, ok, err := defl.SolveDeflatedCG(u, rhs, 1e-11, 10000)
+	if err != nil || !ok {
+		t.Fatalf("deflated CG did not converge: %d iters, rel %v, err %v", iters, rel, err)
 	}
 	if d := u.MaxDiff(ref.U); d > 1e-7 {
 		t.Errorf("deflated solution differs from CG by %v", d)
@@ -270,14 +271,14 @@ func TestDeflationReducesIterationsInStiffRegime(t *testing.T) {
 		t.Fatalf("plain CG: %v", err)
 	}
 
-	defl, err := New(par.Serial, op, 8, 8)
+	defl, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 8, BY: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := rhs.Clone()
-	iters, _, ok := defl.SolveDeflatedCG(u, rhs, 1e-9, 10000)
-	if !ok {
-		t.Fatal("deflated CG did not converge")
+	iters, _, ok, err := defl.SolveDeflatedCG(u, rhs, 1e-9, 10000)
+	if err != nil || !ok {
+		t.Fatalf("deflated CG did not converge: %v", err)
 	}
 	if float64(iters) > 0.7*float64(res.Iterations) {
 		t.Errorf("deflated CG took %d iterations, plain CG %d — expected ≥30%% reduction", iters, res.Iterations)
@@ -301,14 +302,14 @@ func TestDeflationNeutralInTimeStepRegime(t *testing.T) {
 	if err != nil || !res.Converged {
 		t.Fatalf("plain CG: %v", err)
 	}
-	defl, err := New(par.Serial, op, 8, 8)
+	defl, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 8, BY: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := rhs.Clone()
-	iters, _, ok := defl.SolveDeflatedCG(u, rhs, 1e-9, 10000)
-	if !ok {
-		t.Fatal("deflated CG did not converge")
+	iters, _, ok, err := defl.SolveDeflatedCG(u, rhs, 1e-9, 10000)
+	if err != nil || !ok {
+		t.Fatalf("deflated CG did not converge: %v", err)
 	}
 	if iters > res.Iterations+5 {
 		t.Errorf("deflation made things worse: %d vs %d", iters, res.Iterations)
@@ -320,15 +321,101 @@ func TestDeflatedCGZeroRHS(t *testing.T) {
 	g := op.Grid
 	u := grid.NewField2D(g)
 	rhs := grid.NewField2D(g)
-	defl, err := New(par.Serial, op, 2, 2)
+	defl, err := New(par.Serial, nil, op, Geometry{}, Config{BX: 2, BY: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	iters, rel, ok := defl.SolveDeflatedCG(u, rhs, 1e-10, 100)
-	if !ok || iters != 0 || rel != 0 {
-		t.Errorf("zero RHS: iters=%d rel=%v ok=%v", iters, rel, ok)
+	iters, rel, ok, err := defl.SolveDeflatedCG(u, rhs, 1e-10, 100)
+	if err != nil || !ok || iters != 0 || rel != 0 {
+		t.Errorf("zero RHS: iters=%d rel=%v ok=%v err=%v", iters, rel, ok, err)
 	}
 	if kernels.Norm2(par.Serial, g.Interior(), u) != 0 {
 		t.Error("zero RHS must leave u at zero")
+	}
+}
+
+// The reference deflated CG loop, rank-invariant: the same stiff problem
+// decomposed over 2x2 goroutine ranks must converge in the same number
+// of iterations (±1) to the same solution as the single-rank run, with
+// the coarse space built collectively over the global mesh.
+func TestSolveDeflatedCGRankInvariance(t *testing.T) {
+	const n = 32
+	const tol = 1e-10
+
+	// Single-rank baseline.
+	opS := stiffOperator(t, n)
+	gS := opS.Grid
+	rhsS := grid.NewField2D(gS)
+	rhsS.FillBounds(grid.Bounds{X0: 0, X1: n / 4, Y0: 0, Y1: n / 4}, 1)
+	deflS, err := New(par.Serial, nil, opS, Geometry{}, Config{BX: 4, BY: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uS := rhsS.Clone()
+	itersS, _, okS, err := deflS.SolveDeflatedCG(uS, rhsS, tol, 10000)
+	if err != nil || !okS {
+		t.Fatalf("serial deflated CG did not converge: %v", err)
+	}
+
+	part := grid.MustPartition(n, n, 2, 2)
+	gg := grid.MustGrid2D(n, n, 2, 0, 1, 0, 1)
+	gathered := grid.NewField2D(gg)
+	iters := make([]int, part.Ranks())
+	err = comm.Run(part, func(c *comm.RankComm) error {
+		ext := part.ExtentOf(c.Rank())
+		sub, err := gg.Sub(ext.X0, ext.X1, ext.Y0, ext.Y1)
+		if err != nil {
+			return err
+		}
+		den := grid.NewField2D(sub)
+		den.Fill(1)
+		if err := c.Exchange(sub.Halo, den); err != nil {
+			return err
+		}
+		phys := c.Physical()
+		op, err := stencil.BuildOperator2D(par.Serial, den, 10.0, stencil.Conductivity,
+			stencil.PhysicalSides{Left: phys.Left, Right: phys.Right, Down: phys.Down, Up: phys.Up})
+		if err != nil {
+			return err
+		}
+		rhs := grid.NewField2D(sub)
+		for k := 0; k < sub.NY; k++ {
+			for j := 0; j < sub.NX; j++ {
+				if ext.X0+j < n/4 && ext.Y0+k < n/4 {
+					rhs.Set(j, k, 1)
+				}
+			}
+		}
+		defl, err := New(par.Serial, c, op,
+			Geometry{GlobalNX: n, GlobalNY: n, OffsetX: ext.X0, OffsetY: ext.Y0},
+			Config{BX: 4, BY: 4})
+		if err != nil {
+			return err
+		}
+		u := rhs.Clone()
+		it, _, ok, err := defl.SolveDeflatedCG(u, rhs, tol, 10000)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Errorf("rank %d: distributed deflated CG did not converge", c.Rank())
+		}
+		iters[c.Rank()] = it
+		var dst *grid.Field2D
+		if c.Rank() == 0 {
+			dst = gathered
+		}
+		return c.GatherInterior(u, dst)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, it := range iters {
+		if d := it - itersS; d < -1 || d > 1 {
+			t.Errorf("rank %d: %d iterations vs serial %d (want ±1)", r, it, itersS)
+		}
+	}
+	if d := gathered.MaxDiff(uS); d > 1e-10 {
+		t.Errorf("distributed deflated solution differs from serial by %v", d)
 	}
 }

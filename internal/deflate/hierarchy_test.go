@@ -1,0 +1,127 @@
+package deflate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPD builds a well-conditioned random SPD matrix BᵀB + n·I, flat
+// row-major.
+func randSPD(rng *rand.Rand, n int) []float64 {
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+		for j := range b[i] {
+			b[i][j] = rng.NormFloat64()
+		}
+	}
+	e := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b[k][i] * b[k][j]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			e[i*n+j] = s
+		}
+	}
+	return e
+}
+
+func TestAggregationsShapes(t *testing.T) {
+	// 4x4 blocks, one nesting: ceil-halved to 2x2, x fastest.
+	aggs, err := aggregations(2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 1 || len(aggs[0]) != 16 {
+		t.Fatalf("aggs shape: %v", aggs)
+	}
+	// Block (x,y) -> super (x/2, y/2) over a 2-wide super grid.
+	for idx, a := range aggs[0] {
+		x, y := idx%4, idx/4
+		if want := (y/2)*2 + x/2; a != want {
+			t.Errorf("agg[%d] = %d, want %d", idx, a, want)
+		}
+	}
+	// Odd dimensions ceil-halve: 5x3 -> 3x2.
+	aggs, err = aggregations(2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxA := 0
+	for _, a := range aggs[0] {
+		if a > maxA {
+			maxA = a
+		}
+	}
+	if maxA+1 != 6 {
+		t.Errorf("5x3 aggregated to %d superblocks, want 6", maxA+1)
+	}
+	// Exhausted hierarchy errors.
+	if _, err := aggregations(2, 1, 1); err == nil {
+		t.Error("aggregating a 1x1 block grid must error")
+	}
+	if _, err := aggregations(4, 2, 2); err == nil {
+		t.Error("4 levels over a 2x2 grid must error")
+	}
+	// 3D aggregation covers all three directions.
+	aggs, err = aggregations(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, a := range aggs[0] {
+		if a != 0 {
+			t.Errorf("2x2x2 -> 1x1x1: agg[%d] = %d, want 0", idx, a)
+		}
+	}
+}
+
+// The nested balancing solve must reproduce the dense Cholesky solution
+// to near round-off at every hierarchy depth — that accuracy is what
+// keeps the outer projection exact.
+func TestHierarchyNestedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 16 // a 4x4 block grid
+	e := randSPD(rng, n)
+	dense, err := newHierarchy(append([]float64(nil), e...), n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, levels := range []int{2, 3} {
+		aggs, err := aggregations(levels, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nested, err := newHierarchy(append([]float64(nil), e...), n, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nested.levels() != levels {
+			t.Fatalf("levels() = %d, want %d", nested.levels(), levels)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		dense.Solve(b, x1)
+		nested.Solve(b, x2)
+		for i := range x1 {
+			if d := math.Abs(x1[i] - x2[i]); d > 1e-10*math.Max(1, math.Abs(x1[i])) {
+				t.Errorf("levels=%d i=%d: dense %v nested %v", levels, i, x1[i], x2[i])
+			}
+		}
+	}
+}
+
+func TestHierarchyRejectsIndefinite(t *testing.T) {
+	if _, err := newHierarchy([]float64{1, 2, 2, 1}, 2, nil); err == nil {
+		t.Error("indefinite matrix must error at the dense level")
+	}
+}

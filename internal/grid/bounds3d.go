@@ -14,6 +14,23 @@ type Bounds3D struct {
 // Interior returns the interior bounds of g.
 func (g *Grid3D) Interior() Bounds3D { return Bounds3D{0, g.NX, 0, g.NY, 0, g.NZ} }
 
+// Expand grows b by d cells on every side, clamped to the padded region
+// of g — the 3D twin of Bounds.Expand.
+func (b Bounds3D) Expand(d int, g *Grid3D) Bounds3D {
+	e := Bounds3D{b.X0 - d, b.X1 + d, b.Y0 - d, b.Y1 + d, b.Z0 - d, b.Z1 + d}
+	return e.ClampPadded(g)
+}
+
+// ClampInterior clamps b to the interior region of g — the 3D twin of
+// Bounds.ClampInterior.
+func (b Bounds3D) ClampInterior(g *Grid3D) Bounds3D {
+	return Bounds3D{
+		X0: max(b.X0, 0), X1: min(b.X1, g.NX),
+		Y0: max(b.Y0, 0), Y1: min(b.Y1, g.NY),
+		Z0: max(b.Z0, 0), Z1: min(b.Z1, g.NZ),
+	}
+}
+
 // ExpandSides grows b by the given per-side amounts, clamped to the padded
 // region of g. Sides on the physical domain boundary must not be expanded,
 // which is what the per-side form is for.

@@ -163,6 +163,21 @@ func (f *Field3D) SumInterior() float64 {
 	return s
 }
 
+// SumBounds returns the sum of the field over b.
+func (f *Field3D) SumBounds(b Bounds3D) float64 {
+	g := f.Grid
+	var s float64
+	for k := b.Z0; k < b.Z1; k++ {
+		for j := b.Y0; j < b.Y1; j++ {
+			base := g.Index(0, j, k)
+			for i := b.X0; i < b.X1; i++ {
+				s += f.Data[base+i]
+			}
+		}
+	}
+	return s
+}
+
 // MeanInterior returns the mean over interior cells.
 func (f *Field3D) MeanInterior() float64 { return f.SumInterior() / float64(f.Grid.Cells()) }
 

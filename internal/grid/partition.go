@@ -176,6 +176,15 @@ func searchSplit(s []int, v int) int {
 	return lo
 }
 
+// ColumnOf returns the rank-column owning global column j (j must lie in
+// [0, NX)). Together with RowOf it gives per-axis ownership lookups, used
+// by the deflation coarse space to map cells to blocks without a full
+// OwnerOf rank computation.
+func (p *Partition) ColumnOf(j int) int { return searchSplit(p.xsplit, j) }
+
+// RowOf returns the rank-row owning global row k (k must lie in [0, NY)).
+func (p *Partition) RowOf(k int) int { return searchSplit(p.ysplit, k) }
+
 // OnBoundary reports whether rank r's sub-domain touches the physical
 // domain boundary on side s.
 func (p *Partition) OnBoundary(r int, s Side) bool { return p.Neighbor(r, s) == -1 }

@@ -120,6 +120,17 @@ func (p *Partition3D) Neighbor(r int, s Side) int {
 	panic(fmt.Sprintf("grid: invalid side %d", int(s)))
 }
 
+// ColumnOf returns the rank-column owning global x-index i (i must lie in
+// [0, NX)); the 3D twin of Partition.ColumnOf.
+func (p *Partition3D) ColumnOf(i int) int { return searchSplit(p.xsplit, i) }
+
+// RowOf returns the rank-row owning global y-index j (j must lie in [0, NY)).
+func (p *Partition3D) RowOf(j int) int { return searchSplit(p.ysplit, j) }
+
+// PlaneOf returns the rank-plane owning global z-index k (k must lie in
+// [0, NZ)).
+func (p *Partition3D) PlaneOf(k int) int { return searchSplit(p.zsplit, k) }
+
 // OnBoundary reports whether rank r's sub-domain touches the physical
 // domain boundary on side s.
 func (p *Partition3D) OnBoundary(r int, s Side) bool { return p.Neighbor(r, s) == -1 }

@@ -11,10 +11,12 @@ import "tealeaf/internal/grid"
 // sweeps, which is exactly the communication pattern whose log(P) latency
 // dominates strong scaling (§III-A) and which §VII proposes to fix.
 //
-// With Options.Deflation set, the classic loop runs deflated CG: the
+// With Options.Deflation set, either loop runs deflated CG: the
 // iteration operates on the projected operator P·A with the coarse
 // subdomain modes removed from the spectrum, and coarse corrections
 // before and after the loop recover them exactly (see internal/deflate).
+// The projection is fully distributed and costs one extra reduction
+// round per iteration on both engines.
 //
 // The iteration body itself lives in loops.go (runCGCore) and is shared
 // verbatim with SolveCG3D.

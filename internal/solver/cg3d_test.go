@@ -260,11 +260,37 @@ func TestSolvePPCG3DConverges(t *testing.T) {
 
 func TestSolve3DDispatch(t *testing.T) {
 	p := buildProblem3D(t, 8, 11)
-	if _, err := Solve3D(KindJacobi, p, Options{}); err == nil {
-		t.Error("jacobi has no 3D loop; must error")
+	res, err := Solve3D(KindJacobi, p, Options{Tol: 1e-9, MaxIters: 50000})
+	if err != nil || !res.Converged {
+		t.Errorf("dispatch jacobi: %v %+v", err, res)
 	}
-	res, err := Solve3D(KindCG, p, Options{Tol: 1e-9})
+	p = buildProblem3D(t, 8, 11)
+	res, err = Solve3D(KindCG, p, Options{Tol: 1e-9})
 	if err != nil || !res.Converged {
 		t.Errorf("dispatch cg: %v", err)
+	}
+	if _, err := Solve3D(Kind("nope"), p, Options{}); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+// The 3D point-Jacobi loop must agree with CG on the solution — the same
+// cross-check the 2D solvers pin — and be rank-invariant enough to trust
+// its convergence monitor (the L1 update norm is globally reduced).
+func TestSolveJacobi3DMatchesCG(t *testing.T) {
+	a := buildProblem3D(t, 10, 7)
+	b := buildProblem3D(t, 10, 7)
+	if _, err := SolveCG3D(a, Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveJacobi3D(b, Options{Tol: 1e-12, MaxIters: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("3D Jacobi did not converge: %+v", res)
+	}
+	if d := a.U.MaxDiff(b.U); d > 1e-6 {
+		t.Errorf("3D Jacobi and CG solutions differ by %v", d)
 	}
 }

@@ -3,6 +3,7 @@ package solver
 import (
 	"testing"
 
+	"tealeaf/internal/comm"
 	"tealeaf/internal/deflate"
 	"tealeaf/internal/grid"
 	"tealeaf/internal/par"
@@ -32,6 +33,16 @@ func stiffProblem(t *testing.T, n int) Problem {
 	return Problem{Op: op, U: rhs.Clone(), RHS: rhs}
 }
 
+func newDeflation(t *testing.T, op *stencil.Operator2D, blocks, levels int) *deflate.Deflation {
+	t.Helper()
+	d, err := deflate.New(par.Serial, nil, op, deflate.Geometry{},
+		deflate.Config{BX: blocks, BY: blocks, Levels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 // Deflation composed through solver.Options versus the paper's headline
 // PPCG, on the stiff problem: deflated CG must beat plain CG decisively
 // (the §VII promise), and the three solvers must agree on the solution.
@@ -49,11 +60,7 @@ func TestDeflationVsPPCGOnStiffProblem(t *testing.T) {
 	}
 
 	deflP := stiffProblem(t, n)
-	defl, err := deflate.New(par.Serial, deflP.Op, 8, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	deflRes, err := SolveCG(deflP, Options{Tol: tol, Deflation: defl})
+	deflRes, err := SolveCG(deflP, Options{Tol: tol, Deflation: newDeflation(t, deflP.Op, 8, 1)})
 	if err != nil || !deflRes.Converged {
 		t.Fatalf("deflated CG: %v %+v", err, deflRes)
 	}
@@ -83,17 +90,13 @@ func TestDeflationVsPPCGOnStiffProblem(t *testing.T) {
 	}
 }
 
-// Deflation's composition rules at the solver layer: CG-only,
-// single-rank, 2D-only — each with an actionable error.
+// Deflation's composition rules at the solver layer: CG and PPCG compose
+// (both engines, both dimensionalities), Jacobi and the stand-alone
+// Chebyshev iteration do not, and a projector of the wrong dimensionality
+// is rejected — each with an actionable error.
 func TestDeflationValidation(t *testing.T) {
 	p := stiffProblem(t, 16)
-	defl, err := deflate.New(par.Serial, p.Op, 4, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := SolvePPCG(p, Options{Deflation: defl}); err == nil {
-		t.Error("deflation with PPCG must be rejected")
-	}
+	defl := newDeflation(t, p.Op, 4, 1)
 	if _, err := SolveChebyshev(p, Options{Deflation: defl}); err == nil {
 		t.Error("deflation with Chebyshev must be rejected")
 	}
@@ -102,34 +105,185 @@ func TestDeflationValidation(t *testing.T) {
 	}
 	p3 := buildProblem3D(t, 8, 5)
 	if _, err := SolveCG3D(p3, Options{Deflation: defl}); err == nil {
-		t.Error("deflation on the 3D path must be rejected")
+		t.Error("a 2D projector on the 3D path must be rejected")
+	}
+	if _, err := SolveJacobi3D(p3, Options{Deflation: defl}); err == nil {
+		t.Error("a 2D projector on the 3D jacobi path must be rejected")
+	}
+	// PPCG now composes: the solve must run and converge.
+	pp := stiffProblem(t, 16)
+	res, err := SolvePPCG(pp, Options{Tol: 1e-8, EigenCGIters: 8,
+		Deflation: newDeflation(t, pp.Op, 4, 1)})
+	if err != nil || !res.Converged {
+		t.Errorf("deflated PPCG must run: %v %+v", err, res)
 	}
 }
 
-// The deflated path must also work with a preconditioner and with the
-// fused default (it silently runs the classic engine — the projection
-// cannot be folded), converging to the plain solution.
+// The deflated path must also work with a preconditioner, on both the
+// fused (default) and classic engines, converging to the plain solution.
 func TestDeflationWithPreconditioner(t *testing.T) {
 	plain := stiffProblem(t, 32)
 	plainRes, err := SolveCG(plain, Options{Tol: 1e-9})
 	if err != nil || !plainRes.Converged {
 		t.Fatalf("plain CG: %v", err)
 	}
-	p := stiffProblem(t, 32)
-	defl, err := deflate.New(par.Serial, p.Op, 4, 4)
-	if err != nil {
-		t.Fatal(err)
+	for _, disableFused := range []bool{false, true} {
+		p := stiffProblem(t, 32)
+		res, err := SolveCG(p, Options{Tol: 1e-9, DisableFused: disableFused,
+			Deflation: newDeflation(t, p.Op, 4, 1),
+			Precond:   precondJacobi(t, p.Op)})
+		if err != nil || !res.Converged {
+			t.Fatalf("deflated+jacobi CG (fused=%v): %v %+v", !disableFused, err, res)
+		}
+		if d := p.U.MaxDiff(plain.U); d > 1e-6 {
+			t.Errorf("deflated+jacobi solution (fused=%v) differs by %v", !disableFused, d)
+		}
+		if res.Iterations >= plainRes.Iterations {
+			t.Errorf("deflated+jacobi CG (fused=%v) took %d iterations, plain %d",
+				!disableFused, res.Iterations, plainRes.Iterations)
+		}
 	}
-	// Fused defaults on; the deflated dispatch must take the classic loop.
-	res, err := SolveCG(p, Options{Tol: 1e-9, Deflation: defl,
-		Precond: precondJacobi(t, p.Op)})
+}
+
+// The fused Chronopoulos–Gear engine and the classic engine must agree on
+// the deflated iteration: same solution and iteration counts within ±1,
+// with and without a foldable preconditioner.
+func TestDeflationFusedMatchesClassic(t *testing.T) {
+	const n = 48
+	for _, withPrecond := range []bool{false, true} {
+		run := func(disableFused bool) (Result, Problem) {
+			p := stiffProblem(t, n)
+			o := Options{Tol: 1e-10, DisableFused: disableFused,
+				Deflation: newDeflation(t, p.Op, 6, 1)}
+			if withPrecond {
+				o.Precond = precondJacobi(t, p.Op)
+			}
+			res, err := SolveCG(p, o)
+			if err != nil || !res.Converged {
+				t.Fatalf("deflated CG (fused=%v precond=%v): %v %+v", !disableFused, withPrecond, err, res)
+			}
+			return res, p
+		}
+		fused, pf := run(false)
+		classic, pc := run(true)
+		if d := fused.Iterations - classic.Iterations; d < -1 || d > 1 {
+			t.Errorf("precond=%v: fused took %d iterations, classic %d (want ±1)",
+				withPrecond, fused.Iterations, classic.Iterations)
+		}
+		if d := pf.U.MaxDiff(pc.U); d > 1e-8 {
+			t.Errorf("precond=%v: fused and classic deflated solutions differ by %v", withPrecond, d)
+		}
+	}
+}
+
+// The nested multi-level hierarchy (tl_deflation_levels > 1) must
+// converge in no more iterations than the two-level dense solve — the
+// nested coarse solves are iterated to round-off, so the projector is
+// the same operator — and agree on the solution.
+func TestDeflationMultiLevelMatchesTwoLevel(t *testing.T) {
+	const n = 64
+	two := stiffProblem(t, n)
+	twoRes, err := SolveCG(two, Options{Tol: 1e-9, Deflation: newDeflation(t, two.Op, 8, 1)})
+	if err != nil || !twoRes.Converged {
+		t.Fatalf("two-level deflated CG: %v %+v", err, twoRes)
+	}
+	for _, levels := range []int{2, 3} {
+		p := stiffProblem(t, n)
+		defl := newDeflation(t, p.Op, 8, levels)
+		if got := defl.Levels(); got != levels {
+			t.Fatalf("hierarchy depth = %d, want %d", got, levels)
+		}
+		res, err := SolveCG(p, Options{Tol: 1e-9, Deflation: defl})
+		if err != nil || !res.Converged {
+			t.Fatalf("%d-level deflated CG: %v %+v", levels, err, res)
+		}
+		if res.Iterations > twoRes.Iterations {
+			t.Errorf("%d-level deflated CG took %d iterations, two-level %d — nesting must not regress",
+				levels, res.Iterations, twoRes.Iterations)
+		}
+		if d := p.U.MaxDiff(two.U); d > 1e-7 {
+			t.Errorf("%d-level solution differs from two-level by %v", levels, d)
+		}
+	}
+}
+
+// Deflated PPCG on the stiff problem: converges, agrees with plain CG,
+// and needs no more outer iterations than plain PPCG (deflation removes
+// the lowest modes before the polynomial smooths the rest).
+func TestDeflatedPPCGOnStiffProblem(t *testing.T) {
+	const n = 64
+	const tol = 1e-9
+	ref := stiffProblem(t, n)
+	refRes, err := SolveCG(ref, Options{Tol: tol})
+	if err != nil || !refRes.Converged {
+		t.Fatalf("reference CG: %v", err)
+	}
+	plain := stiffProblem(t, n)
+	plainRes, err := SolvePPCG(plain, Options{Tol: tol, EigenCGIters: 10})
+	if err != nil || !plainRes.Converged {
+		t.Fatalf("plain PPCG: %v %+v", err, plainRes)
+	}
+	p := stiffProblem(t, n)
+	res, err := SolvePPCG(p, Options{Tol: tol, EigenCGIters: 10,
+		Deflation: newDeflation(t, p.Op, 8, 1)})
 	if err != nil || !res.Converged {
-		t.Fatalf("deflated+jacobi CG: %v %+v", err, res)
+		t.Fatalf("deflated PPCG: %v %+v", err, res)
 	}
-	if d := p.U.MaxDiff(plain.U); d > 1e-6 {
-		t.Errorf("deflated+jacobi solution differs by %v", d)
+	if d := p.U.MaxDiff(ref.U); d > 1e-6 {
+		t.Errorf("deflated PPCG solution differs from CG by %v", d)
 	}
-	if res.Iterations >= plainRes.Iterations {
-		t.Errorf("deflated+jacobi CG took %d iterations, plain %d", res.Iterations, plainRes.Iterations)
+	if res.Iterations > plainRes.Iterations+2 {
+		t.Errorf("deflated PPCG took %d outer iterations, plain PPCG %d — deflation must not regress the outer count",
+			res.Iterations, plainRes.Iterations)
+	}
+	t.Logf("stiff %dx%d PPCG outer iterations: plain %d, deflated %d", n, n, plainRes.Iterations, res.Iterations)
+}
+
+// The projection's communication price, pinned by trace: a deflated CG
+// iteration performs exactly ONE more reduction round than its plain
+// counterpart — the coarse-residual allreduce — on the fused engine
+// (1 → 2 rounds) and the classic engine (2 → 3 with fused dots) alike.
+// Measured as the slope of rounds over iterations so startup rounds
+// cancel.
+func TestDeflationTraceExtraReductionRound(t *testing.T) {
+	const n = 32
+	rounds := func(disableFused, deflated bool, iters int) (reductions, itersRan int) {
+		t.Helper()
+		p := stiffProblem(t, n)
+		c := comm.NewSerial()
+		o := Options{Tol: 1e-30, MaxIters: iters, Comm: c,
+			DisableFused: disableFused, FusedDots: true}
+		if deflated {
+			defl, err := deflate.New(par.Serial, c, p.Op, deflate.Geometry{},
+				deflate.Config{BX: 4, BY: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Deflation = defl
+		}
+		res, err := SolveCG(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Trace().Reductions, res.Iterations
+	}
+	for _, disableFused := range []bool{false, true} {
+		slope := func(deflated bool) int {
+			r1, i1 := rounds(disableFused, deflated, 10)
+			r2, i2 := rounds(disableFused, deflated, 20)
+			if i2 == i1 {
+				t.Fatalf("iteration counts did not differ (%d vs %d)", i1, i2)
+			}
+			if (r2-r1)%(i2-i1) != 0 {
+				t.Fatalf("non-integral rounds-per-iteration slope: Δrounds=%d Δiters=%d", r2-r1, i2-i1)
+			}
+			return (r2 - r1) / (i2 - i1)
+		}
+		plain := slope(false)
+		defl := slope(true)
+		if defl != plain+1 {
+			t.Errorf("fused=%v: deflated CG performs %d reduction rounds/iteration, plain %d — want exactly one more",
+				!disableFused, defl, plain)
+		}
 	}
 }

@@ -13,8 +13,8 @@ import (
 // TeaLeaf's simplest solver. Convergence is monitored the way TeaLeaf
 // does: the global L1 norm of the update Σ|u⁺−u|, relative to the first
 // sweep's value, plus a final true-residual measurement for the Result.
-// The sweep reads the 5-point coefficients directly, so unlike the Krylov
-// solvers it remains 2D-only.
+// The sweep reads the 5-point coefficients directly; SolveJacobi3D is its
+// 7-point twin, so every solver kind runs in both dimensionalities.
 func SolveJacobi(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {

@@ -32,10 +32,10 @@ type cgState[F comparable] struct {
 // that is harmless (physical-boundary face coefficients are zero, so the
 // ring is multiplied away), but across rank boundaries the coupling is
 // real — fall back to the classic loop rather than silently dropping it.
-// The deflated path also runs classic: the outer projection P·A·p cannot
-// be folded into the fused three-sweep recurrences.
+// Deflated solves run on either engine: the projection is applied to the
+// matvec result, at the cost of one extra reduction round per iteration.
 func runCGCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) (Result, *cgState[F], error) {
-	if e.o.Fused && e.sys.Deflation() == nil {
+	if e.o.Fused {
 		if minv, ok := e.sys.FoldableDiag(); ok {
 			if isZeroF(minv) || e.c.Size() == 1 || e.sys.GridHalo() >= 2 {
 				return runCGFusedCore(e, minv, maxIters, tol)
@@ -43,6 +43,39 @@ func runCGCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) 
 		}
 	}
 	return runCGClassicCore(e, maxIters, tol)
+}
+
+// finishDeflated applies the final coarse correction of a deflated solve
+// and re-measures the true residual, returning the relative residual
+// against rr0. It leaves r holding the corrected residual and u the
+// corrected solution, so continuation solvers (the PPCG outer loop after
+// a deflated bootstrap) resume from a consistent state with Wᵀ·r = 0.
+func (e *engine[F, B]) finishDeflated(defl deflator[F], r F, rr0 float64) (float64, error) {
+	if err := e.exchange(1, e.u); err != nil {
+		return 0, err
+	}
+	e.sys.Residual(e.in, e.u, e.rhs, r)
+	e.tr.AddMatvec(e.cells)
+	defl.CoarseCorrect(r, e.u)
+	rrTrue, err := e.initialResidual(e.u, e.rhs, r)
+	if err != nil {
+		return 0, err
+	}
+	return relResidual(rrTrue, rr0), nil
+}
+
+// deflDelta recomputes the local curvature δ = (M⁻¹r)·w after the
+// projection replaced w: the fused sweep's δ saw the unprojected matvec,
+// and the Chronopoulos–Gear recurrence needs the curvature of P·A. zd is
+// the M⁻¹r scratch (unused for the identity, where M⁻¹r aliases r).
+func (e *engine[F, B]) deflDelta(minv, zd, r, w F) float64 {
+	e.tr.AddDot(e.cells)
+	if isZeroF(minv) {
+		return e.sys.Dot(e.in, r, w)
+	}
+	e.sys.PrecondApply(e.in, r, zd)
+	e.tr.AddPrecond(e.cells)
+	return e.sys.Dot(e.in, zd, w)
 }
 
 // runCGFusedCore is the Chronopoulos–Gear single-reduction PCG engine
@@ -59,10 +92,24 @@ func runCGCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) 
 //
 // The diagonal preconditioner is folded into the sweeps (u' is never
 // materialised); a zero minv is the identity, for which γ == rr.
+//
+// With a deflator configured the same recurrences run on the projected
+// operator P·A: the matvec sweep is followed by the (collective)
+// projection, the curvature δ is re-measured against the projected w, and
+// coarse corrections before and after the loop recover the deflated
+// component exactly. Each iteration then pays two reduction rounds — the
+// projector's coarse round plus the scalar round — versus the plain
+// loop's one.
 func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, tol float64) (Result, *cgState[F], error) {
 	sys := e.sys
 	in := e.in
 	var result Result
+
+	defl := sys.Deflation()
+	var zd F // deflated-path M⁻¹r scratch (δ must see the projected w)
+	if defl != nil && !isZeroF(minv) {
+		zd = sys.NewVec()
+	}
 
 	r := sys.NewVec()
 	w := sys.NewVec()
@@ -88,11 +135,26 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 	}
 	sys.Residual(in, e.u, e.rhs, r)
 	e.tr.AddMatvec(e.cells)
+	if defl != nil {
+		// Initial coarse correction (Wᵀ·r = 0 afterwards, and the
+		// projected recurrences keep it so); the residual is rebuilt from
+		// the corrected iterate and becomes the convergence baseline.
+		defl.CoarseCorrect(r, e.u)
+		if err := e.exchange(1, e.u); err != nil {
+			return result, nil, err
+		}
+		sys.Residual(in, e.u, e.rhs, r)
+		e.tr.AddMatvec(e.cells)
+	}
 	if err := e.exchange(1, r); err != nil {
 		return result, nil, err
 	}
 	gamma, delta, rr0 := sys.ApplyPreDotInit(in, minv, r, w)
 	e.tr.AddMatvec(e.cells)
+	if defl != nil {
+		defl.ProjectW(w) // w = P·A·M⁻¹r
+		delta = e.deflDelta(minv, zd, r, w)
+	}
 	sums := e.c.AllReduceSumN([]float64{gamma, delta, rr0})
 	gamma, delta, rr0 = sums[0], sums[1], sums[2]
 	if rr0 == 0 {
@@ -120,6 +182,10 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		}
 		deltaNew := sys.ApplyPreDot(in, minv, r, w)
 		e.tr.AddMatvec(e.cells)
+		if defl != nil {
+			defl.ProjectW(w)
+			deltaNew = e.deflDelta(minv, zd, r, w)
+		}
 		s := e.c.AllReduceSumN([]float64{gammaNew, rrNew, deltaNew})
 		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
 
@@ -130,6 +196,17 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		if rel <= tol {
 			result.Converged = true
 			result.FinalResidual = rel
+			if defl != nil {
+				// Final coarse correction + true-residual re-measure, with
+				// the same 10× projection round-off margin as the classic
+				// engine.
+				rel, err := e.finishDeflated(defl, r, rr0)
+				if err != nil {
+					return result, nil, err
+				}
+				result.FinalResidual = rel
+				result.Converged = rel <= 10*tol
+			}
 			return result, mkState(gammaNew, rrNew, rr0), nil
 		}
 
@@ -148,17 +225,28 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		beta, alpha = betaNew, gammaNew/denom
 	}
 	result.FinalResidual = relResidual(rr, rr0)
+	if defl != nil && rr0 > 0 {
+		// Iteration budget exhausted (or breakdown): still apply the final
+		// coarse correction so the state handed to a continuation solver is
+		// consistent, and report the true residual.
+		rel, err := e.finishDeflated(defl, r, rr0)
+		if err != nil {
+			return result, nil, err
+		}
+		result.FinalResidual = rel
+	}
 	return result, mkState(gamma, rr, rr0), nil
 }
 
 // runCGClassicCore is the seed's multi-pass PCG engine, the reference
 // path behind Options.DisableFused and for preconditioners that cannot
-// be folded into fused sweeps. It is also the engine the deflation
-// projector composes with: with a deflator configured the iteration runs
-// on the projected operator P·A (every matvec is projected), the initial
-// residual is aligned with the deflated subspace by a coarse correction,
-// and a final coarse correction recovers the deflation-space component
-// of the solution the projected iteration cannot see.
+// be folded into fused sweeps. With a deflator configured the iteration
+// runs on the projected operator P·A (every matvec is projected, one
+// extra reduction round per iteration), the initial residual is aligned
+// with the deflated subspace by a coarse correction, and a final coarse
+// correction recovers the deflation-space component of the solution the
+// projected iteration cannot see — the same composition the fused engine
+// applies to its recurrences.
 func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) (Result, *cgState[F], error) {
 	sys := e.sys
 	in := e.in
@@ -194,23 +282,12 @@ func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol fl
 
 	// finish re-measures the true residual after a final coarse
 	// correction on the deflated path; without deflation it is the plain
-	// relative residual. The pre-correction recompute only needs the
-	// residual field, not its norm, so it skips the dot/reduction.
+	// relative residual.
 	finish := func(rr float64) (float64, error) {
 		if defl == nil {
 			return relResidual(rr, rr0), nil
 		}
-		if err := e.exchange(1, e.u); err != nil {
-			return 0, err
-		}
-		sys.Residual(in, e.u, e.rhs, r)
-		e.tr.AddMatvec(e.cells)
-		defl.CoarseCorrect(r, e.u)
-		rrTrue, err := e.initialResidual(e.u, e.rhs, r)
-		if err != nil {
-			return 0, err
-		}
-		return relResidual(rrTrue, rr0), nil
+		return e.finishDeflated(defl, r, rr0)
 	}
 
 	e.applyPrecond(in, r, z)
@@ -514,10 +591,19 @@ func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 // fused residual-update/preconditioner/direction/accumulate kernel —
 // versus five unfused, and the outer updates and dot products use the
 // fused two-in-one kernels.
+//
+// With a deflator configured the outer PCG runs on the projected operator
+// P·A (the bootstrap CG already ran deflated and left Wᵀ·r = 0): each
+// outer matvec is projected at the cost of one extra reduction round, the
+// reduction-free inner Chebyshev smoothing is untouched, and a final
+// coarse correction recovers the deflated solution component. The
+// bootstrap's eigenvalue estimate then describes the deflated spectrum,
+// which is exactly the interval the polynomial should target.
 func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
 	o := e.o
 	sys := e.sys
 	in := e.in
+	defl := sys.Deflation()
 
 	// --- Bootstrap: PCG for eigenvalue estimation (spectrum of M⁻¹A). ---
 	boot, st, err := runCGCore(e, o.EigenCGIters, o.Tol)
@@ -574,10 +660,25 @@ func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
 		if err := e.exchange(1, pvec); err != nil {
 			return result, err
 		}
-		pw := e.matvecDot(in, pvec, w)
-		if pw == 0 {
-			result.Breakdown = true
-			break
+		var pw float64
+		if defl != nil {
+			// The projection P·w needs the plain matvec first; the fused
+			// matvec+dot cannot be used because the dot must see P·A·p.
+			e.matvec(in, pvec, w)
+			defl.ProjectW(w)
+			pw = e.dot(pvec, w)
+			if pw <= 0 {
+				// P·A is only positive semi-definite outside the deflated
+				// subspace.
+				result.Breakdown = true
+				break
+			}
+		} else {
+			pw = e.matvecDot(in, pvec, w)
+			if pw == 0 {
+				result.Breakdown = true
+				break
+			}
 		}
 		alpha := rz / pw
 		if o.Fused {
@@ -611,10 +712,27 @@ func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
 		result.FinalResidual = rel
 		if rel <= o.Tol {
 			result.Converged = true
+			if defl != nil {
+				rel, err := e.finishDeflated(defl, r, rr0)
+				if err != nil {
+					return result, err
+				}
+				result.FinalResidual = rel
+				result.Converged = rel <= 10*o.Tol
+			}
 			return result, nil
 		}
 		sys.Xpay(in, z, beta, pvec)
 		e.vectorPass(in)
+	}
+	if defl != nil && rr0 > 0 {
+		// Budget exhausted or breakdown: the final coarse correction still
+		// applies, and FinalResidual reports the true residual.
+		rel, err := e.finishDeflated(defl, r, rr0)
+		if err != nil {
+			return result, err
+		}
+		result.FinalResidual = rel
 	}
 	return result, nil
 }

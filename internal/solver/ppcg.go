@@ -7,12 +7,14 @@ import "tealeaf/internal/grid"
 // matrix-powers kernel (§IV-C2) at HaloDepth > 1. The iteration body —
 // outer PCG, inner Chebyshev smoothing, fused kernels — lives in
 // solvePPCGCore in loops.go and is shared verbatim with SolvePPCG3D.
+//
+// With Options.Deflation set, the outer PCG (and its CG bootstrap) runs
+// on the projected operator P·A, composing the §VII coarse-space
+// projector with the polynomial preconditioner: deflation removes the
+// lowest subdomain modes, the Chebyshev inner steps smooth the rest.
 func SolvePPCG(p Problem, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate(p); err != nil {
-		return Result{}, err
-	}
-	if err := o.requireNoDeflation(KindPPCG); err != nil {
 		return Result{}, err
 	}
 	return solvePPCGCore(newEngine[*grid.Field2D, grid.Bounds](newSys2D(p, o), o, p.U, p.RHS))

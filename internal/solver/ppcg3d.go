@@ -3,13 +3,11 @@ package solver
 // SolvePPCG3D runs the paper's headline solver on a 3D problem: the same
 // solvePPCGCore loop as the 2D SolvePPCG — outer PCG, reduction-free
 // inner Chebyshev smoothing with the 3D matrix-powers schedule at
-// HaloDepth > 1 — over the sys3d backend.
+// HaloDepth > 1 — over the sys3d backend. Options.Deflation3D composes
+// the coarse-space projector exactly as Options.Deflation does in 2D.
 func SolvePPCG3D(p Problem3D, o Options) (Result, error) {
 	o = o.withDefaults()
 	if err := o.validate3(p); err != nil {
-		return Result{}, err
-	}
-	if err := o.requireNoDeflation(KindPPCG); err != nil {
 		return Result{}, err
 	}
 	return solvePPCGCore(newEngine3D(p, o))

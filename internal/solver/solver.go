@@ -61,10 +61,20 @@ func ParseKind(s string) (Kind, error) {
 // than importing internal/deflate so any coarse-space projector can be
 // composed in): CoarseCorrect applies u += W·E⁻¹·Wᵀ·r, zeroing the
 // deflation-space component of the residual; ProjectW applies
-// w ← P·w = w − A·W·E⁻¹·Wᵀ·w in place.
+// w ← P·w = w − A·W·E⁻¹·Wᵀ·w in place. Both are collective: in a
+// distributed solve every rank must reach them together (each performs
+// exactly one reduction round through the solve's communicator).
 type Deflator interface {
 	CoarseCorrect(r, u *grid.Field2D)
 	ProjectW(w *grid.Field2D)
+}
+
+// Deflator3D is the 3D outer deflation projector Options.Deflation3D
+// carries, satisfied by *deflate.Deflation3D — the Field3D twin of
+// Deflator, with the same collective contract.
+type Deflator3D interface {
+	CoarseCorrect(r, u *grid.Field3D)
+	ProjectW(w *grid.Field3D)
 }
 
 // Problem is one linear solve A·u = rhs on a rank-local grid. U holds the
@@ -98,14 +108,19 @@ type Options struct {
 	// now builds in 3D too.
 	Precond3D precond.Preconditioner3D
 	// Deflation composes subdomain deflation (the §VII future-work
-	// direction) as an outer projector around the CG solve: the iteration
-	// runs on P·A with the low-energy subdomain modes projected out, and
-	// coarse corrections before/after the loop recover them exactly.
-	// 2D, single-rank, CG-only today; build one with deflate.New over the
-	// solve operator (*deflate.Deflation satisfies Deflator). Deflation
-	// forces the classic (unfused) CG loop: the projection cannot be
-	// folded into the fused three-sweep recurrences.
+	// direction) as an outer projector around the 2D CG or PPCG solve:
+	// the Krylov iteration runs on P·A with the low-energy subdomain
+	// modes projected out, and coarse corrections before/after the loop
+	// recover them exactly. Build one with deflate.New over the solve
+	// operator (*deflate.Deflation satisfies Deflator); the projector is
+	// fully distributed — restriction and prolongation are rank-local and
+	// each projection costs one extra reduction round per iteration,
+	// on the fused and classic engines alike.
 	Deflation Deflator
+	// Deflation3D is the projector the 3D solve paths compose (built with
+	// deflate.New3D; *deflate.Deflation3D satisfies Deflator3D). Same
+	// composition rules as Deflation: CG and PPCG, any rank count.
+	Deflation3D Deflator3D
 	// EigenCGIters is the number of bootstrap CG iterations used to
 	// estimate the extremal eigenvalues before Chebyshev/PPCG take over
 	// (default 20; §III-D). The Chebyshev solver re-bootstraps with twice
@@ -133,9 +148,11 @@ type Options struct {
 	// !DisableFused, so assigning Fused directly has no effect — the one
 	// and only opt-out knob is DisableFused (this keeps the zero Options
 	// value defaulting to on). Preconditioners that are not pure diagonal
-	// scalings (block-Jacobi), folded preconditioners on halo-1 grids in
-	// multi-rank runs, and deflated solves fall back to the unfused loops
-	// regardless.
+	// scalings (block-Jacobi) and folded preconditioners on halo-1 grids
+	// in multi-rank runs fall back to the unfused loops regardless.
+	// Deflated solves run fused too: the projection inserts one coarse
+	// reduction round after the matvec and the curvature dot joins the
+	// iteration's single scalar round.
 	Fused bool
 	// DisableFused forces the original multi-pass solver loops; it is
 	// how equivalence tests and benchmarks select the reference path.
@@ -204,13 +221,13 @@ func (o Options) validateCommon(gridHalo int, precondName string, dims int) erro
 				precondName, o.HaloDepth, strings.Join(compatible, ", "))
 		}
 	}
-	if o.Deflation != nil {
-		if dims != 2 {
-			return errors.New("solver: deflation is 2D-only (the coarse subdomain space is built over a 2D partition)")
-		}
-		if o.Comm.Size() > 1 {
-			return errors.New("solver: deflation is single-rank only (the coarse solve is not distributed); drop tl_use_deflation or run with one rank")
-		}
+	// Deflation is dimension-agnostic and distributed; the only remaining
+	// rule is that the projector's dimensionality must match the solve's.
+	if dims == 2 && o.Deflation3D != nil {
+		return errors.New("solver: a 3D deflation projector cannot drive a 2D solve (set Options.Deflation, built with deflate.New)")
+	}
+	if dims == 3 && o.Deflation != nil {
+		return errors.New("solver: a 2D deflation projector cannot drive a 3D solve (set Options.Deflation3D, built with deflate.New3D)")
 	}
 	return nil
 }
@@ -291,11 +308,13 @@ func Solve(kind Kind, p Problem, o Options) (Result, error) {
 	return Result{}, fmt.Errorf("solver: unknown kind %q", kind)
 }
 
-// requireNoDeflation rejects deflation for solver kinds it does not
-// compose with: only CG runs on the projected operator.
+// requireNoDeflation rejects deflation for the solver kinds it does not
+// compose with: CG and PPCG run on the projected operator (in 2D and 3D,
+// single- or multi-rank); Jacobi and the stand-alone Chebyshev iteration
+// do not.
 func (o Options) requireNoDeflation(kind Kind) error {
-	if o.Deflation != nil {
-		return fmt.Errorf("solver: deflation composes with the cg solver only (got %s); drop tl_use_deflation or switch to tl_use_cg", kind)
+	if o.Deflation != nil || o.Deflation3D != nil {
+		return fmt.Errorf("solver: deflation composes with the cg and ppcg solvers only (got %s); drop tl_use_deflation or switch to tl_use_cg / tl_use_ppcg", kind)
 	}
 	return nil
 }

@@ -45,10 +45,13 @@ func isNone3(m precond.Preconditioner3D) bool {
 	return ok
 }
 
-// Solve3D dispatches a 3D solve on kind. Jacobi has no 3D loop; the
-// supported kinds are CG, Chebyshev and PPCG.
+// Solve3D dispatches a 3D solve on kind: every solver kind — Jacobi, CG,
+// Chebyshev and PPCG — now has a 3D loop, so the kind × dims matrix has
+// no holes.
 func Solve3D(kind Kind, p Problem3D, o Options) (Result, error) {
 	switch kind {
+	case KindJacobi:
+		return SolveJacobi3D(p, o)
 	case KindCG:
 		return SolveCG3D(p, o)
 	case KindCheby:
@@ -56,5 +59,5 @@ func Solve3D(kind Kind, p Problem3D, o Options) (Result, error) {
 	case KindPPCG:
 		return SolvePPCG3D(p, o)
 	}
-	return Result{}, fmt.Errorf("solver: unknown or unsupported 3D kind %q", kind)
+	return Result{}, fmt.Errorf("solver: unknown 3D kind %q", kind)
 }

@@ -15,14 +15,19 @@ import (
 // sys2d, and the whole of what "the 3D solver" is now: every loop body
 // lives in loops.go.
 type sys3d struct {
-	p  *par.Pool
-	op *stencil.Operator3D
-	m  precond.Preconditioner3D
-	c  comm.Communicator
+	p    *par.Pool
+	op   *stencil.Operator3D
+	m    precond.Preconditioner3D
+	c    comm.Communicator
+	defl deflator[*grid.Field3D]
 }
 
 func newSys3D(p Problem3D, o Options) *sys3d {
-	return &sys3d{p: o.Pool, op: p.Op, m: o.Precond3D, c: o.Comm}
+	s := &sys3d{p: o.Pool, op: p.Op, m: o.Precond3D, c: o.Comm}
+	if o.Deflation3D != nil {
+		s.defl = o.Deflation3D
+	}
+	return s
 }
 
 func (s *sys3d) NewVec() *grid.Field3D     { return grid.NewField3D(s.op.Grid) }
@@ -114,4 +119,4 @@ func (s *sys3d) PrecondName() string { return s.m.Name() }
 
 func (s *sys3d) FoldableDiag() (*grid.Field3D, bool) { return precond.FoldableDiag3D(s.m) }
 
-func (s *sys3d) Deflation() deflator[*grid.Field3D] { return nil }
+func (s *sys3d) Deflation() deflator[*grid.Field3D] { return s.defl }

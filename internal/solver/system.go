@@ -96,7 +96,6 @@ type system[F comparable, B any] interface {
 	FoldableDiag() (F, bool)
 
 	// Deflation returns the configured outer deflation projector, or nil.
-	// Only the 2D backend can carry one today.
 	Deflation() deflator[F]
 }
 
@@ -108,11 +107,12 @@ type powersSched[B any] interface {
 	Refill()
 }
 
-// deflator is the outer deflation projector the classic CG loop composes
+// deflator is the outer deflation projector the CG and PPCG loops compose
 // with (§VII future work): CoarseCorrect zeroes the deflation-space
 // component of the residual, ProjectW applies w ← P·w = w − A·W·E⁻¹·Wᵀ·w.
-// Its method set matches the user-facing Deflator exactly, so a 2D
-// Options.Deflation value satisfies deflator[*grid.Field2D] directly.
+// Both are collective (one reduction round each). Its method set matches
+// the user-facing Deflator/Deflator3D exactly, so Options.Deflation and
+// Options.Deflation3D satisfy deflator[F] for their field type directly.
 type deflator[F any] interface {
 	CoarseCorrect(r, u F)
 	ProjectW(w F)
