@@ -39,32 +39,34 @@ func main() {
 }
 
 type config struct {
-	exp      string
-	mesh     int
-	steps    int
-	ladder   []int
-	outDir   string
-	full     bool
-	inner    int
-	benchOut string
-	deflOut  string
+	exp        string
+	mesh       int
+	steps      int
+	ladder     []int
+	outDir     string
+	full       bool
+	inner      int
+	benchOut   string
+	deflOut    string
+	overlapOut string
 }
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|all")
-		mesh     = flag.Int("mesh", 192, "measured mesh size for fig3 (quick mode)")
-		steps    = flag.Int("steps", 0, "measured steps for fig3/fig4 (0 = per-experiment default)")
-		ladder   = flag.String("ladder", "32,48,64,96", "calibration mesh ladder")
-		outDir   = flag.String("out", "", "directory for CSV/PPM outputs (optional)")
-		full     = flag.Bool("full", false, "use the paper's full 4000^2 x 375-step measured workload (very slow)")
-		inner    = flag.Int("inner", 10, "PPCG inner steps")
-		benchOut = flag.String("benchout", "BENCH_kernels.json", "output path for the -exp bench JSON report")
-		deflOut  = flag.String("deflout", "BENCH_deflation.json", "output path for the -exp deflation JSON report")
+		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|overlap|all")
+		mesh       = flag.Int("mesh", 192, "measured mesh size for fig3 (quick mode)")
+		steps      = flag.Int("steps", 0, "measured steps for fig3/fig4 (0 = per-experiment default)")
+		ladder     = flag.String("ladder", "32,48,64,96", "calibration mesh ladder")
+		outDir     = flag.String("out", "", "directory for CSV/PPM outputs (optional)")
+		full       = flag.Bool("full", false, "use the paper's full 4000^2 x 375-step measured workload (very slow)")
+		inner      = flag.Int("inner", 10, "PPCG inner steps")
+		benchOut   = flag.String("benchout", "BENCH_kernels.json", "output path for the -exp bench JSON report")
+		deflOut    = flag.String("deflout", "BENCH_deflation.json", "output path for the -exp deflation JSON report")
+		overlapOut = flag.String("overlapout", "BENCH_overlap.json", "output path for the -exp overlap JSON report")
 	)
 	flag.Parse()
 
-	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut, deflOut: *deflOut}
+	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut, deflOut: *deflOut, overlapOut: *overlapOut}
 	for _, tok := range strings.Split(*ladder, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
@@ -96,6 +98,7 @@ func run() error {
 		"scale3d":   scale3D,
 		"deflation": deflationExperiment,
 		"smoke":     smokeExperiment,
+		"overlap":   overlapExperiment,
 	}
 	if cfg.exp == "all" {
 		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "precond", "halodepth", "weak", "scale3d", "deflation"} {

@@ -51,6 +51,18 @@ type Communicator interface {
 	// The returned slice may alias vals; it never aliases another rank's
 	// result, so callers may mutate it freely.
 	AllReduceSumN(vals []float64) []float64
+	// AllReduceSumNStart begins the same fused reduction split-phase: it
+	// posts whatever messages this rank can send without waiting on peers
+	// and returns immediately, so the reduction's latency overlaps whatever
+	// the caller computes before Finish. Contract: at most one reduction
+	// may be in flight per rank; between Start and Finish the caller may
+	// run halo exchanges and local compute but no other collective
+	// (reduction, barrier, or gather); Start may not assume any peer has
+	// entered the reduction yet, so it must never block on peer data — all
+	// receives belong to Finish. The handle's Finish returns the fused sums
+	// (the slice may alias vals) and counts as the same single reduction
+	// round AllReduceSumN would have been.
+	AllReduceSumNStart(vals []float64) ReduceHandle
 	// AllReduceMax returns the maximum of x over all ranks.
 	AllReduceMax(x float64) float64
 	// Barrier blocks until every rank has entered it.
@@ -69,6 +81,21 @@ type Communicator interface {
 	// Trace returns this rank's communication trace (never nil).
 	Trace() *stats.Trace
 }
+
+// ReduceHandle is an in-flight split-phase reduction returned by
+// AllReduceSumNStart. Finish blocks until every rank's contribution has
+// been combined and returns the fused sums; it must be called exactly
+// once, from the same goroutine that called Start.
+type ReduceHandle interface {
+	Finish() []float64
+}
+
+// doneHandle is a ReduceHandle whose result is already known at Start
+// time: the Serial backend (reductions are identities) and single-rank
+// TCP communicators.
+type doneHandle []float64
+
+func (h doneHandle) Finish() []float64 { return h }
 
 // PhysicalSides mirrors stencil.PhysicalSides without importing it (comm
 // sits below stencil in the dependency order).
@@ -178,6 +205,13 @@ func (s *Serial) AllReduceSum2(x, y float64) (float64, float64) {
 func (s *Serial) AllReduceSumN(vals []float64) []float64 {
 	s.trace.AddReduction(len(vals))
 	return vals
+}
+
+// AllReduceSumNStart implements Communicator: single-rank, the result is
+// ready before Finish.
+func (s *Serial) AllReduceSumNStart(vals []float64) ReduceHandle {
+	s.trace.AddReduction(len(vals))
+	return doneHandle(vals)
 }
 
 // AllReduceMax implements Communicator.

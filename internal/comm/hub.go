@@ -232,6 +232,17 @@ func (c *RankComm) AllReduceSumN(vals []float64) []float64 {
 	return c.hub.coll.reduce(opSum, vals...)
 }
 
+// AllReduceSumNStart implements Communicator split-phase: the
+// contribution joins the collective's current generation immediately
+// (without waiting for the other ranks), and Finish blocks on the
+// generation's completion. The Hub deliberately mirrors the TCP
+// semantics — Start never waits on a peer, Finish does all the waiting —
+// so the two backends cannot drift.
+func (c *RankComm) AllReduceSumNStart(vals []float64) ReduceHandle {
+	c.trace.AddReduction(len(vals))
+	return c.hub.coll.start(opSum, vals)
+}
+
 // AllReduceMax implements Communicator.
 func (c *RankComm) AllReduceMax(x float64) float64 {
 	c.trace.AddReduction(1)
@@ -270,7 +281,20 @@ const (
 // backing array (never the shared accumulator): AllReduceSumN documents
 // that callers may mutate the returned slice, so handing out one shared
 // slice would let rank A's mutation corrupt rank B's result.
+//
+// It is literally start followed by Finish, so the blocking and
+// split-phase paths share one generation protocol by construction.
 func (c *collective) reduce(op reduceOp, vals ...float64) []float64 {
+	return c.start(op, vals).Finish()
+}
+
+// start contributes vals to the collective's current generation without
+// waiting for the other ranks — the Hub's half of the split-phase
+// contract (Start may not block on peers) — and returns the handle whose
+// Finish waits for the generation to complete. The last arrival publishes
+// the result and releases every waiter at start time, so its Finish is
+// free.
+func (c *collective) start(op reduceOp, vals []float64) *collHandle {
 	c.mu.Lock()
 	if c.cnt == 0 {
 		c.width = len(vals)
@@ -298,15 +322,27 @@ func (c *collective) reduce(op reduceOp, vals ...float64) []float64 {
 		c.cnt = 0
 		c.res = append([]float64(nil), c.acc...)
 		close(c.done)
-		copy(vals, c.res)
-		c.mu.Unlock()
-		return vals
 	}
 	done := c.done
 	c.mu.Unlock()
-	<-done
-	copy(vals, c.res)
-	return vals
+	return &collHandle{coll: c, vals: vals, done: done}
+}
+
+// collHandle is the Hub's in-flight split-phase reduction. The published
+// result (coll.res, a fresh allocation per generation) is stable until
+// every rank of the *next* generation has arrived, which — under the
+// one-outstanding-reduction-per-rank contract — cannot happen before
+// every Finish of this generation has returned.
+type collHandle struct {
+	coll *collective
+	vals []float64
+	done chan struct{}
+}
+
+func (h *collHandle) Finish() []float64 {
+	<-h.done
+	copy(h.vals, h.coll.res)
+	return h.vals
 }
 
 // gatherMsg carries one rank's interior block to rank 0.

@@ -229,8 +229,28 @@ type peerConn struct {
 	out  chan []byte
 	done chan struct{} // writer exited
 
+	// pending stashes frames that arrived ahead of the one the driver is
+	// reading for — the minimal MPI-style message matching that lets a
+	// split-phase reduction's butterfly frames interleave with halo
+	// exchange slabs on a connection shared by a rank that is both
+	// butterfly partner and grid neighbour. Only the driver goroutine
+	// touches it (overlapped exchanges hand the connection back before
+	// Finish runs), so it needs no lock.
+	pending []pendingFrame
+
 	closeOnce sync.Once
 }
+
+// pendingFrame is one stashed out-of-order frame.
+type pendingFrame struct {
+	typ, tag byte
+	payload  []byte
+}
+
+// maxPendingFrames bounds the stash: legitimate interleavings (one
+// in-flight reduction plus one exchange phase) stay in single digits, so
+// growth past this is a protocol desync, not reordering.
+const maxPendingFrames = 64
 
 func newPeerConn(rank int, nc net.Conn) *peerConn {
 	pc := &peerConn{rank: rank, nc: nc, out: make(chan []byte, 16), done: make(chan struct{})}
@@ -488,33 +508,50 @@ func (t *TCP) send(peer int, typ, tag byte, vals []float64) error {
 	return nil
 }
 
-// recvFloats reads the next frame from peer and requires it to be exactly
-// (wantType, wantTag); anything else is a descriptive protocol error —
-// including a Bye, which reports the peer's shutdown.
+// recvFloats reads the next (wantType, wantTag) frame from peer. A frame
+// of a different type or tag arriving first is stashed on the connection
+// and matched by a later read — split-phase reductions legitimately put
+// butterfly frames on the wire ahead of the exchange slabs the driver
+// reads next. A Bye, a transport failure, or a stash overflow is a
+// descriptive error.
 func (t *TCP) recvFloats(peer int, wantType, wantTag byte, op string) ([]float64, error) {
 	pc, err := t.conn(peer)
 	if err != nil {
 		return nil, err
 	}
-	typ, tag, payload, err := readFrame(pc.nc)
-	if err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
-			return nil, fmt.Errorf("comm: tcp rank %d: connection to rank %d lost during %s: %w", t.rank, peer, op, err)
+	decode := func(payload []byte) ([]float64, error) {
+		vals, err := decodeFloats(payload)
+		if err != nil {
+			return nil, fmt.Errorf("comm: tcp rank %d: %s frame from rank %d: %w", t.rank, op, peer, err)
 		}
-		return nil, fmt.Errorf("comm: tcp rank %d: reading from rank %d during %s: %w", t.rank, peer, op, err)
+		return vals, nil
 	}
-	if typ == frameBye {
-		return nil, fmt.Errorf("comm: tcp rank %d: rank %d shut down mid-%s", t.rank, peer, op)
+	for i, f := range pc.pending {
+		if f.typ == wantType && f.tag == wantTag {
+			pc.pending = append(pc.pending[:i], pc.pending[i+1:]...)
+			return decode(f.payload)
+		}
 	}
-	if typ != wantType || tag != wantTag {
-		return nil, fmt.Errorf("comm: tcp rank %d: protocol desync during %s: got %s frame (tag %d) from rank %d, want %s (tag %d)",
-			t.rank, op, frameTypeName(typ), tag, peer, frameTypeName(wantType), wantTag)
+	for {
+		typ, tag, payload, err := readFrame(pc.nc)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil, fmt.Errorf("comm: tcp rank %d: connection to rank %d lost during %s: %w", t.rank, peer, op, err)
+			}
+			return nil, fmt.Errorf("comm: tcp rank %d: reading from rank %d during %s: %w", t.rank, peer, op, err)
+		}
+		if typ == frameBye {
+			return nil, fmt.Errorf("comm: tcp rank %d: rank %d shut down mid-%s", t.rank, peer, op)
+		}
+		if typ == wantType && tag == wantTag {
+			return decode(payload)
+		}
+		if len(pc.pending) >= maxPendingFrames {
+			return nil, fmt.Errorf("comm: tcp rank %d: protocol desync during %s: %d frames stashed from rank %d while waiting for %s (tag %d); latest was %s (tag %d)",
+				t.rank, op, len(pc.pending), peer, frameTypeName(wantType), wantTag, frameTypeName(typ), tag)
+		}
+		pc.pending = append(pc.pending, pendingFrame{typ: typ, tag: tag, payload: payload})
 	}
-	vals, err := decodeFloats(payload)
-	if err != nil {
-		return nil, fmt.Errorf("comm: tcp rank %d: %s frame from rank %d: %w", t.rank, op, peer, err)
-	}
-	return vals, nil
 }
 
 // tcpSlabs carries exchange slabs over the peer connections; it is the
@@ -556,47 +593,75 @@ func (t *TCP) Exchange(depth int, fields ...*grid.Field2D) error {
 	return nil
 }
 
-// reduce runs one fused allreduce over all ranks with the standard
-// recursive-doubling butterfly: log₂(P) rounds for power-of-two rank
-// counts; otherwise the trailing ranks fold their contribution into a
-// partner first and receive the result back after the butterfly (the
-// classic Rabenseifner pre/post step). Round tags catch schedule desync.
-func (t *TCP) reduce(op reduceOp, vals []float64) ([]float64, error) {
-	if t.size == 1 {
-		return vals, nil
+// tcpReduceState is one in-flight reduction: startReduce posts the sends
+// that need no peer data, finishReduce receives and completes the
+// butterfly. The blocking reduce is start immediately followed by finish.
+type tcpReduceState struct {
+	op   reduceOp
+	vals []float64 // caller's slice; the result is copied back into it
+	acc  []float64 // private accumulator for butterfly ranks
+	p2   int       // largest power of two ≤ size
+	rem  int       // size − p2 (ranks folded in by the pre/post step)
+	// sentRounds counts the butterfly rounds whose send was already
+	// posted by startReduce (0 or 1); finishReduce posts the rest.
+	sentRounds int
+}
+
+func (t *TCP) combine(op reduceOp, acc, other []float64) error {
+	if len(other) != len(acc) {
+		return fmt.Errorf("comm: tcp rank %d: reduction value-count mismatch: we contributed %d values, a peer contributed %d (every rank must pass the same number of values to each reduction)",
+			t.rank, len(acc), len(other))
 	}
-	combine := func(acc, other []float64) error {
-		if len(other) != len(acc) {
-			return fmt.Errorf("comm: tcp rank %d: reduction value-count mismatch: we contributed %d values, a peer contributed %d (every rank must pass the same number of values to each reduction)",
-				t.rank, len(acc), len(other))
-		}
-		for i, v := range other {
-			switch op {
-			case opSum:
-				acc[i] += v
-			case opMax:
-				if v > acc[i] {
-					acc[i] = v
-				}
+	for i, v := range other {
+		switch op {
+		case opSum:
+			acc[i] += v
+		case opMax:
+			if v > acc[i] {
+				acc[i] = v
 			}
 		}
-		return nil
 	}
+	return nil
+}
 
-	p2 := 1
-	for p2*2 <= t.size {
-		p2 *= 2
+// startReduce posts this rank's opening sends of the recursive-doubling
+// butterfly — everything it can put on the wire without waiting on a
+// peer. Fold-in ranks (≥ p2) post their whole contribution; butterfly
+// ranks outside the fold-in window post their round-0 exchange (send is
+// an enqueue to the writer goroutine, so this never blocks); ranks that
+// must first receive a folded contribution post nothing and do all their
+// work in finishReduce. send serialises the frame at enqueue time, so
+// later mutation of acc cannot corrupt a posted frame.
+func (t *TCP) startReduce(op reduceOp, vals []float64) (*tcpReduceState, error) {
+	st := &tcpReduceState{op: op, vals: vals, p2: 1}
+	for st.p2*2 <= t.size {
+		st.p2 *= 2
 	}
-	rem := t.size - p2
+	st.rem = t.size - st.p2
+	if t.rank >= st.p2 {
+		return st, t.send(t.rank-st.p2, frameReduce, tagReduceFold, vals)
+	}
+	st.acc = append(make([]float64, 0, len(vals)), vals...)
+	if t.rank < st.rem || st.p2 == 1 {
+		return st, nil
+	}
+	if err := t.send(t.rank^1, frameReduce, 0, st.acc); err != nil {
+		return nil, err
+	}
+	st.sentRounds = 1
+	return st, nil
+}
 
-	// Fold-in: ranks >= p2 hand their contribution to rank r-p2 and sit
-	// out the butterfly; the partner sends the finished result back.
-	if t.rank >= p2 {
-		partner := t.rank - p2
-		if err := t.send(partner, frameReduce, tagReduceFold, vals); err != nil {
-			return nil, err
-		}
-		res, err := t.recvFloats(partner, frameReduce, tagReduceResult, "reduction")
+// finishReduce completes the butterfly begun by startReduce: fold-in
+// ranks receive the finished result; butterfly ranks run the remaining
+// rounds (receiving round 0 from a partner whose send was already posted
+// at its own start) and send results back to their fold-in partners.
+// Round tags catch schedule desync.
+func (t *TCP) finishReduce(st *tcpReduceState) ([]float64, error) {
+	vals := st.vals
+	if t.rank >= st.p2 {
+		res, err := t.recvFloats(t.rank-st.p2, frameReduce, tagReduceResult, "reduction")
 		if err != nil {
 			return nil, err
 		}
@@ -606,38 +671,57 @@ func (t *TCP) reduce(op reduceOp, vals []float64) ([]float64, error) {
 		copy(vals, res)
 		return vals, nil
 	}
-	acc := append(make([]float64, 0, len(vals)), vals...)
-	if t.rank < rem {
-		other, err := t.recvFloats(t.rank+p2, frameReduce, tagReduceFold, "reduction")
+	acc := st.acc
+	if t.rank < st.rem {
+		other, err := t.recvFloats(t.rank+st.p2, frameReduce, tagReduceFold, "reduction")
 		if err != nil {
 			return nil, err
 		}
-		if err := combine(acc, other); err != nil {
+		if err := t.combine(st.op, acc, other); err != nil {
 			return nil, err
 		}
 	}
-	round := byte(0)
-	for mask := 1; mask < p2; mask <<= 1 {
+	round := 0
+	for mask := 1; mask < st.p2; mask <<= 1 {
 		partner := t.rank ^ mask
-		if err := t.send(partner, frameReduce, round, acc); err != nil {
-			return nil, err
+		if round >= st.sentRounds {
+			if err := t.send(partner, frameReduce, byte(round), acc); err != nil {
+				return nil, err
+			}
 		}
-		other, err := t.recvFloats(partner, frameReduce, round, "reduction")
+		other, err := t.recvFloats(partner, frameReduce, byte(round), "reduction")
 		if err != nil {
 			return nil, err
 		}
-		if err := combine(acc, other); err != nil {
+		if err := t.combine(st.op, acc, other); err != nil {
 			return nil, err
 		}
 		round++
 	}
-	if t.rank < rem {
-		if err := t.send(t.rank+p2, frameReduce, tagReduceResult, acc); err != nil {
+	if t.rank < st.rem {
+		if err := t.send(t.rank+st.p2, frameReduce, tagReduceResult, acc); err != nil {
 			return nil, err
 		}
 	}
 	copy(vals, acc)
 	return vals, nil
+}
+
+// reduce runs one fused allreduce over all ranks: log₂(P) rounds for
+// power-of-two rank counts; otherwise the trailing ranks fold their
+// contribution into a partner first and receive the result back after the
+// butterfly (the classic Rabenseifner pre/post step). It is literally
+// startReduce followed by finishReduce, so the blocking and split-phase
+// paths share one schedule by construction.
+func (t *TCP) reduce(op reduceOp, vals []float64) ([]float64, error) {
+	if t.size == 1 {
+		return vals, nil
+	}
+	st, err := t.startReduce(op, vals)
+	if err != nil {
+		return nil, err
+	}
+	return t.finishReduce(st)
 }
 
 // mustReduce adapts reduce to the error-free reduction contract: a
@@ -670,6 +754,38 @@ func (t *TCP) AllReduceSum2(x, y float64) (float64, float64) {
 func (t *TCP) AllReduceSumN(vals []float64) []float64 {
 	t.trace.AddReduction(len(vals))
 	return t.mustReduce(opSum, vals)
+}
+
+// AllReduceSumNStart implements Communicator split-phase: the opening
+// butterfly sends go on the wire immediately (enqueued to the writer
+// goroutines, never blocking on a peer), and Finish performs the receives
+// and remaining rounds — so the reduction's wire latency overlaps
+// whatever the caller computes in between. Transport failures panic with
+// a *TCPError exactly as the blocking reductions do.
+func (t *TCP) AllReduceSumNStart(vals []float64) ReduceHandle {
+	t.trace.AddReduction(len(vals))
+	if t.size == 1 {
+		return doneHandle(vals)
+	}
+	st, err := t.startReduce(opSum, vals)
+	if err != nil {
+		panic(&TCPError{Err: err})
+	}
+	return &tcpReduceHandle{t: t, st: st}
+}
+
+// tcpReduceHandle is the TCP backend's in-flight split-phase reduction.
+type tcpReduceHandle struct {
+	t  *TCP
+	st *tcpReduceState
+}
+
+func (h *tcpReduceHandle) Finish() []float64 {
+	res, err := h.t.finishReduce(h.st)
+	if err != nil {
+		panic(&TCPError{Err: err})
+	}
+	return res
 }
 
 // AllReduceMax implements Communicator.

@@ -478,3 +478,164 @@ func FusedPPCGInner3D(pl *par.Pool, b, in grid.Bounds3D, alpha, beta float64, w,
 		}
 	})
 }
+
+// PipelinedCGStep3D is the whole vector phase of a 3D pipelined CG
+// iteration in one sweep: p = (minv ⊙ r) + β·p with x += α·p, then
+// s = w + β·s with r −= α·s and rr, then z = n + β·z with w −= α·z and
+// γ = Σ r·(minv ⊙ r), δ = Σ (minv ⊙ r)·w on the updated r and w. nil
+// minv selects the identity, for which γ == rr. See PipelinedCGStep for
+// why the direction and update passes are fused.
+func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field3D, beta, alpha float64, p, s, z, x *grid.Field3D) (gamma, delta, rr float64) {
+	if b.Empty() {
+		return 0, 0, 0
+	}
+	g := r.Grid
+	rd, wd, nd, pd, sd, zd, xd := r.Data, w.Data, nv.Data, p.Data, s.Data, z.Data, x.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	n := b.X1 - b.X0
+	acc := pl.ForReduceN(3, b.Z0, b.Z1, func(z0, z1 int, acc []float64) {
+		var ga, de, rra float64
+		for k := z0; k < z1; k++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				rs := row3(g, b, rd, j, k)
+				ps := row3(g, b, pd, j, k)
+				xs := row3(g, b, xd, j, k)
+				if md == nil {
+					i := 0
+					for ; i+3 < n; i += 4 {
+						p0 := rs[i] + beta*ps[i]
+						ps[i] = p0
+						xs[i] += alpha * p0
+						p1 := rs[i+1] + beta*ps[i+1]
+						ps[i+1] = p1
+						xs[i+1] += alpha * p1
+						p2 := rs[i+2] + beta*ps[i+2]
+						ps[i+2] = p2
+						xs[i+2] += alpha * p2
+						p3 := rs[i+3] + beta*ps[i+3]
+						ps[i+3] = p3
+						xs[i+3] += alpha * p3
+					}
+					for ; i < n; i++ {
+						p0 := rs[i] + beta*ps[i]
+						ps[i] = p0
+						xs[i] += alpha * p0
+					}
+				} else {
+					ms := row3(g, b, md, j, k)
+					i := 0
+					for ; i+3 < n; i += 4 {
+						p0 := ms[i]*rs[i] + beta*ps[i]
+						ps[i] = p0
+						xs[i] += alpha * p0
+						p1 := ms[i+1]*rs[i+1] + beta*ps[i+1]
+						ps[i+1] = p1
+						xs[i+1] += alpha * p1
+						p2 := ms[i+2]*rs[i+2] + beta*ps[i+2]
+						ps[i+2] = p2
+						xs[i+2] += alpha * p2
+						p3 := ms[i+3]*rs[i+3] + beta*ps[i+3]
+						ps[i+3] = p3
+						xs[i+3] += alpha * p3
+					}
+					for ; i < n; i++ {
+						p0 := ms[i]*rs[i] + beta*ps[i]
+						ps[i] = p0
+						xs[i] += alpha * p0
+					}
+				}
+				ws := row3(g, b, wd, j, k)
+				ss := row3(g, b, sd, j, k)
+				var rr0, rr1 float64
+				i := 0
+				for ; i+1 < n; i += 2 {
+					s0 := ws[i] + beta*ss[i]
+					ss[i] = s0
+					v0 := rs[i] - alpha*s0
+					rs[i] = v0
+					rr0 += v0 * v0
+					s1 := ws[i+1] + beta*ss[i+1]
+					ss[i+1] = s1
+					v1 := rs[i+1] - alpha*s1
+					rs[i+1] = v1
+					rr1 += v1 * v1
+				}
+				for ; i < n; i++ {
+					s0 := ws[i] + beta*ss[i]
+					ss[i] = s0
+					v := rs[i] - alpha*s0
+					rs[i] = v
+					rr0 += v * v
+				}
+				rra += rr0 + rr1
+				ns := row3(g, b, nd, j, k)
+				zs := row3(g, b, zd, j, k)
+				if md == nil {
+					var d0, d1 float64
+					i = 0
+					for ; i+1 < n; i += 2 {
+						z0v := ns[i] + beta*zs[i]
+						zs[i] = z0v
+						v0 := ws[i] - alpha*z0v
+						ws[i] = v0
+						d0 += rs[i] * v0
+						z1v := ns[i+1] + beta*zs[i+1]
+						zs[i+1] = z1v
+						v1 := ws[i+1] - alpha*z1v
+						ws[i+1] = v1
+						d1 += rs[i+1] * v1
+					}
+					for ; i < n; i++ {
+						zv := ns[i] + beta*zs[i]
+						zs[i] = zv
+						v := ws[i] - alpha*zv
+						ws[i] = v
+						d0 += rs[i] * v
+					}
+					de += d0 + d1
+					continue
+				}
+				ms := row3(g, b, md, j, k)
+				var g0, g1, d0, d1 float64
+				i = 0
+				for ; i+1 < n; i += 2 {
+					z0v := ns[i] + beta*zs[i]
+					zs[i] = z0v
+					v0 := ws[i] - alpha*z0v
+					ws[i] = v0
+					u0 := ms[i] * rs[i]
+					g0 += u0 * rs[i]
+					d0 += u0 * v0
+					z1v := ns[i+1] + beta*zs[i+1]
+					zs[i+1] = z1v
+					v1 := ws[i+1] - alpha*z1v
+					ws[i+1] = v1
+					u1 := ms[i+1] * rs[i+1]
+					g1 += u1 * rs[i+1]
+					d1 += u1 * v1
+				}
+				for ; i < n; i++ {
+					zv := ns[i] + beta*zs[i]
+					zs[i] = zv
+					v := ws[i] - alpha*zv
+					ws[i] = v
+					u := ms[i] * rs[i]
+					g0 += u * rs[i]
+					d0 += u * v
+				}
+				ga += g0 + g1
+				de += d0 + d1
+			}
+		}
+		acc[0] += ga
+		acc[1] += de
+		acc[2] += rra
+	})
+	if md == nil {
+		return acc[2], acc[1], acc[2]
+	}
+	return acc[0], acc[1], acc[2]
+}

@@ -20,10 +20,10 @@ type cgState[F comparable] struct {
 	rz, rr, rr0   float64
 }
 
-// runCGCore dispatches to the fused single-reduction engine when the
-// options and preconditioner allow it, and to the classic multi-pass
-// engine otherwise. Both record the (α, β) scalars and return the final
-// state for solvers that continue the run.
+// runCGCore dispatches to the pipelined engine (Options.Pipelined), the
+// fused single-reduction engine, or the classic multi-pass engine. All
+// three record the (α, β) scalars and return the final state for solvers
+// that continue the run.
 //
 // Folding a diagonal preconditioner needs minv valid one cell beyond the
 // interior. The Jacobi constructors can only evaluate the matrix diagonal
@@ -35,9 +35,12 @@ type cgState[F comparable] struct {
 // Deflated solves run on either engine: the projection is applied to the
 // matvec result, at the cost of one extra reduction round per iteration.
 func runCGCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) (Result, *cgState[F], error) {
-	if e.o.Fused {
+	if e.o.Pipelined || e.o.Fused {
 		if minv, ok := e.sys.FoldableDiag(); ok {
 			if isZeroF(minv) || e.c.Size() == 1 || e.sys.GridHalo() >= 2 {
+				if e.o.Pipelined {
+					return runCGPipelinedCore(e, minv, maxIters, tol)
+				}
 				return runCGFusedCore(e, minv, maxIters, tol)
 			}
 		}
@@ -91,7 +94,9 @@ func (e *engine[F, B]) deflDelta(minv, zd, r, w F) float64 {
 //	β = γ'/γ,  α = γ'/(δ − β·γ'/α)
 //
 // The diagonal preconditioner is folded into the sweeps (u' is never
-// materialised); a zero minv is the identity, for which γ == rr.
+// materialised); a zero minv is the identity, for which γ == rr. With
+// Options.SplitSweeps the exchange overlaps sweep 3's interior pass
+// (applyPreDotX).
 //
 // With a deflator configured the same recurrences run on the projected
 // operator P·A: the matvec sweep is followed by the (collective)
@@ -177,11 +182,10 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		e.vectorPass(in)
 		gammaNew, rrNew := sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
 		e.vectorPass(in)
-		if err := e.exchange(1, r); err != nil {
+		deltaNew, err := e.applyPreDotX(minv, r, w)
+		if err != nil {
 			return result, nil, err
 		}
-		deltaNew := sys.ApplyPreDot(in, minv, r, w)
-		e.tr.AddMatvec(e.cells)
 		if defl != nil {
 			defl.ProjectW(w)
 			deltaNew = e.deflDelta(minv, zd, r, w)
@@ -229,6 +233,181 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		// Iteration budget exhausted (or breakdown): still apply the final
 		// coarse correction so the state handed to a continuation solver is
 		// consistent, and report the true residual.
+		rel, err := e.finishDeflated(defl, r, rr0)
+		if err != nil {
+			return result, nil, err
+		}
+		result.FinalResidual = rel
+	}
+	return result, mkState(gamma, rr, rr0), nil
+}
+
+// runCGPipelinedCore is the pipelined (Ghysels–Vanroose) single-reduction
+// PCG engine behind Options.Pipelined. Where the Chronopoulos–Gear fused
+// engine coalesces each iteration's reductions into one round, this
+// engine removes that round from the critical path entirely: two extra
+// recurrences (s tracking A·M⁻¹p and z tracking A·M⁻¹s) shift the matvec
+// onto the auxiliary vector n = A·M⁻¹w, whose sweep does not depend on
+// the iteration's scalars — so the round is STARTED before the sweep and
+// FINISHED after it, hiding the allreduce latency (the scaling bottleneck
+// of CG per §III-A) behind a full matvec of local compute. Writing
+// u' = M⁻¹r, each iteration is
+//
+//	start allreduce {γ, δ, rr}            (split-phase, comm.ReduceHandle)
+//	exchange halo of w;  n = A·(M⁻¹w)     (overlapped with the round)
+//	finish allreduce, then β = γ/γ₋, α = γ/(δ − β·γ/α₋)
+//	one sweep (PipelinedCGStep): p = u' + β·p; s = w + β·s; z = n + β·z;
+//	    x += α·p; r −= α·s; w −= α·z;  γ = r·u'; δ = u'·w; rr = r·r
+//
+// — exactly one reduction round per iteration, never serialised against
+// compute. The price over the fused engine is two extra vectors (z and
+// the n scratch) and one speculative matvec at convergence (the round
+// that detects it has already computed the next n); fusing all six
+// recurrences into ONE sweep (rather than the textbook direction/update
+// pair) keeps the engine's memory traffic at parity with the fused
+// engine — see kernels.PipelinedCGStep. With Options.SplitSweeps the
+// overlapped matvec additionally splits into interior and boundary-ring
+// passes so the w exchange also hides behind compute (applyPreDotX).
+//
+// With a deflator configured the recurrences run on the projected
+// operator P·A: the projection is applied to n strictly AFTER the round
+// finishes — the split-phase contract forbids other collectives while a
+// reduction is in flight — which preserves the invariants w = P·A·M⁻¹r,
+// s = P·A·M⁻¹p and z = P·A·M⁻¹s by induction, at the cost of the
+// projector's extra reduction round per iteration (exactly as on the
+// fused and classic engines).
+func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, tol float64) (Result, *cgState[F], error) {
+	sys := e.sys
+	in := e.in
+	var result Result
+
+	defl := sys.Deflation()
+	var zd F // deflated-path M⁻¹r scratch (startup δ must see the projected w)
+	if defl != nil && !isZeroF(minv) {
+		zd = sys.NewVec()
+	}
+
+	r := sys.NewVec()
+	w := sys.NewVec()
+	pvec := sys.NewVec()
+	svec := sys.NewVec()
+	zvec := sys.NewVec() // z = A·M⁻¹s by recurrence
+	nvec := sys.NewVec() // n = A·M⁻¹w, the per-iteration matvec target
+	// Like the fused engine, z = M⁻¹r is never materialised; the
+	// continuation state's z aliases r for the identity.
+	z := r
+	if !isZeroF(minv) {
+		var zero F
+		z = zero
+	}
+	mkState := func(gamma, rr, rr0 float64) *cgState[F] {
+		return &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
+	}
+
+	// Startup: identical to the fused engine — r = rhs − A·u (with the
+	// deflated coarse correction if configured), then one fused sweep
+	// produces w = A·M⁻¹r and the three local startup scalars. Their
+	// reduction is NOT performed here: it becomes the first loop pass's
+	// split-phase round, overlapped with the first speculative matvec.
+	if err := e.exchange(1, e.u); err != nil {
+		return result, nil, err
+	}
+	sys.Residual(in, e.u, e.rhs, r)
+	e.tr.AddMatvec(e.cells)
+	if defl != nil {
+		defl.CoarseCorrect(r, e.u)
+		if err := e.exchange(1, e.u); err != nil {
+			return result, nil, err
+		}
+		sys.Residual(in, e.u, e.rhs, r)
+		e.tr.AddMatvec(e.cells)
+	}
+	if err := e.exchange(1, r); err != nil {
+		return result, nil, err
+	}
+	gamma, delta, rr := sys.ApplyPreDotInit(in, minv, r, w)
+	e.tr.AddMatvec(e.cells)
+	if defl != nil {
+		defl.ProjectW(w) // w = P·A·M⁻¹r
+		delta = e.deflDelta(minv, zd, r, w)
+	}
+
+	var alpha, gammaOld, rr0 float64
+	first := true
+	for {
+		// Loop invariant: gamma, delta and rr hold the LOCAL partials of
+		// γ = r·(M⁻¹r), δ = (M⁻¹r)·w and ‖r‖² for the current r, w; the
+		// round reducing them overlaps the next Krylov basis extension.
+		h := e.c.AllReduceSumNStart([]float64{gamma, delta, rr})
+		if _, err := e.applyPreDotX(minv, w, nvec); err != nil {
+			return result, nil, err
+		}
+		sums := h.Finish()
+		gamma, delta, rr = sums[0], sums[1], sums[2]
+
+		if first {
+			rr0 = rr
+			if rr0 == 0 {
+				result.Converged = true
+				return result, mkState(0, 0, 0), nil
+			}
+			if delta <= 0 || math.IsNaN(delta) {
+				// A or M lost positive definiteness at startup, exactly as
+				// on the fused engine.
+				result.FinalResidual = 1
+				result.Breakdown = true
+				return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: startup curvature δ = %v: %w", delta, ErrBreakdown)
+			}
+		} else {
+			result.Alphas = append(result.Alphas, alpha)
+			result.Iterations++
+			rel := relResidual(rr, rr0)
+			result.History = append(result.History, rel)
+			if rel <= tol {
+				result.Converged = true
+				result.FinalResidual = rel
+				if defl != nil {
+					rel, err := e.finishDeflated(defl, r, rr0)
+					if err != nil {
+						return result, nil, err
+					}
+					result.FinalResidual = rel
+					result.Converged = rel <= 10*tol
+				}
+				return result, mkState(gamma, rr, rr0), nil
+			}
+		}
+		if result.Iterations >= maxIters {
+			break
+		}
+		if defl != nil {
+			defl.ProjectW(nvec) // n = P·A·M⁻¹w, strictly after Finish
+		}
+		var beta float64
+		if first {
+			alpha = gamma / delta
+			first = false
+		} else {
+			betaNew := gamma / gammaOld
+			denom := delta - betaNew*gamma/alpha
+			if denom <= 0 || math.IsNaN(denom) || math.IsNaN(rr) {
+				// The three-term recurrences lost conjugacy; stop like the
+				// fused engine's in-loop guard.
+				result.Breakdown = true
+				break
+			}
+			result.Betas = append(result.Betas, betaNew)
+			beta = betaNew
+			alpha = gamma / denom
+		}
+		gammaOld = gamma
+		gamma, delta, rr = sys.PipelinedCGStep(in, minv, r, w, nvec, beta, alpha, pvec, svec, zvec, e.u)
+		e.vectorPass(in)
+	}
+	result.FinalResidual = relResidual(rr, rr0)
+	if defl != nil && rr0 > 0 {
+		// Budget exhausted or breakdown: apply the final coarse correction
+		// so continuation state is consistent, and report the true residual.
 		rel, err := e.finishDeflated(defl, r, rr0)
 		if err != nil {
 			return result, nil, err

@@ -62,6 +62,14 @@ func (s *sys2d) ApplyPreDotInit(b grid.Bounds, minv, r, w *grid.Field2D) (gamma,
 	return s.op.ApplyPreDotInit(s.p, b, minv, r, w)
 }
 
+func (s *sys2d) ApplyPreDotInterior(b grid.Bounds, minv, r, w *grid.Field2D) float64 {
+	return s.op.ApplyPreDotInterior(s.p, b, minv, r, w)
+}
+
+func (s *sys2d) ApplyPreDotBoundary(b grid.Bounds, minv, r, w *grid.Field2D) float64 {
+	return s.op.ApplyPreDotBoundary(s.p, b, minv, r, w)
+}
+
 func (s *sys2d) Dot(b grid.Bounds, x, y *grid.Field2D) float64 {
 	return kernels.Dot(s.p, b, x, y)
 }
@@ -104,6 +112,10 @@ func (s *sys2d) FusedCGUpdate(b grid.Bounds, alpha float64, p, sv, x, r, minv *g
 
 func (s *sys2d) FusedPPCGInner(b, in grid.Bounds, alpha, beta float64, w, rtemp, minv, sd, z *grid.Field2D) {
 	kernels.FusedPPCGInner(s.p, b, in, alpha, beta, w, rtemp, minv, sd, z)
+}
+
+func (s *sys2d) PipelinedCGStep(b grid.Bounds, minv, r, w, n *grid.Field2D, beta, alpha float64, p, sv, z, x *grid.Field2D) (gamma, delta, rr float64) {
+	return kernels.PipelinedCGStep(s.p, b, minv, r, w, n, beta, alpha, p, sv, z, x)
 }
 
 func (s *sys2d) PrecondApply(b grid.Bounds, r, z *grid.Field2D) { s.m.Apply(s.p, b, r, z) }

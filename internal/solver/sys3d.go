@@ -67,6 +67,14 @@ func (s *sys3d) ApplyPreDotInit(b grid.Bounds3D, minv, r, w *grid.Field3D) (gamm
 	return s.op.ApplyPreDotInit(s.p, b, minv, r, w)
 }
 
+func (s *sys3d) ApplyPreDotInterior(b grid.Bounds3D, minv, r, w *grid.Field3D) float64 {
+	return s.op.ApplyPreDotInterior(s.p, b, minv, r, w)
+}
+
+func (s *sys3d) ApplyPreDotBoundary(b grid.Bounds3D, minv, r, w *grid.Field3D) float64 {
+	return s.op.ApplyPreDotBoundary(s.p, b, minv, r, w)
+}
+
 func (s *sys3d) Dot(b grid.Bounds3D, x, y *grid.Field3D) float64 {
 	return kernels.Dot3D(s.p, b, x, y)
 }
@@ -109,6 +117,10 @@ func (s *sys3d) FusedCGUpdate(b grid.Bounds3D, alpha float64, p, sv, x, r, minv 
 
 func (s *sys3d) FusedPPCGInner(b, in grid.Bounds3D, alpha, beta float64, w, rtemp, minv, sd, z *grid.Field3D) {
 	kernels.FusedPPCGInner3D(s.p, b, in, alpha, beta, w, rtemp, minv, sd, z)
+}
+
+func (s *sys3d) PipelinedCGStep(b grid.Bounds3D, minv, r, w, n *grid.Field3D, beta, alpha float64, p, sv, z, x *grid.Field3D) (gamma, delta, rr float64) {
+	return kernels.PipelinedCGStep3D(s.p, b, minv, r, w, n, beta, alpha, p, sv, z, x)
 }
 
 func (s *sys3d) PrecondApply(b grid.Bounds3D, r, z *grid.Field3D) { s.m.Apply3D(s.p, b, r, z) }

@@ -53,6 +53,13 @@ type system[F comparable, B any] interface {
 	// ApplyPreDotInit is the fused-CG startup sweep: w = A·(minv⊙r) with
 	// the local γ = r·(minv⊙r), δ = (minv⊙r)·w and ‖r‖² scalars.
 	ApplyPreDotInit(b B, minv, r, w F) (gamma, delta, rr float64)
+	// ApplyPreDotInterior is the interior pass of the split ApplyPreDot:
+	// the cells of b whose stencil never reads b's one-cell surround, so a
+	// depth-1 halo exchange of r can run concurrently with the sweep.
+	ApplyPreDotInterior(b B, minv, r, w F) float64
+	// ApplyPreDotBoundary is the matching one-cell-ring pass, run after
+	// the exchange has landed; the two dot partials sum to ApplyPreDot's.
+	ApplyPreDotBoundary(b B, minv, r, w F) float64
 
 	// Dot computes the local x·y over b.
 	Dot(b B, x, y F) float64
@@ -82,6 +89,12 @@ type system[F comparable, B any] interface {
 	// matvec (residual update, preconditioner, direction, accumulate) in
 	// one sweep over b, accumulating into z over in.
 	FusedPPCGInner(b, in B, alpha, beta float64, w, rtemp, minv, sd, z F)
+	// PipelinedCGStep is the whole vector phase of a pipelined-CG
+	// iteration in one sweep: the direction recurrences p = (minv⊙r) + β·p,
+	// s = w + β·s, z = n + β·z with the updates they feed, x += α·p,
+	// r −= α·s, w −= α·z, returning the local γ = r·(minv⊙r),
+	// δ = (minv⊙r)·w and ‖r‖² of the updated vectors.
+	PipelinedCGStep(b B, minv, r, w, n F, beta, alpha float64, p, s, z, x F) (gamma, delta, rr float64)
 
 	// PrecondApply applies the configured preconditioner z = M⁻¹r over b.
 	PrecondApply(b B, r, z F)
@@ -180,6 +193,35 @@ func (e *engine[F, B]) matvecDot(b B, p, w F) float64 {
 	e.tr.AddMatvec(e.sys.Cells(b))
 	e.tr.AddDot(e.sys.Cells(b))
 	return e.c.AllReduceSum(local)
+}
+
+// applyPreDotX refreshes r's depth-1 halo and computes w = A·(minv⊙r)
+// over the interior, returning the local (minv⊙r)·w dot. It is the
+// matvec step of the fused and pipelined CG engines. With
+// Options.SplitSweeps the exchange runs concurrently with the interior
+// sweep — the exchange only writes halo cells and reads the interior ring,
+// which the interior sweep never touches — and the boundary-ring pass
+// completes the field once the fresh halo has landed. The exchange runs in
+// a plain goroutine (the comm paths never touch the par.Pool, which is not
+// reentrant); the channel receive orders its Trace writes before ours.
+func (e *engine[F, B]) applyPreDotX(minv, r, w F) (float64, error) {
+	if !e.o.SplitSweeps {
+		if err := e.exchange(1, r); err != nil {
+			return 0, err
+		}
+		d := e.sys.ApplyPreDot(e.in, minv, r, w)
+		e.tr.AddMatvec(e.cells)
+		return d, nil
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- e.exchange(1, r) }()
+	d := e.sys.ApplyPreDotInterior(e.in, minv, r, w)
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	d += e.sys.ApplyPreDotBoundary(e.in, minv, r, w)
+	e.tr.AddMatvec(e.cells)
+	return d, nil
 }
 
 // initialResidual exchanges u, computes r = rhs − A·u on the interior and
