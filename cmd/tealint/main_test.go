@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/load"
+)
+
+// TestTealintCleanOnRepo pins the suite's acceptance criterion: the tree
+// itself satisfies every contract the analyzers enforce. A regression
+// here is either a real contract violation (fix the code) or a new
+// wrapper that belongs on an analyzer's allowlist (fix the analyzer,
+// with a testdata case).
+func TestTealintCleanOnRepo(t *testing.T) {
+	targets, err := load.FromGoList(".", []string{"tealeaf/..."})
+	if err != nil {
+		t.Fatalf("resolving module packages: %v", err)
+	}
+	if len(targets) < 10 {
+		t.Fatalf("go list matched only %d packages; pattern broken?", len(targets))
+	}
+	for _, tg := range targets {
+		pkg, err := tg.Load()
+		if err != nil {
+			t.Fatalf("%s: %v", tg.ImportPath, err)
+		}
+		diags, err := runSuite(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", tg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", d.pos, d.analyzer, d.message)
+		}
+	}
+}

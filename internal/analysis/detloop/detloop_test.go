@@ -1,0 +1,12 @@
+package detloop_test
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/analysistest"
+	"tealeaf/internal/analysis/detloop"
+)
+
+func TestDetLoop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detloop.Analyzer, "tealeaf/internal/solver", "a")
+}

@@ -1,0 +1,11 @@
+// Package a is outside the numeric package set: the same map-order fold
+// is allowed here (reporting/CLI code may not need bit reproducibility).
+package a
+
+func weightSum(w map[string]float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+// Package solver holds the reproducibility violations detloop must flag
+// inside a numeric package, plus the folds it must accept.
+package solver
+
+import "tealeaf/internal/stats"
+
+// commCost is the stats.Trace-derived case: weighting the per-depth
+// exchange counts into one float total in map order makes the reported
+// cost differ across runs.
+func commCost(tr *stats.Trace, latency func(depth int) float64) float64 {
+	var cost float64
+	for d, n := range tr.ExchangesByDepth {
+		cost += float64(n) * latency(d) // want `floating-point accumulation of cost over randomized map iteration order`
+	}
+	return cost
+}
+
+// residualByRegion folds region residuals in map order.
+func residualByRegion(parts map[int][]float64) float64 {
+	var rr float64
+	for _, p := range parts {
+		for _, v := range p {
+			rr += v * v // want `floating-point accumulation of rr over randomized map iteration order`
+		}
+	}
+	return rr
+}
+
+// spelledOut writes the fold as x = x + v.
+func spelledOut(w map[string]float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s = s + v // want `floating-point accumulation of s over randomized map iteration order`
+	}
+	return s
+}
+
+// intoField accumulates through a struct field.
+type acc struct{ total float64 }
+
+func intoField(a *acc, w map[int]float64) {
+	for _, v := range w {
+		a.total += v // want `floating-point accumulation of a over randomized map iteration order`
+	}
+}
+
+// sortedFold is the fix idiom: extract keys, sort, fold over the slice.
+func sortedFold(tr *stats.Trace, latency func(depth int) float64) float64 {
+	keys := make([]int, 0, len(tr.ExchangesByDepth))
+	for d := range tr.ExchangesByDepth {
+		keys = append(keys, d)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	var cost float64
+	for _, d := range keys {
+		cost += float64(tr.ExchangesByDepth[d]) * latency(d)
+	}
+	return cost
+}
+
+// intCounts may fold in map order: integer addition commutes exactly.
+func intCounts(tr *stats.Trace) int {
+	total := 0
+	for _, n := range tr.ExchangesByDepth {
+		total += n
+	}
+	return total
+}
+
+// perKeySlots writes order-independent per-key results, no fold.
+func perKeySlots(w map[int]float64, out []float64) {
+	for d, v := range w {
+		out[d] = v * 2
+	}
+}
+
+// perIterationLocal accumulates into a variable scoped to the iteration.
+func perIterationLocal(parts map[int][]float64, out map[int]float64) {
+	for d, p := range parts {
+		local := 0.0
+		for _, v := range p {
+			local += v
+		}
+		out[d] = local
+	}
+}
+
+// maxTracking keeps a running max: order-independent, not a fold.
+func maxTracking(w map[int]float64) float64 {
+	best := 0.0
+	for _, v := range w {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

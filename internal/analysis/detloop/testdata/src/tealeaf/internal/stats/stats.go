@@ -1,0 +1,10 @@
+// Package stats is the analysistest stub of the tracing layer: just the
+// Trace shape detloop's testdata cases fold over.
+package stats
+
+// Trace mirrors stats.Trace: per-rank counters, single-goroutine.
+type Trace struct {
+	Reductions       int
+	HaloExchanges    int
+	ExchangesByDepth map[int]int
+}

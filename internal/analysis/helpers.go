@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method a call expression invokes, or
+// nil when it cannot be determined statically (calls through function
+// values, built-ins, and type conversions). Method calls through
+// interfaces resolve to the interface method, which is exactly what the
+// suite's contracts are phrased against (e.g. "a comm.Communicator
+// reduction"), and calls to methods of instantiated generic types resolve
+// to their uninstantiated origin so matching sees the declared receiver.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			// Qualified identifier (pkg.Func) or method expression.
+			obj = info.Uses[fun.Sel]
+		}
+	case *ast.IndexExpr:
+		// Explicitly instantiated generic function: f[T](...).
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
+}
+
+// PkgPathIs reports whether pkg's import path is path itself or ends with
+// "/"+path. Matching by suffix lets the analyzers recognise both the real
+// packages ("tealeaf/internal/comm") and the analysistest stubs, which
+// live under the same module-relative paths.
+func PkgPathIs(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// IsPkgFunc reports whether fn is a function or method whose defining
+// package matches pkgPath (by PkgPathIs) and whose name is one of names.
+func IsPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || !PkgPathIs(fn.Pkg(), pkgPath) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedOf unwraps pointers, aliases and generic instantiation down to the
+// defining *types.Named, or nil for unnamed types.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// RecvNamed returns the defining package path and type name of fn's
+// receiver, or ok=false for plain functions and interface methods whose
+// receiver is unnamed.
+func RecvNamed(fn *types.Func) (pkgPath, typeName string, ok bool) {
+	if fn == nil {
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	n := NamedOf(sig.Recv().Type())
+	if n == nil || n.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name(), true
+}
+
+// RecvTypeOf returns the static type of the receiver expression of a
+// method call, or nil when call is not a method call.
+func RecvTypeOf(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	return s.Recv()
+}
+
+// EnclosingFuncs returns, for each top-level declaration in file, the
+// *types.Func it defines — used by analyzers that allowlist by receiver.
+func FuncObject(info *types.Info, decl *ast.FuncDecl) *types.Func {
+	fn, _ := info.Defs[decl.Name].(*types.Func)
+	return fn
+}

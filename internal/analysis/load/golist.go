@@ -1,0 +1,118 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the standalone
+// driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Incomplete bool
+}
+
+// GoListTarget is one package selected by the standalone driver's
+// patterns, ready to be loaded on demand.
+type GoListTarget struct {
+	ImportPath string
+	load       func() (*Package, error)
+}
+
+// Load type-checks the target.
+func (t *GoListTarget) Load() (*Package, error) { return t.load() }
+
+// FromGoList resolves the given package patterns (e.g. "./...") with
+// `go list -deps -export -json` and returns the matched non-dependency
+// packages. The -export flag makes cmd/go (re)build export data for every
+// listed package into the build cache, which is exactly the import
+// resolution material the gc importer needs — the standalone mode of
+// tealint therefore analyzes the same compiled view of the code that
+// `go build` produces, with no network or toolchain beyond `go` itself.
+func FromGoList(dir string, patterns []string) ([]*GoListTarget, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard,ImportMap,Incomplete"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var listed []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, p)
+	}
+
+	var targets []*GoListTarget
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		if p.Incomplete {
+			return nil, fmt.Errorf("load: package %s does not compile; fix the build before linting", p.ImportPath)
+		}
+		p := p
+		targets = append(targets, &GoListTarget{
+			ImportPath: p.ImportPath,
+			load:       func() (*Package, error) { return loadListed(p, exports) },
+		})
+	}
+	return targets, nil
+}
+
+func loadListed(p *listedPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles { // go list's GoFiles already excludes tests
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return &Package{Fset: fset}, nil
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data listed for import %q of %s", path, p.ImportPath)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return Check(fset, p.ImportPath, files, imp)
+}

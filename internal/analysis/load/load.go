@@ -1,0 +1,146 @@
+// Package load type-checks Go packages for the tealint analyzer suite
+// without depending on golang.org/x/tools. It has three entry points,
+// one per driver mode:
+//
+//   - Dir / SrcImporter: parse and check a package from a source tree
+//     (the analysistest harness's GOPATH-style testdata/src layout).
+//   - VetConfig / FromVetConfig: the `go vet -vettool` unit-checking
+//     protocol — cmd/go hands the tool a JSON config naming the
+//     package's files and the compiled export data of its imports.
+//   - FromGoList: standalone `tealint ./...` — shells out to
+//     `go list -deps -export -json` and checks each listed target
+//     against the export data the build cache already holds.
+//
+// All modes exclude *_test.go files: the suite's contracts guard
+// production code, and the repo's tests intentionally exercise contract
+// violations (that is how the runtime behaviour behind each contract is
+// pinned).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// newInfo allocates a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Check type-checks the parsed files as package path using imp to resolve
+// imports.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := newInfo()
+	conf := &types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Types: pkg, TypesInfo: info}, nil
+}
+
+// parseDir parses every non-test .go file in dir into fset, sorted by
+// file name for deterministic diagnostics.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no non-test .go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// SrcImporter resolves import paths against a GOPATH-style source root:
+// the package with import path P lives in Root/P. Packages are parsed and
+// type-checked recursively on first use. It deliberately resolves nothing
+// else — analysistest testdata is hermetic (no standard-library imports),
+// so an unknown path is a testdata authoring error, not a fallback case.
+type SrcImporter struct {
+	Root string
+	Fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (si *SrcImporter) Import(path string) (*types.Package, error) {
+	if si.pkgs == nil {
+		si.pkgs = map[string]*types.Package{}
+	}
+	if p, ok := si.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("load: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	si.pkgs[path] = nil // cycle marker
+	pkg, err := si.load(path)
+	if err != nil {
+		delete(si.pkgs, path)
+		return nil, err
+	}
+	si.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (si *SrcImporter) load(path string) (*types.Package, error) {
+	dir := filepath.Join(si.Root, filepath.FromSlash(path))
+	files, err := parseDir(si.Fset, dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: import %q: %w", path, err)
+	}
+	conf := &types.Config{Importer: si}
+	return conf.Check(path, si.Fset, files, newInfo())
+}
+
+// Dir parses and type-checks the package rooted at Root/path of the
+// GOPATH-style tree the importer resolves against.
+func Dir(si *SrcImporter, path string) (*Package, error) {
+	dir := filepath.Join(si.Root, filepath.FromSlash(path))
+	files, err := parseDir(si.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	return Check(si.Fset, path, files, si)
+}

@@ -1,0 +1,103 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig is the JSON unit-checking configuration `go vet -vettool`
+// writes for each package it analyzes (one invocation per package, with
+// VetxOnly=true for pure dependency visits). The field set mirrors what
+// cmd/go emits; fields the suite does not consult are omitted.
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+	NonGoFiles []string
+	// ImportMap maps the import paths that appear in the source to
+	// canonical package paths; PackageFile maps canonical paths to the
+	// compiled export data cmd/go has already built for them.
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	// VetxOnly marks a visit that only exists to propagate analysis facts
+	// from a dependency. The tealint analyzers are package-local and keep
+	// no fact store, so these visits write an empty facts file and exit.
+	VetxOnly                  bool
+	VetxOutput                string
+	Standalone                bool
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses the cfg file go vet hands the tool.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("load: malformed vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// WriteVetx writes the (empty) analysis-facts file the vet protocol
+// requires at cfg.VetxOutput. cmd/go caches and feeds it back to later
+// invocations through PackageVetx; the suite never reads it.
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte("tealint: no facts\n"), 0o666)
+}
+
+// Load parses and type-checks the package the vet config describes.
+// Imports resolve through the export data files cmd/go listed in
+// PackageFile (the same compiled packages the build itself used), read by
+// the standard library's gc importer. In-package *_test.go files are
+// present in cfg.GoFiles (go vet analyzes test variants too) and are
+// excluded here, like every other suite mode.
+func (cfg *VetConfig) Load() (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// A package of nothing but test files (external _test packages
+		// sometimes reduce to this once tests are excluded).
+		return &Package{Fset: fset, Files: nil, Types: nil, TypesInfo: nil}, nil
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, cfg.lookup)
+	return Check(fset, cfg.ImportPath, files, imp)
+}
+
+// lookup opens the export data for one import, resolving vendor and
+// module rewrites through ImportMap first.
+func (cfg *VetConfig) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	file, ok := cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("load: vet config for %s lists no export data for import %q", cfg.ImportPath, path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,12 @@
+package poolreentry_test
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/analysistest"
+	"tealeaf/internal/analysis/poolreentry"
+)
+
+func TestPoolReentry(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolreentry.Analyzer, "a", "b", "tealeaf/internal/comm")
+}

@@ -1,0 +1,70 @@
+// Package b holds pool usage the poolreentry analyzer must accept.
+package b
+
+import "tealeaf/internal/par"
+
+// sequentialRegions dispatches back-to-back regions: fine, the team is
+// idle between them.
+func sequentialRegions(p *par.Pool, xs []float64) float64 {
+	p.For(0, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] *= 2
+		}
+	})
+	return p.ForReduce(0, len(xs), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	})
+}
+
+// helperOutside calls a dispatching helper outside any region.
+func helperOutside(p *par.Pool, xs []float64) float64 {
+	return sum(p, xs)
+}
+
+func sum(p *par.Pool, xs []float64) float64 {
+	return p.ForReduce(0, len(xs), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	})
+}
+
+// pureHelperInside calls a non-dispatching helper from a body: allowed.
+func pureHelperInside(p *par.Pool, xs []float64) {
+	p.For(0, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = clamp(xs[i])
+		}
+	})
+}
+
+func clamp(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// namedCleanBody passes a non-dispatching named body.
+func namedCleanBody(p *par.Pool, xs []float64) {
+	p.For(0, len(xs), cleanBody)
+}
+
+func cleanBody(lo, hi int) {}
+
+// reduceN uses the N-ary reduction with a plain body.
+func reduceN(p *par.Pool, xs []float64) []float64 {
+	return p.ForReduceN(3, 0, len(xs), func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			acc[0] += xs[i]
+			acc[1] += xs[i] * xs[i]
+			acc[2]++
+		}
+	})
+}

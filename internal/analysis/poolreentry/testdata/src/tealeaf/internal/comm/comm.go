@@ -1,0 +1,9 @@
+// Package comm is a stub standing in for the real communication layer,
+// here to exercise the poolreentry import wall: comm must never import
+// the worker pool.
+package comm
+
+import "tealeaf/internal/par" // want `internal/comm must not import internal/par`
+
+// Serial is a placeholder user of the illegal import.
+type Serial struct{ p *par.Pool }

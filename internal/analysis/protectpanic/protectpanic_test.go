@@ -1,0 +1,12 @@
+package protectpanic_test
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/analysistest"
+	"tealeaf/internal/analysis/protectpanic"
+)
+
+func TestProtectPanic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), protectpanic.Analyzer, "a", "b")
+}

@@ -1,0 +1,62 @@
+// Package b holds TCP usage the protectpanic analyzer must accept.
+package b
+
+import "tealeaf/internal/comm"
+
+// solve stands in for core.RunRank: interface-typed reductions are the
+// callee's business; protection is established by the caller's scope.
+func solve(c comm.Communicator) float64 { return c.AllReduceSum(1) }
+
+// insideProtect is the cmd/tealeaf/net.go shape: construct the backend,
+// do panic-free setup, then run everything panic-capable under Protect —
+// including handing the concrete value to an interface-typed callee.
+func insideProtect(cfg comm.TCPConfig) (float64, error) {
+	t, err := comm.NewTCP(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer t.Close()
+	_ = t.Rank() // not panic-capable: fine outside the scope
+	var res float64
+	err = t.Protect(func() error {
+		t.Barrier()
+		res = solve(t)
+		res = t.AllReduceSum(res)
+		return nil
+	})
+	return res, err
+}
+
+// exchangeOutside uses the error-returning surface outside any scope:
+// Exchange reports failures as ordinary errors and never panics.
+func exchangeOutside(t *comm.TCP, f []float64) error {
+	return t.Exchange(1, f)
+}
+
+// interfaceCaller reduces through the interface type: never flagged, the
+// static type carries no panic contract.
+func interfaceCaller(c comm.Communicator, x float64) float64 {
+	c.Barrier()
+	return c.AllReduceMax(x)
+}
+
+// underRunTCP uses the harness: rank functions see only the interface.
+func underRunTCP(ranks int) error {
+	return comm.RunTCP(ranks, func(c comm.Communicator) error {
+		_ = c.AllReduceSum(1)
+		return nil
+	})
+}
+
+// protectInsideGoroutine establishes the recovery scope on the goroutine
+// that makes the calls: protected, the nesting order is what matters.
+func protectInsideGoroutine(t *comm.TCP) {
+	done := make(chan error, 1)
+	go func() {
+		done <- t.Protect(func() error {
+			t.Barrier()
+			return nil
+		})
+	}()
+	<-done
+}

@@ -1,0 +1,12 @@
+package splitreduce_test
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/analysistest"
+	"tealeaf/internal/analysis/splitreduce"
+)
+
+func TestSplitReduce(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), splitreduce.Analyzer, "a", "b")
+}

@@ -1,0 +1,10 @@
+// Package a is outside internal/solver: direct Communicator use is that
+// package's own business (core drivers, benchmarks).
+package a
+
+import "tealeaf/internal/comm"
+
+func direct(c comm.Communicator, x float64) float64 {
+	c.Barrier()
+	return c.AllReduceSum(x)
+}

@@ -1,0 +1,12 @@
+package tracerounds_test
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/analysistest"
+	"tealeaf/internal/analysis/tracerounds"
+)
+
+func TestTraceRounds(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tracerounds.Analyzer, "tealeaf/internal/solver", "a")
+}

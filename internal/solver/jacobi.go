@@ -59,7 +59,7 @@ func SolveJacobi(p Problem, o Options) (Result, error) {
 		})
 		e.tr.AddMatvec(in.Cells())
 		e.tr.AddDot(in.Cells())
-		gerr := e.c.AllReduceSum(localErr)
+		gerr := e.reduce(localErr)
 		result.Iterations++
 		if it == 0 {
 			err0 = gerr

@@ -65,7 +65,7 @@ func SolveJacobi3D(p Problem3D, o Options) (Result, error) {
 		})
 		e.tr.AddMatvec(in.Cells())
 		e.tr.AddDot(in.Cells())
-		gerr := e.c.AllReduceSum(localErr)
+		gerr := e.reduce(localErr)
 		result.Iterations++
 		if it == 0 {
 			err0 = gerr

@@ -160,7 +160,7 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		defl.ProjectW(w) // w = P·A·M⁻¹r
 		delta = e.deflDelta(minv, zd, r, w)
 	}
-	sums := e.c.AllReduceSumN([]float64{gamma, delta, rr0})
+	sums := e.reduceN([]float64{gamma, delta, rr0})
 	gamma, delta, rr0 = sums[0], sums[1], sums[2]
 	if rr0 == 0 {
 		result.Converged = true
@@ -190,7 +190,7 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 			defl.ProjectW(w)
 			deltaNew = e.deflDelta(minv, zd, r, w)
 		}
-		s := e.c.AllReduceSumN([]float64{gammaNew, rrNew, deltaNew})
+		s := e.reduceN([]float64{gammaNew, rrNew, deltaNew})
 		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
 
 		result.Alphas = append(result.Alphas, alpha)
@@ -338,8 +338,12 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 		// Loop invariant: gamma, delta and rr hold the LOCAL partials of
 		// γ = r·(M⁻¹r), δ = (M⁻¹r)·w and ‖r‖² for the current r, w; the
 		// round reducing them overlaps the next Krylov basis extension.
-		h := e.c.AllReduceSumNStart([]float64{gamma, delta, rr})
+		h := e.reduceNStart([]float64{gamma, delta, rr})
 		if _, err := e.applyPreDotX(minv, w, nvec); err != nil {
+			// Drain the posted round before surfacing the error: the other
+			// ranks are already in the butterfly, and the communicator must
+			// be quiescent for whatever the caller does next.
+			h.Finish()
 			return result, nil, err
 		}
 		sums := h.Finish()

@@ -181,6 +181,28 @@ func (e *engine[F, B]) dotPair(z, r F) (rz, rr float64) {
 	return e.c.AllReduceSum2(e.sys.Dot2(e.in, z, r, r))
 }
 
+// reduce performs one globally reduced scalar sum. The round itself is
+// counted by the communicator's trace; funneling it through the engine
+// keeps the iteration loops off the raw Communicator (the tracerounds
+// analyzer enforces this).
+func (e *engine[F, B]) reduce(x float64) float64 {
+	return e.c.AllReduceSum(x)
+}
+
+// reduceN sums a small vector of scalars in one reduction round — the
+// single-reduction fusion the paper's CG variants are built on.
+func (e *engine[F, B]) reduceN(vals []float64) []float64 {
+	return e.c.AllReduceSumN(vals)
+}
+
+// reduceNStart posts reduceN's round split-phase and returns its handle;
+// the pipelined loop overlaps the round with the next matvec. Every
+// control-flow path must Finish the handle before the next collective —
+// error paths included — which the splitreduce analyzer enforces.
+func (e *engine[F, B]) reduceNStart(vals []float64) comm.ReduceHandle {
+	return e.c.AllReduceSumNStart(vals)
+}
+
 // matvec applies w = A·p over b and traces it.
 func (e *engine[F, B]) matvec(b B, p, w F) {
 	e.sys.Apply(b, p, w)
