@@ -49,11 +49,12 @@ type config struct {
 	benchOut   string
 	deflOut    string
 	overlapOut string
+	tilesOut   string
 }
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|overlap|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|overlap|tiles|all")
 		mesh       = flag.Int("mesh", 192, "measured mesh size for fig3 (quick mode)")
 		steps      = flag.Int("steps", 0, "measured steps for fig3/fig4 (0 = per-experiment default)")
 		ladder     = flag.String("ladder", "32,48,64,96", "calibration mesh ladder")
@@ -63,10 +64,11 @@ func run() error {
 		benchOut   = flag.String("benchout", "BENCH_kernels.json", "output path for the -exp bench JSON report")
 		deflOut    = flag.String("deflout", "BENCH_deflation.json", "output path for the -exp deflation JSON report")
 		overlapOut = flag.String("overlapout", "BENCH_overlap.json", "output path for the -exp overlap JSON report")
+		tilesOut   = flag.String("tilesout", "BENCH_tiling.json", "output path for the -exp tiles JSON report")
 	)
 	flag.Parse()
 
-	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut, deflOut: *deflOut, overlapOut: *overlapOut}
+	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut, deflOut: *deflOut, overlapOut: *overlapOut, tilesOut: *tilesOut}
 	for _, tok := range strings.Split(*ladder, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
@@ -99,6 +101,7 @@ func run() error {
 		"deflation": deflationExperiment,
 		"smoke":     smokeExperiment,
 		"overlap":   overlapExperiment,
+		"tiles":     tilesExperiment,
 	}
 	if cfg.exp == "all" {
 		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "precond", "halodepth", "weak", "scale3d", "deflation"} {

@@ -27,8 +27,10 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// dispatchNames are the region-dispatching methods of par.Pool.
-var dispatchNames = []string{"For", "ForReduce", "ForReduce2", "ForReduceN"}
+// dispatchNames are the region-dispatching methods of par.Pool — the
+// tiled entry points dispatch the same persistent team and are exactly
+// as non-reentrant as the band loops.
+var dispatchNames = []string{"For", "ForReduce", "ForReduce2", "ForReduceN", "ForTiles", "ForTilesReduceN"}
 
 func isDispatch(info *types.Info, call *ast.CallExpr) bool {
 	fn := analysis.Callee(info, call)

@@ -1,0 +1,14 @@
+// Package a is outside the numeric set: the same fold draws no finding.
+package a
+
+import "tealeaf/internal/par"
+
+func uncoveredFold(pool *par.Pool, xs []float64) float64 {
+	var sum float64
+	pool.For(0, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+	})
+	return sum
+}

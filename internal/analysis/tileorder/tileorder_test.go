@@ -1,0 +1,12 @@
+package tileorder_test
+
+import (
+	"testing"
+
+	"tealeaf/internal/analysis/analysistest"
+	"tealeaf/internal/analysis/tileorder"
+)
+
+func TestTileOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tileorder.Analyzer, "tealeaf/internal/kernels", "a")
+}

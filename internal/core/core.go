@@ -18,6 +18,7 @@ import (
 	"tealeaf/internal/deck"
 	"tealeaf/internal/deflate"
 	"tealeaf/internal/grid"
+	"tealeaf/internal/machine"
 	"tealeaf/internal/par"
 	"tealeaf/internal/precond"
 	"tealeaf/internal/problem"
@@ -46,6 +47,7 @@ type Instance struct {
 	opts    solver.Options
 	stepNum int
 	simTime float64
+	dt      float64
 }
 
 // HaloFor returns the grid halo depth a deck requires: at least MinHalo,
@@ -56,6 +58,30 @@ func HaloFor(d *deck.Deck) int {
 		h = d.HaloDepth
 	}
 	return h
+}
+
+// tiledPool applies the deck's cache-tiling keys to the rank's thread
+// team: explicit tl_tile_* edges pin the shape, and with all three at 0
+// the shape is auto-tuned from the host's LLC model. The widest fused
+// sweeps co-walk about six arrays per cell in 2D and eight in 3D
+// (coefficients, recurrence vectors and the folded diagonal), which is
+// what the auto-tuner sizes tiles for. Pass nz = 0 for 2D grids.
+func tiledPool(d *deck.Deck, pool *par.Pool, nx, ny, nz int) *par.Pool {
+	if !d.Tiling {
+		return pool
+	}
+	tx, ty, tz := d.TileX, d.TileY, d.TileZ
+	if tx == 0 && ty == 0 && tz == 0 {
+		fields := 6
+		if nz > 1 {
+			fields = 8
+		}
+		tx, ty, tz = machine.HostDevice().TileFor(nx, ny, nz, fields)
+		if tx == 0 && ty == 0 && tz == 0 {
+			return pool // the whole sweep is LLC-resident; tiling buys nothing
+		}
+	}
+	return pool.WithTiles(tx, ty, tz)
 }
 
 // NewSerial builds a single-rank instance covering the whole deck domain.
@@ -77,8 +103,10 @@ func NewInstance(d *deck.Deck, g *grid.Grid2D, pool *par.Pool, c comm.Communicat
 	if pool == nil {
 		pool = par.Serial
 	}
+	pool = tiledPool(d, pool, g.NX, g.NY, 0)
 	inst := &Instance{
 		Deck: d, Grid: g, Pool: pool, Comm: c,
+		dt:      d.InitialTimestep,
 		Density: grid.NewField2D(g),
 		Energy:  grid.NewField2D(g),
 		U:       grid.NewField2D(g),
@@ -179,8 +207,50 @@ func (inst *Instance) Step() (solver.Result, error) {
 	}
 	problem.UToEnergy(inst.Density, inst.U, inst.Energy)
 	inst.stepNum++
-	inst.simTime += inst.Deck.InitialTimestep
+	inst.simTime += inst.dt
 	return res, nil
+}
+
+// SetTimestep changes the implicit time-step size for subsequent Steps.
+// The solve operator A = I + dt·div(k·grad) depends on dt, so a changed
+// dt rebuilds the operator and preconditioner and re-assembles the
+// deflation projector's coarse matrix E = WᵀAW (one reduction round).
+// An unchanged dt is a no-op: the operator, factorization and cached E
+// all carry over with zero computation and zero communication — which
+// is why harnesses stepping at constant dt pay the coarse assembly
+// exactly once. Collective when the dt actually changes and deflation
+// is configured.
+func (inst *Instance) SetTimestep(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("core: SetTimestep requires dt > 0, got %g", dt)
+	}
+	if dt == inst.dt {
+		return nil
+	}
+	d := inst.Deck
+	coef := stencil.Conductivity
+	if d.Coefficient == "recip_density" {
+		coef = stencil.RecipConductivity
+	}
+	phys := inst.Comm.Physical()
+	op, err := stencil.BuildOperator2D(inst.Pool, inst.Density, dt, coef,
+		stencil.PhysicalSides{Left: phys.Left, Right: phys.Right, Down: phys.Down, Up: phys.Up})
+	if err != nil {
+		return fmt.Errorf("core: SetTimestep: %w", err)
+	}
+	m, err := precond.FromName(d.Precond, inst.Pool, op)
+	if err != nil {
+		return fmt.Errorf("core: SetTimestep: %w", err)
+	}
+	if defl, ok := inst.opts.Deflation.(*deflate.Deflation); ok && defl != nil {
+		if err := defl.Refresh(op, true); err != nil {
+			return fmt.Errorf("core: SetTimestep: %w", err)
+		}
+	}
+	inst.Op = op
+	inst.opts.Precond = m
+	inst.dt = dt
+	return nil
 }
 
 // StepCount returns the number of completed steps.

@@ -35,6 +35,7 @@ type Instance3D struct {
 	opts    solver.Options
 	stepNum int
 	simTime float64
+	dt      float64
 }
 
 // NewSerial3D builds a single-rank 3D instance covering the whole deck
@@ -61,8 +62,10 @@ func NewInstance3D(d *deck.Deck, g *grid.Grid3D, pool *par.Pool, c comm.Communic
 	if pool == nil {
 		pool = par.Serial
 	}
+	pool = tiledPool(d, pool, g.NX, g.NY, g.NZ)
 	inst := &Instance3D{
 		Deck: d, Grid: g, Pool: pool, Comm: c,
+		dt:      d.InitialTimestep,
 		Density: grid.NewField3D(g),
 		Energy:  grid.NewField3D(g),
 		U:       grid.NewField3D(g),
@@ -163,8 +166,47 @@ func (inst *Instance3D) Step() (solver.Result, error) {
 	}
 	problem.UToEnergy3D(inst.Density, inst.U, inst.Energy)
 	inst.stepNum++
-	inst.simTime += inst.Deck.InitialTimestep
+	inst.simTime += inst.dt
 	return res, nil
+}
+
+// SetTimestep changes the implicit time-step size for subsequent Steps —
+// the 3D twin of Instance.SetTimestep. An unchanged dt is a free no-op
+// (the cached deflation coarse matrix carries over); a changed dt
+// rebuilds the operator and preconditioner and re-assembles E = WᵀAW.
+// Collective when the dt actually changes and deflation is configured.
+func (inst *Instance3D) SetTimestep(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("core: SetTimestep requires dt > 0, got %g", dt)
+	}
+	if dt == inst.dt {
+		return nil
+	}
+	d := inst.Deck
+	coef := stencil.Conductivity
+	if d.Coefficient == "recip_density" {
+		coef = stencil.RecipConductivity
+	}
+	phys := inst.Comm.Physical3D()
+	op, err := stencil.BuildOperator3D(inst.Pool, inst.Density, dt, coef,
+		stencil.PhysicalSides3D{Left: phys.Left, Right: phys.Right, Down: phys.Down,
+			Up: phys.Up, Back: phys.Back, Front: phys.Front})
+	if err != nil {
+		return fmt.Errorf("core: SetTimestep: %w", err)
+	}
+	m, err := precond.FromName3D(d.Precond, inst.Pool, op)
+	if err != nil {
+		return fmt.Errorf("core: SetTimestep: %w", err)
+	}
+	if defl, ok := inst.opts.Deflation3D.(*deflate.Deflation3D); ok && defl != nil {
+		if err := defl.Refresh(op, true); err != nil {
+			return fmt.Errorf("core: SetTimestep: %w", err)
+		}
+	}
+	inst.Op = op
+	inst.opts.Precond3D = m
+	inst.dt = dt
+	return nil
 }
 
 // StepCount returns the number of completed steps.

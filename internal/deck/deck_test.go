@@ -222,6 +222,33 @@ func TestFusedDotsAndEigenIters(t *testing.T) {
 	}
 }
 
+func TestTilingKeys(t *testing.T) {
+	// tl_tiling alone: auto tile shape.
+	d, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_tiling\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Tiling || d.TileX != 0 || d.TileY != 0 || d.TileZ != 0 {
+		t.Errorf("tl_tiling: got Tiling=%v tiles %dx%dx%d, want auto (true, 0x0x0)", d.Tiling, d.TileX, d.TileY, d.TileZ)
+	}
+	// Any explicit edge implies tiling.
+	d, err = ParseString("*tea\nstate 1 density=1 energy=1\ntl_tile_y=128\ntl_tile_z=4\n*endtea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Tiling || d.TileX != 0 || d.TileY != 128 || d.TileZ != 4 {
+		t.Errorf("tile edges: got Tiling=%v tiles %dx%dx%d, want true, 0x128x4", d.Tiling, d.TileX, d.TileY, d.TileZ)
+	}
+	// Negative edges are rejected.
+	if _, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_tile_x=-2\n*endtea"); err == nil {
+		t.Error("negative tile edge must fail validation")
+	}
+	// Default decks stay untiled (byte-stable legacy schedules).
+	if d := Default(); d.Tiling {
+		t.Error("Default() must not enable tiling")
+	}
+}
+
 func TestDeflationKeys(t *testing.T) {
 	d, err := ParseString("*tea\nstate 1 density=1 energy=1\ntl_use_deflation\ntl_deflation_blocks=4\n*endtea")
 	if err != nil {

@@ -95,15 +95,22 @@ type Deflation struct {
 	// local[c] is the local-coordinate intersection of block c with this
 	// rank's interior (possibly empty).
 	local []grid.Bounds
-	// xblk[j+1] / yblk[k+1] map the local padded coordinate j ∈ [-1, NX]
-	// (k ∈ [-1, NY]) to its block axis index, with out-of-mesh halo
-	// coordinates clamped to the mesh edge — which reproduces the depth-1
-	// zero-flux mirror on physical boundaries and the true neighbour
-	// block across rank boundaries.
+	// xblk[j+hp] / yblk[k+hp] map the local padded coordinate
+	// j ∈ [-hp, NX+hp) (k ∈ [-hp, NY+hp), hp = Grid.Halo) to its block
+	// axis index, with out-of-mesh halo coordinates clamped to the mesh
+	// edge — which reproduces the zero-flux mirror on physical boundaries
+	// and the true neighbour block across rank boundaries. Covering the
+	// full halo (not just one cell) lets ProjectWBounds fill indicator
+	// values over the matrix-powers extended bounds.
 	xblk, yblk []int
+	hp         int
 	// coarse applies E⁻¹: dense Cholesky at Levels == 1, the nested
 	// blocks-of-blocks hierarchy above.
 	coarse *hierarchy
+	// geom and levels are retained so Refresh can re-assemble E when the
+	// operator's entries change.
+	geom   Geometry
+	levels int
 	// scratch fields and coarse-space vectors.
 	wv, av *grid.Field2D
 	cr, cl []float64
@@ -145,20 +152,22 @@ func New(pool *par.Pool, c comm.Communicator, op *stencil.Operator2D, geom Geome
 	}
 	d := &Deflation{
 		op: op, pool: pool, c: c, bx: cfg.BX, by: cfg.BY, bpart: bpart,
+		geom: geom, levels: cfg.Levels,
 		wv: grid.NewField2D(g), av: grid.NewField2D(g),
 	}
 	nc := cfg.BX * cfg.BY
 	d.cr = make([]float64, nc)
 	d.cl = make([]float64, nc)
 
-	// Per-axis block lookup tables over the depth-1 padded coordinates.
-	d.xblk = make([]int, g.NX+2)
-	for j := -1; j <= g.NX; j++ {
-		d.xblk[j+1] = bpart.ColumnOf(clampInt(geom.OffsetX+j, 0, geom.GlobalNX-1))
+	// Per-axis block lookup tables over the full padded coordinate range.
+	d.hp = g.Halo
+	d.xblk = make([]int, g.NX+2*d.hp)
+	for j := -d.hp; j < g.NX+d.hp; j++ {
+		d.xblk[j+d.hp] = bpart.ColumnOf(clampInt(geom.OffsetX+j, 0, geom.GlobalNX-1))
 	}
-	d.yblk = make([]int, g.NY+2)
-	for k := -1; k <= g.NY; k++ {
-		d.yblk[k+1] = bpart.RowOf(clampInt(geom.OffsetY+k, 0, geom.GlobalNY-1))
+	d.yblk = make([]int, g.NY+2*d.hp)
+	for k := -d.hp; k < g.NY+d.hp; k++ {
+		d.yblk[k+d.hp] = bpart.RowOf(clampInt(geom.OffsetY+k, 0, geom.GlobalNY-1))
 	}
 
 	// Local intersection of each global block with this rank's interior.
@@ -172,17 +181,28 @@ func New(pool *par.Pool, c comm.Communicator, op *stencil.Operator2D, geom Geome
 		}, in)
 	}
 
-	// Assemble the local contribution to E = WᵀAW column by column. The
-	// indicator of block c is filled analytically over the one-cell ring
-	// the operator reads (halo values come from the global block
-	// geometry, so no exchange is needed), A is applied on the block's
-	// one-cell expansion intersected with this rank, and the result is
-	// integrated over the (at most 3×3) adjacent blocks — A·W_c vanishes
-	// beyond them. One AllReduceSumN round then hands every rank the
-	// identical global E.
+	if err := d.assemble(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// assemble builds and factors the coarse Galerkin matrix E = WᵀAW from
+// the current operator. The local contribution is assembled column by
+// column: the indicator of block c is filled analytically over the
+// one-cell ring the operator reads (halo values come from the global
+// block geometry, so no exchange is needed), A is applied on the block's
+// one-cell expansion intersected with this rank, and the result is
+// integrated over the (at most 3×3) adjacent blocks — A·W_c vanishes
+// beyond them. One AllReduceSumN round then hands every rank the
+// identical global E. Collective.
+func (d *Deflation) assemble() error {
+	g := d.op.Grid
+	geom := d.geom
+	nc := d.bx * d.by
 	eflat := make([]float64, nc*nc)
 	for cb := 0; cb < nc; cb++ {
-		ge := bpart.ExtentOf(cb)
+		ge := d.bpart.ExtentOf(cb)
 		bApply := grid.Bounds{
 			X0: ge.X0 - geom.OffsetX - 1, X1: ge.X1 - geom.OffsetX + 1,
 			Y0: ge.Y0 - geom.OffsetY - 1, Y1: ge.Y1 - geom.OffsetY + 1,
@@ -191,26 +211,26 @@ func New(pool *par.Pool, c comm.Communicator, op *stencil.Operator2D, geom Geome
 			continue
 		}
 		fill := bApply.Expand(1, g)
-		cx, cy := cb%cfg.BX, cb/cfg.BX
+		cx, cy := cb%d.bx, cb/d.bx
 		for k := fill.Y0; k < fill.Y1; k++ {
 			base := g.Index(0, k)
-			inBlockY := d.yblk[k+1] == cy
+			inBlockY := d.yblk[k+d.hp] == cy
 			for j := fill.X0; j < fill.X1; j++ {
 				v := 0.0
-				if inBlockY && d.xblk[j+1] == cx {
+				if inBlockY && d.xblk[j+d.hp] == cx {
 					v = 1
 				}
 				d.wv.Data[base+j] = v
 			}
 		}
-		d.op.Apply(pool, bApply, d.wv, d.av)
+		d.op.Apply(d.pool, bApply, d.wv, d.av)
 		for dy := -1; dy <= 1; dy++ {
 			for dx := -1; dx <= 1; dx++ {
 				cx2, cy2 := cx+dx, cy+dy
-				if cx2 < 0 || cx2 >= cfg.BX || cy2 < 0 || cy2 >= cfg.BY {
+				if cx2 < 0 || cx2 >= d.bx || cy2 < 0 || cy2 >= d.by {
 					continue
 				}
-				cb2 := cy2*cfg.BX + cx2
+				cb2 := cy2*d.bx + cx2
 				lb := intersect2D(d.local[cb2], bApply)
 				if !lb.Empty() {
 					eflat[cb2*nc+cb] += d.av.SumBounds(lb)
@@ -218,18 +238,37 @@ func New(pool *par.Pool, c comm.Communicator, op *stencil.Operator2D, geom Geome
 			}
 		}
 	}
-	eflat = c.AllReduceSumN(eflat)
+	eflat = d.c.AllReduceSumN(eflat)
 
-	aggs, err := aggregations(cfg.Levels, cfg.BX, cfg.BY)
+	aggs, err := aggregations(d.levels, d.bx, d.by)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	h, err := newHierarchy(eflat, nc, aggs)
 	if err != nil {
-		return nil, fmt.Errorf("deflate: coarse matrix not SPD: %w", err)
+		return fmt.Errorf("deflate: coarse matrix not SPD: %w", err)
 	}
 	d.coarse = h
-	return d, nil
+	return nil
+}
+
+// Refresh rebinds the projector to op — typically the operator rebuilt
+// for a new time step — and re-assembles and re-factors the coarse
+// matrix only when changed reports that the operator's entries actually
+// changed. The flag MUST be rank-uniform: assemble is collective, so
+// ranks disagreeing on it would deadlock. With changed == false the
+// cached E (and its factorization) is reused and Refresh performs no
+// communication at all — a time step whose operator is unchanged skips
+// the assembly reduction round entirely.
+func (d *Deflation) Refresh(op *stencil.Operator2D, changed bool) error {
+	if op.Grid != d.op.Grid {
+		return errors.New("deflate: Refresh requires an operator on the same grid")
+	}
+	d.op = op
+	if !changed {
+		return nil
+	}
+	return d.assemble()
 }
 
 // Subdomains returns the coarse-space dimension BX·BY.
@@ -283,22 +322,33 @@ func (d *Deflation) CoarseCorrect(r, u *grid.Field2D) {
 // solve (a single reduction round) plus one rank-local matrix application
 // on a piecewise-constant field. Collective.
 func (d *Deflation) ProjectW(w *grid.Field2D) {
+	d.ProjectWBounds(d.op.Grid.Interior(), w)
+}
+
+// ProjectWBounds is ProjectW with the fine-grid correction written over
+// the extended bounds b ⊇ interior — the deep-halo form the solver's
+// matrix-powers CG cycles need (solver.deepDeflator). The restriction
+// Wᵀ·w stays interior-only (cells beyond the interior replicate another
+// rank's interior and would be double-counted), so the coarse solve —
+// and hence λ — is identical for every b; only the region receiving the
+// A·W·λ correction grows. b.Expand(1) must fit the padded grid, which
+// holds for any extended bounds of a depth ≤ Grid.Halo cycle.
+func (d *Deflation) ProjectWBounds(b grid.Bounds, w *grid.Field2D) {
 	g := d.op.Grid
-	in := g.Interior()
 	d.solveCoarse(w)
 	// W·λ filled analytically over the one-cell ring A reads; block
 	// membership of halo cells comes from the clamped global coordinate,
 	// so rank-internal ring values are exact without an exchange.
-	fill := in.Expand(1, g)
+	fill := b.Expand(1, g)
 	for k := fill.Y0; k < fill.Y1; k++ {
 		base := g.Index(0, k)
-		rowBase := d.yblk[k+1] * d.bx
+		rowBase := d.yblk[k+d.hp] * d.bx
 		for j := fill.X0; j < fill.X1; j++ {
-			d.wv.Data[base+j] = d.cl[rowBase+d.xblk[j+1]]
+			d.wv.Data[base+j] = d.cl[rowBase+d.xblk[j+d.hp]]
 		}
 	}
-	d.op.Apply(d.pool, in, d.wv, d.av)
-	kernels.Axpy(d.pool, in, -1, d.av, w)
+	d.op.Apply(d.pool, b, d.wv, d.av)
+	kernels.Axpy(d.pool, b, -1, d.av, w)
 }
 
 // SolveDeflatedCG runs deflated CG on A·u = rhs — the package's

@@ -34,12 +34,17 @@ type Deflation3D struct {
 	// local[c] is the local-coordinate intersection of block c with this
 	// rank's interior (possibly empty).
 	local []grid.Bounds3D
-	// xblk[i+1] / yblk[j+1] / zblk[k+1] map depth-1 padded coordinates to
-	// block axis indices, clamped to the mesh (see the 2D tables).
+	// xblk[i+hp] / yblk[j+hp] / zblk[k+hp] map full-halo padded
+	// coordinates to block axis indices, clamped to the mesh (see the 2D
+	// tables).
 	xblk, yblk, zblk []int
+	hp               int
 	coarse           *hierarchy
-	wv, av           *grid.Field3D
-	cr, cl           []float64
+	// geom and levels are retained for Refresh re-assembly.
+	geom   Geometry3D
+	levels int
+	wv, av *grid.Field3D
+	cr, cl []float64
 }
 
 // New3D builds the 3D deflation projector for op over a cfg.BX × cfg.BY ×
@@ -80,23 +85,25 @@ func New3D(pool *par.Pool, c comm.Communicator, op *stencil.Operator3D, geom Geo
 	}
 	d := &Deflation3D{
 		op: op, pool: pool, c: c, bx: cfg.BX, by: cfg.BY, bz: cfg.BZ, bpart: bpart,
+		geom: geom, levels: cfg.Levels,
 		wv: grid.NewField3D(g), av: grid.NewField3D(g),
 	}
 	nc := cfg.BX * cfg.BY * cfg.BZ
 	d.cr = make([]float64, nc)
 	d.cl = make([]float64, nc)
 
-	d.xblk = make([]int, g.NX+2)
-	for i := -1; i <= g.NX; i++ {
-		d.xblk[i+1] = bpart.ColumnOf(clampInt(geom.OffsetX+i, 0, geom.GlobalNX-1))
+	d.hp = g.Halo
+	d.xblk = make([]int, g.NX+2*d.hp)
+	for i := -d.hp; i < g.NX+d.hp; i++ {
+		d.xblk[i+d.hp] = bpart.ColumnOf(clampInt(geom.OffsetX+i, 0, geom.GlobalNX-1))
 	}
-	d.yblk = make([]int, g.NY+2)
-	for j := -1; j <= g.NY; j++ {
-		d.yblk[j+1] = bpart.RowOf(clampInt(geom.OffsetY+j, 0, geom.GlobalNY-1))
+	d.yblk = make([]int, g.NY+2*d.hp)
+	for j := -d.hp; j < g.NY+d.hp; j++ {
+		d.yblk[j+d.hp] = bpart.RowOf(clampInt(geom.OffsetY+j, 0, geom.GlobalNY-1))
 	}
-	d.zblk = make([]int, g.NZ+2)
-	for k := -1; k <= g.NZ; k++ {
-		d.zblk[k+1] = bpart.PlaneOf(clampInt(geom.OffsetZ+k, 0, geom.GlobalNZ-1))
+	d.zblk = make([]int, g.NZ+2*d.hp)
+	for k := -d.hp; k < g.NZ+d.hp; k++ {
+		d.zblk[k+d.hp] = bpart.PlaneOf(clampInt(geom.OffsetZ+k, 0, geom.GlobalNZ-1))
 	}
 
 	d.local = make([]grid.Bounds3D, nc)
@@ -110,13 +117,24 @@ func New3D(pool *par.Pool, c comm.Communicator, op *stencil.Operator3D, geom Geo
 		}, in)
 	}
 
-	// Local contribution to E = WᵀAW, column by column; see the 2D
-	// assembly for the structure. A·W_c vanishes outside the block's
-	// one-cell expansion, so only the (at most 3×3×3) adjacent blocks
-	// receive entries, and one AllReduceSumN round replicates E exactly.
+	if err := d.assemble(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// assemble builds and factors E = WᵀAW from the current operator, column
+// by column; see the 2D assembly for the structure. A·W_c vanishes
+// outside the block's one-cell expansion, so only the (at most 3×3×3)
+// adjacent blocks receive entries, and one AllReduceSumN round
+// replicates E exactly. Collective.
+func (d *Deflation3D) assemble() error {
+	g := d.op.Grid
+	geom := d.geom
+	nc := d.bx * d.by * d.bz
 	eflat := make([]float64, nc*nc)
 	for cb := 0; cb < nc; cb++ {
-		ge := bpart.ExtentOf(cb)
+		ge := d.bpart.ExtentOf(cb)
 		bApply := grid.Bounds3D{
 			X0: ge.X0 - geom.OffsetX - 1, X1: ge.X1 - geom.OffsetX + 1,
 			Y0: ge.Y0 - geom.OffsetY - 1, Y1: ge.Y1 - geom.OffsetY + 1,
@@ -126,32 +144,32 @@ func New3D(pool *par.Pool, c comm.Communicator, op *stencil.Operator3D, geom Geo
 			continue
 		}
 		fill := bApply.Expand(1, g)
-		cx := cb % cfg.BX
-		cy := (cb / cfg.BX) % cfg.BY
-		cz := cb / (cfg.BX * cfg.BY)
+		cx := cb % d.bx
+		cy := (cb / d.bx) % d.by
+		cz := cb / (d.bx * d.by)
 		for k := fill.Z0; k < fill.Z1; k++ {
-			inZ := d.zblk[k+1] == cz
+			inZ := d.zblk[k+d.hp] == cz
 			for j := fill.Y0; j < fill.Y1; j++ {
 				base := g.Index(0, j, k)
-				inYZ := inZ && d.yblk[j+1] == cy
+				inYZ := inZ && d.yblk[j+d.hp] == cy
 				for i := fill.X0; i < fill.X1; i++ {
 					v := 0.0
-					if inYZ && d.xblk[i+1] == cx {
+					if inYZ && d.xblk[i+d.hp] == cx {
 						v = 1
 					}
 					d.wv.Data[base+i] = v
 				}
 			}
 		}
-		d.op.Apply(pool, bApply, d.wv, d.av)
+		d.op.Apply(d.pool, bApply, d.wv, d.av)
 		for dz := -1; dz <= 1; dz++ {
 			for dy := -1; dy <= 1; dy++ {
 				for dx := -1; dx <= 1; dx++ {
 					cx2, cy2, cz2 := cx+dx, cy+dy, cz+dz
-					if cx2 < 0 || cx2 >= cfg.BX || cy2 < 0 || cy2 >= cfg.BY || cz2 < 0 || cz2 >= cfg.BZ {
+					if cx2 < 0 || cx2 >= d.bx || cy2 < 0 || cy2 >= d.by || cz2 < 0 || cz2 >= d.bz {
 						continue
 					}
-					cb2 := (cz2*cfg.BY+cy2)*cfg.BX + cx2
+					cb2 := (cz2*d.by+cy2)*d.bx + cx2
 					lb := intersect3D(d.local[cb2], bApply)
 					if !lb.Empty() {
 						eflat[cb2*nc+cb] += d.av.SumBounds(lb)
@@ -160,18 +178,32 @@ func New3D(pool *par.Pool, c comm.Communicator, op *stencil.Operator3D, geom Geo
 			}
 		}
 	}
-	eflat = c.AllReduceSumN(eflat)
+	eflat = d.c.AllReduceSumN(eflat)
 
-	aggs, err := aggregations(cfg.Levels, cfg.BX, cfg.BY, cfg.BZ)
+	aggs, err := aggregations(d.levels, d.bx, d.by, d.bz)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	h, err := newHierarchy(eflat, nc, aggs)
 	if err != nil {
-		return nil, fmt.Errorf("deflate: coarse matrix not SPD: %w", err)
+		return fmt.Errorf("deflate: coarse matrix not SPD: %w", err)
 	}
 	d.coarse = h
-	return d, nil
+	return nil
+}
+
+// Refresh rebinds the projector to op and re-assembles the coarse matrix
+// only when changed is true — the 3D twin of Deflation.Refresh, with the
+// same rank-uniformity requirement on the flag.
+func (d *Deflation3D) Refresh(op *stencil.Operator3D, changed bool) error {
+	if op.Grid != d.op.Grid {
+		return errors.New("deflate: Refresh requires an operator on the same grid")
+	}
+	d.op = op
+	if !changed {
+		return nil
+	}
+	return d.assemble()
 }
 
 // Subdomains returns the coarse-space dimension BX·BY·BZ.
@@ -223,22 +255,28 @@ func (d *Deflation3D) CoarseCorrect(r, u *grid.Field3D) {
 // application on the analytically filled piecewise-constant field.
 // Collective.
 func (d *Deflation3D) ProjectW(w *grid.Field3D) {
+	d.ProjectWBounds(d.op.Grid.Interior(), w)
+}
+
+// ProjectWBounds is ProjectW with the fine-grid correction written over
+// the extended bounds b ⊇ interior — the deep-halo form of the 2D twin,
+// with the restriction kept interior-only for the same ownership reason.
+func (d *Deflation3D) ProjectWBounds(b grid.Bounds3D, w *grid.Field3D) {
 	g := d.op.Grid
-	in := g.Interior()
 	d.solveCoarse(w)
-	fill := in.Expand(1, g)
+	fill := b.Expand(1, g)
 	for k := fill.Z0; k < fill.Z1; k++ {
-		zBase := d.zblk[k+1] * d.by
+		zBase := d.zblk[k+d.hp] * d.by
 		for j := fill.Y0; j < fill.Y1; j++ {
 			base := g.Index(0, j, k)
-			rowBase := (zBase + d.yblk[j+1]) * d.bx
+			rowBase := (zBase + d.yblk[j+d.hp]) * d.bx
 			for i := fill.X0; i < fill.X1; i++ {
-				d.wv.Data[base+i] = d.cl[rowBase+d.xblk[i+1]]
+				d.wv.Data[base+i] = d.cl[rowBase+d.xblk[i+d.hp]]
 			}
 		}
 	}
-	d.op.Apply(d.pool, in, d.wv, d.av)
-	kernels.Axpy3D(d.pool, in, -1, d.av, w)
+	d.op.Apply(d.pool, b, d.wv, d.av)
+	kernels.Axpy3D(d.pool, b, -1, d.av, w)
 }
 
 func intersect3D(a, b grid.Bounds3D) grid.Bounds3D {

@@ -37,6 +37,15 @@ func row(g *grid.Grid2D, b grid.Bounds, d []float64, k int) []float64 {
 	return d[o : o+b.X1-b.X0 : o+b.X1-b.X0]
 }
 
+// tileBounds converts a scheduler tile back to 2D grid bounds, so tile
+// bodies reuse the row helper unchanged.
+func tileBounds(t par.Tile) grid.Bounds {
+	return grid.Bounds{X0: t.X0, X1: t.X1, Y0: t.Y0, Y1: t.Y1}
+}
+
+// box is the scheduler iteration box for 2D grid bounds.
+func box(b grid.Bounds) par.Box { return par.Box2D(b.X0, b.X1, b.Y0, b.Y1) }
+
 // Dot returns Σ x·y over the cells of b.
 func Dot(p *par.Pool, b grid.Bounds, x, y *grid.Field2D) float64 {
 	if b.Empty() {
@@ -44,12 +53,13 @@ func Dot(p *par.Pool, b grid.Bounds, x, y *grid.Field2D) float64 {
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
-	n := b.X1 - b.X0
-	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+	return p.ForTilesReduceN(1, box(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
 		var s0, s1, s2, s3 float64
-		for k := k0; k < k1; k++ {
-			xs := row(g, b, xd, k)
-			ys := row(g, b, yd, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			xs := row(g, tb, xd, k)
+			ys := row(g, tb, yd, k)
 			j := 0
 			for ; j+3 < n; j += 4 {
 				s0 += xs[j] * ys[j]
@@ -61,8 +71,8 @@ func Dot(p *par.Pool, b grid.Bounds, x, y *grid.Field2D) float64 {
 				s0 += xs[j] * ys[j]
 			}
 		}
-		return (s0 + s1) + (s2 + s3)
-	})
+		acc[0] += (s0 + s1) + (s2 + s3)
+	})[0]
 }
 
 // Norm2Sq returns Σ x² over the cells of b.
@@ -304,12 +314,13 @@ func AxpyDot(p *par.Pool, b grid.Bounds, alpha float64, x, y *grid.Field2D) floa
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
-	n := b.X1 - b.X0
-	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+	return p.ForTilesReduceN(1, box(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
 		var s0, s1 float64
-		for k := k0; k < k1; k++ {
-			xs := row(g, b, xd, k)
-			ys := row(g, b, yd, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			xs := row(g, tb, xd, k)
+			ys := row(g, tb, yd, k)
 			j := 0
 			for ; j+1 < n; j += 2 {
 				v0 := ys[j] + alpha*xs[j]
@@ -325,8 +336,8 @@ func AxpyDot(p *par.Pool, b grid.Bounds, alpha float64, x, y *grid.Field2D) floa
 				s0 += v * v
 			}
 		}
-		return s0 + s1
-	})
+		acc[0] += s0 + s1
+	})[0]
 }
 
 // Dot2 computes the two dot products x·y and y·z in one pass (the paper's
@@ -338,13 +349,14 @@ func Dot2(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) (xy, yz float64) {
 	}
 	g := x.Grid
 	xd, yd, zd := x.Data, y.Data, z.Data
-	n := b.X1 - b.X0
-	return p.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
+	acc := p.ForTilesReduceN(2, box(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
 		var a0, a1, c0, c1 float64
-		for k := k0; k < k1; k++ {
-			xs := row(g, b, xd, k)
-			ys := row(g, b, yd, k)
-			zs := row(g, b, zd, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			xs := row(g, tb, xd, k)
+			ys := row(g, tb, yd, k)
+			zs := row(g, tb, zd, k)
 			j := 0
 			for ; j+1 < n; j += 2 {
 				a0 += xs[j] * ys[j]
@@ -357,8 +369,10 @@ func Dot2(p *par.Pool, b grid.Bounds, x, y, z *grid.Field2D) (xy, yz float64) {
 				c0 += ys[j] * zs[j]
 			}
 		}
-		return a0 + a1, c0 + c1
+		acc[0] += a0 + a1
+		acc[1] += c0 + c1
 	})
+	return acc[0], acc[1]
 }
 
 // PrecondDot fuses the diagonal preconditioner application z = minv ⊙ r
@@ -377,13 +391,14 @@ func PrecondDot(p *par.Pool, b grid.Bounds, minv, r, z *grid.Field2D) float64 {
 	}
 	g := r.Grid
 	md, rd, zd := minv.Data, r.Data, z.Data
-	n := b.X1 - b.X0
-	return p.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+	return p.ForTilesReduceN(1, box(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
 		var s0, s1 float64
-		for k := k0; k < k1; k++ {
-			ms := row(g, b, md, k)
-			rs := row(g, b, rd, k)
-			zs := row(g, b, zd, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			ms := row(g, tb, md, k)
+			rs := row(g, tb, rd, k)
+			zs := row(g, tb, zd, k)
 			j := 0
 			for ; j+1 < n; j += 2 {
 				v0 := ms[j] * rs[j]
@@ -399,8 +414,8 @@ func PrecondDot(p *par.Pool, b grid.Bounds, minv, r, z *grid.Field2D) float64 {
 				s0 += rs[j] * v
 			}
 		}
-		return s0 + s1
-	})
+		acc[0] += s0 + s1
+	})[0]
 }
 
 // AxpyAxpy fuses two independent AXPYs into one sweep:
@@ -495,15 +510,16 @@ func FusedCGDirections(pl *par.Pool, b grid.Bounds, minv, r, w *grid.Field2D, be
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
 	// Each row runs as two narrow bursts (p-recurrence, then
 	// s-recurrence): a 16 KB row stays cache-resident between bursts, and
 	// two-stream bursts sustain measurably higher memory bandwidth than
 	// one four-stream loop on wide grids.
-	pl.For(b.Y0, b.Y1, func(k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			rs := row(g, b, rd, k)
-			ps := row(g, b, pd, k)
+	pl.ForTiles(box(b), func(t par.Tile) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
+		for k := tb.Y0; k < tb.Y1; k++ {
+			rs := row(g, tb, rd, k)
+			ps := row(g, tb, pd, k)
 			if md == nil {
 				j := 0
 				for ; j+3 < n; j += 4 {
@@ -516,7 +532,7 @@ func FusedCGDirections(pl *par.Pool, b grid.Bounds, minv, r, w *grid.Field2D, be
 					ps[j] = rs[j] + beta*ps[j]
 				}
 			} else {
-				ms := row(g, b, md, k)
+				ms := row(g, tb, md, k)
 				j := 0
 				for ; j+3 < n; j += 4 {
 					ps[j] = ms[j]*rs[j] + beta*ps[j]
@@ -528,8 +544,8 @@ func FusedCGDirections(pl *par.Pool, b grid.Bounds, minv, r, w *grid.Field2D, be
 					ps[j] = ms[j]*rs[j] + beta*ps[j]
 				}
 			}
-			ws := row(g, b, wd, k)
-			ss := row(g, b, sd, k)
+			ws := row(g, tb, wd, k)
+			ss := row(g, tb, sd, k)
 			j := 0
 			for ; j+3 < n; j += 4 {
 				ss[j] = ws[j] + beta*ss[j]
@@ -561,15 +577,16 @@ func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv 
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
 	// Row-fissioned like FusedCGDirections: the x-update burst, then the
 	// r-update burst carrying both dot products (the freshly written r row
 	// is still in cache for the γ accumulation).
-	return pl.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
+	acc := pl.ForTilesReduceN(2, box(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
 		var g0, g1, rr0, rr1 float64
-		for k := k0; k < k1; k++ {
-			ps := row(g, b, pd, k)
-			xs := row(g, b, xd, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			ps := row(g, tb, pd, k)
+			xs := row(g, tb, xd, k)
 			j := 0
 			for ; j+3 < n; j += 4 {
 				xs[j] += alpha * ps[j]
@@ -580,8 +597,8 @@ func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv 
 			for ; j < n; j++ {
 				xs[j] += alpha * ps[j]
 			}
-			ss := row(g, b, sd, k)
-			rs := row(g, b, rd, k)
+			ss := row(g, tb, sd, k)
+			rs := row(g, tb, rd, k)
 			if md == nil {
 				j = 0
 				for ; j+1 < n; j += 2 {
@@ -599,7 +616,7 @@ func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv 
 				}
 				continue
 			}
-			ms := row(g, b, md, k)
+			ms := row(g, tb, md, k)
 			j = 0
 			for ; j+1 < n; j += 2 {
 				v0 := rs[j] - alpha*ss[j]
@@ -619,10 +636,14 @@ func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv 
 			}
 		}
 		if md == nil {
-			return rr0 + rr1, rr0 + rr1
+			acc[0] += rr0 + rr1
+			acc[1] += rr0 + rr1
+		} else {
+			acc[0] += g0 + g1
+			acc[1] += rr0 + rr1
 		}
-		return g0 + g1, rr0 + rr1
 	})
+	return acc[0], acc[1]
 }
 
 // FusedPPCGInner is the fused Chebyshev inner step of PPCG: the residual
@@ -647,14 +668,17 @@ func FusedPPCGInner(pl *par.Pool, b, in grid.Bounds, alpha, beta float64, w, rte
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	// Column offsets of the interior within b's row slices.
-	zlo, zhi := in.X0-b.X0, in.X1-b.X0
-	pl.For(b.Y0, b.Y1, func(k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			ws := row(g, b, wd, k)
-			rs := row(g, b, rd, k)
-			ss := row(g, b, sdd, k)
+	pl.ForTiles(box(b), func(t par.Tile) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
+		// Column range of the interior within this tile's row slices (a
+		// tile may lie wholly outside the interior columns).
+		xlo, xhi := max(in.X0, tb.X0), min(in.X1, tb.X1)
+		zb := grid.Bounds{X0: xlo, X1: xhi, Y0: in.Y0, Y1: in.Y1}
+		for k := tb.Y0; k < tb.Y1; k++ {
+			ws := row(g, tb, wd, k)
+			rs := row(g, tb, rd, k)
+			ss := row(g, tb, sdd, k)
 			if md == nil {
 				for j := 0; j < n; j++ {
 					v := rs[j] - ws[j]
@@ -662,16 +686,16 @@ func FusedPPCGInner(pl *par.Pool, b, in grid.Bounds, alpha, beta float64, w, rte
 					ss[j] = alpha*ss[j] + beta*v
 				}
 			} else {
-				ms := row(g, b, md, k)
+				ms := row(g, tb, md, k)
 				for j := 0; j < n; j++ {
 					v := rs[j] - ws[j]
 					rs[j] = v
 					ss[j] = alpha*ss[j] + beta*(ms[j]*v)
 				}
 			}
-			if k >= in.Y0 && k < in.Y1 {
-				zs := row(g, in, zd, k)
-				sz := ss[zlo:zhi]
+			if k >= in.Y0 && k < in.Y1 && xhi > xlo {
+				zs := row(g, zb, zd, k)
+				sz := ss[xlo-tb.X0 : xhi-tb.X0]
 				j := 0
 				for ; j+1 < len(sz); j += 2 {
 					zs[j] += sz[j]
@@ -714,13 +738,14 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	acc := pl.ForReduceN(3, b.Y0, b.Y1, func(k0, k1 int, acc []float64) {
+	acc := pl.ForTilesReduceN(3, box(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds(t)
+		n := tb.X1 - tb.X0
 		var ga, de, rra float64
-		for k := k0; k < k1; k++ {
-			rs := row(g, b, rd, k)
-			ps := row(g, b, pd, k)
-			xs := row(g, b, xd, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			rs := row(g, tb, rd, k)
+			ps := row(g, tb, pd, k)
+			xs := row(g, tb, xd, k)
 			// Burst 1: the p recurrence (old r) and the x update it feeds.
 			if md == nil {
 				j := 0
@@ -744,7 +769,7 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 					xs[j] += alpha * p0
 				}
 			} else {
-				ms := row(g, b, md, k)
+				ms := row(g, tb, md, k)
 				j := 0
 				for ; j+3 < n; j += 4 {
 					p0 := ms[j]*rs[j] + beta*ps[j]
@@ -767,8 +792,8 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 				}
 			}
 			// Burst 2: the s recurrence (old w), the r update, and rr.
-			ws := row(g, b, wd, k)
-			ss := row(g, b, sd, k)
+			ws := row(g, tb, wd, k)
+			ss := row(g, tb, sd, k)
 			var rr0, rr1 float64
 			j := 0
 			for ; j+1 < n; j += 2 {
@@ -793,8 +818,8 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 			rra += rr0 + rr1
 			// Burst 3: the z recurrence, the w update, and γ, δ against the
 			// new r still in cache.
-			ns := row(g, b, nd, k)
-			zs := row(g, b, zd, k)
+			ns := row(g, tb, nd, k)
+			zs := row(g, tb, zd, k)
 			if md == nil {
 				var d0, d1 float64
 				j = 0
@@ -820,7 +845,7 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 				de += d0 + d1
 				continue
 			}
-			ms := row(g, b, md, k)
+			ms := row(g, tb, md, k)
 			var g0, g1, d0, d1 float64
 			j = 0
 			for ; j+1 < n; j += 2 {

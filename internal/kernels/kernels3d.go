@@ -17,6 +17,14 @@ func row3(g *grid.Grid3D, b grid.Bounds3D, d []float64, j, k int) []float64 {
 	return d[o : o+n : o+n]
 }
 
+// tileBounds3 converts a scheduler tile back to 3D grid bounds.
+func tileBounds3(t par.Tile) grid.Bounds3D {
+	return grid.Bounds3D{X0: t.X0, X1: t.X1, Y0: t.Y0, Y1: t.Y1, Z0: t.Z0, Z1: t.Z1}
+}
+
+// box3 is the scheduler iteration box for 3D grid bounds.
+func box3(b grid.Bounds3D) par.Box { return par.Box3D(b.X0, b.X1, b.Y0, b.Y1, b.Z0, b.Z1) }
+
 // Dot3D returns Σ x·y over b.
 func Dot3D(p *par.Pool, b grid.Bounds3D, x, y *grid.Field3D) float64 {
 	if b.Empty() {
@@ -24,13 +32,14 @@ func Dot3D(p *par.Pool, b grid.Bounds3D, x, y *grid.Field3D) float64 {
 	}
 	g := x.Grid
 	xd, yd := x.Data, y.Data
-	n := b.X1 - b.X0
-	return p.ForReduce(b.Z0, b.Z1, func(z0, z1 int) float64 {
+	return p.ForTilesReduceN(1, box3(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
 		var s0, s1, s2, s3 float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				xs := row3(g, b, xd, j, k)
-				ys := row3(g, b, yd, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				xs := row3(g, tb, xd, j, k)
+				ys := row3(g, tb, yd, j, k)
 				i := 0
 				for ; i+3 < n; i += 4 {
 					s0 += xs[i] * ys[i]
@@ -43,8 +52,8 @@ func Dot3D(p *par.Pool, b grid.Bounds3D, x, y *grid.Field3D) float64 {
 				}
 			}
 		}
-		return (s0 + s1) + (s2 + s3)
-	})
+		acc[0] += (s0 + s1) + (s2 + s3)
+	})[0]
 }
 
 // Dot23D computes the pair (x·y, y·z) over b in one sweep and one
@@ -56,14 +65,15 @@ func Dot23D(p *par.Pool, b grid.Bounds3D, x, y, z *grid.Field3D) (xy, yz float64
 	}
 	g := x.Grid
 	xd, yd, zd := x.Data, y.Data, z.Data
-	n := b.X1 - b.X0
-	return p.ForReduce2(b.Z0, b.Z1, func(z0, z1 int) (float64, float64) {
+	acc := p.ForTilesReduceN(2, box3(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
 		var a0, a1, c0, c1 float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				xs := row3(g, b, xd, j, k)
-				ys := row3(g, b, yd, j, k)
-				zs := row3(g, b, zd, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				xs := row3(g, tb, xd, j, k)
+				ys := row3(g, tb, yd, j, k)
+				zs := row3(g, tb, zd, j, k)
 				i := 0
 				for ; i+1 < n; i += 2 {
 					a0 += xs[i] * ys[i]
@@ -77,8 +87,10 @@ func Dot23D(p *par.Pool, b grid.Bounds3D, x, y, z *grid.Field3D) (xy, yz float64
 				}
 			}
 		}
-		return a0 + a1, c0 + c1
+		acc[0] += a0 + a1
+		acc[1] += c0 + c1
 	})
+	return acc[0], acc[1]
 }
 
 // Axpy3D computes y += alpha*x over b.
@@ -255,14 +267,15 @@ func PrecondDot3D(p *par.Pool, b grid.Bounds3D, minv, r, z *grid.Field3D) float6
 	}
 	g := r.Grid
 	md, rd, zd := minv.Data, r.Data, z.Data
-	n := b.X1 - b.X0
-	return p.ForReduce(b.Z0, b.Z1, func(z0, z1 int) float64 {
+	return p.ForTilesReduceN(1, box3(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
 		var s0, s1 float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				ms := row3(g, b, md, j, k)
-				rs := row3(g, b, rd, j, k)
-				zs := row3(g, b, zd, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				ms := row3(g, tb, md, j, k)
+				rs := row3(g, tb, rd, j, k)
+				zs := row3(g, tb, zd, j, k)
 				i := 0
 				for ; i+1 < n; i += 2 {
 					v0 := ms[i] * rs[i]
@@ -279,8 +292,8 @@ func PrecondDot3D(p *par.Pool, b grid.Bounds3D, minv, r, z *grid.Field3D) float6
 				}
 			}
 		}
-		return s0 + s1
-	})
+		acc[0] += s0 + s1
+	})[0]
 }
 
 // FusedCGDirections3D is pass one of the 3D single-reduction CG
@@ -296,12 +309,13 @@ func FusedCGDirections3D(pl *par.Pool, b grid.Bounds3D, minv, r, w *grid.Field3D
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	pl.For(b.Z0, b.Z1, func(z0, z1 int) {
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				rs := row3(g, b, rd, j, k)
-				ps := row3(g, b, pd, j, k)
+	pl.ForTiles(box3(b), func(t par.Tile) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				rs := row3(g, tb, rd, j, k)
+				ps := row3(g, tb, pd, j, k)
 				if md == nil {
 					i := 0
 					for ; i+3 < n; i += 4 {
@@ -314,7 +328,7 @@ func FusedCGDirections3D(pl *par.Pool, b grid.Bounds3D, minv, r, w *grid.Field3D
 						ps[i] = rs[i] + beta*ps[i]
 					}
 				} else {
-					ms := row3(g, b, md, j, k)
+					ms := row3(g, tb, md, j, k)
 					i := 0
 					for ; i+3 < n; i += 4 {
 						ps[i] = ms[i]*rs[i] + beta*ps[i]
@@ -326,8 +340,8 @@ func FusedCGDirections3D(pl *par.Pool, b grid.Bounds3D, minv, r, w *grid.Field3D
 						ps[i] = ms[i]*rs[i] + beta*ps[i]
 					}
 				}
-				ws := row3(g, b, wd, j, k)
-				ss := row3(g, b, sd, j, k)
+				ws := row3(g, tb, wd, j, k)
+				ss := row3(g, tb, sd, j, k)
 				i := 0
 				for ; i+3 < n; i += 4 {
 					ss[i] = ws[i] + beta*ss[i]
@@ -356,13 +370,14 @@ func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, m
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	return pl.ForReduce2(b.Z0, b.Z1, func(z0, z1 int) (float64, float64) {
+	acc := pl.ForTilesReduceN(2, box3(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
 		var g0, g1, rr0, rr1 float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				ps := row3(g, b, pd, j, k)
-				xs := row3(g, b, xd, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				ps := row3(g, tb, pd, j, k)
+				xs := row3(g, tb, xd, j, k)
 				i := 0
 				for ; i+3 < n; i += 4 {
 					xs[i] += alpha * ps[i]
@@ -373,8 +388,8 @@ func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, m
 				for ; i < n; i++ {
 					xs[i] += alpha * ps[i]
 				}
-				ss := row3(g, b, sd, j, k)
-				rs := row3(g, b, rd, j, k)
+				ss := row3(g, tb, sd, j, k)
+				rs := row3(g, tb, rd, j, k)
 				if md == nil {
 					i = 0
 					for ; i+1 < n; i += 2 {
@@ -392,7 +407,7 @@ func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, m
 					}
 					continue
 				}
-				ms := row3(g, b, md, j, k)
+				ms := row3(g, tb, md, j, k)
 				i = 0
 				for ; i+1 < n; i += 2 {
 					v0 := rs[i] - alpha*ss[i]
@@ -413,10 +428,14 @@ func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, m
 			}
 		}
 		if md == nil {
-			return rr0 + rr1, rr0 + rr1
+			acc[0] += rr0 + rr1
+			acc[1] += rr0 + rr1
+		} else {
+			acc[0] += g0 + g1
+			acc[1] += rr0 + rr1
 		}
-		return g0 + g1, rr0 + rr1
 	})
+	return acc[0], acc[1]
 }
 
 // FusedPPCGInner3D is the fused Chebyshev inner step of 3D PPCG:
@@ -438,16 +457,19 @@ func FusedPPCGInner3D(pl *par.Pool, b, in grid.Bounds3D, alpha, beta float64, w,
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	// Column offsets of the interior within b's row slices.
-	zlo, zhi := in.X0-b.X0, in.X1-b.X0
-	pl.For(b.Z0, b.Z1, func(z0, z1 int) {
-		for k := z0; k < z1; k++ {
+	pl.ForTiles(box3(b), func(t par.Tile) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
+		// Column range of the interior within this tile's row slices.
+		xlo, xhi := max(in.X0, tb.X0), min(in.X1, tb.X1)
+		zb := in
+		zb.X0, zb.X1 = xlo, xhi
+		for k := tb.Z0; k < tb.Z1; k++ {
 			inZ := k >= in.Z0 && k < in.Z1
-			for j := b.Y0; j < b.Y1; j++ {
-				ws := row3(g, b, wd, j, k)
-				rs := row3(g, b, rd, j, k)
-				ss := row3(g, b, sdd, j, k)
+			for j := tb.Y0; j < tb.Y1; j++ {
+				ws := row3(g, tb, wd, j, k)
+				rs := row3(g, tb, rd, j, k)
+				ss := row3(g, tb, sdd, j, k)
 				if md == nil {
 					for i := 0; i < n; i++ {
 						v := rs[i] - ws[i]
@@ -455,16 +477,16 @@ func FusedPPCGInner3D(pl *par.Pool, b, in grid.Bounds3D, alpha, beta float64, w,
 						ss[i] = alpha*ss[i] + beta*v
 					}
 				} else {
-					ms := row3(g, b, md, j, k)
+					ms := row3(g, tb, md, j, k)
 					for i := 0; i < n; i++ {
 						v := rs[i] - ws[i]
 						rs[i] = v
 						ss[i] = alpha*ss[i] + beta*(ms[i]*v)
 					}
 				}
-				if inZ && j >= in.Y0 && j < in.Y1 {
-					zs := row3(g, in, zd, j, k)
-					sz := ss[zlo:zhi]
+				if inZ && j >= in.Y0 && j < in.Y1 && xhi > xlo {
+					zs := row3(g, zb, zd, j, k)
+					sz := ss[xlo-tb.X0 : xhi-tb.X0]
 					i := 0
 					for ; i+1 < len(sz); i += 2 {
 						zs[i] += sz[i]
@@ -495,14 +517,15 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	acc := pl.ForReduceN(3, b.Z0, b.Z1, func(z0, z1 int, acc []float64) {
+	acc := pl.ForTilesReduceN(3, box3(b), func(t par.Tile, acc []float64) {
+		tb := tileBounds3(t)
+		n := tb.X1 - tb.X0
 		var ga, de, rra float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				rs := row3(g, b, rd, j, k)
-				ps := row3(g, b, pd, j, k)
-				xs := row3(g, b, xd, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				rs := row3(g, tb, rd, j, k)
+				ps := row3(g, tb, pd, j, k)
+				xs := row3(g, tb, xd, j, k)
 				if md == nil {
 					i := 0
 					for ; i+3 < n; i += 4 {
@@ -525,7 +548,7 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 						xs[i] += alpha * p0
 					}
 				} else {
-					ms := row3(g, b, md, j, k)
+					ms := row3(g, tb, md, j, k)
 					i := 0
 					for ; i+3 < n; i += 4 {
 						p0 := ms[i]*rs[i] + beta*ps[i]
@@ -547,8 +570,8 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 						xs[i] += alpha * p0
 					}
 				}
-				ws := row3(g, b, wd, j, k)
-				ss := row3(g, b, sd, j, k)
+				ws := row3(g, tb, wd, j, k)
+				ss := row3(g, tb, sd, j, k)
 				var rr0, rr1 float64
 				i := 0
 				for ; i+1 < n; i += 2 {
@@ -571,8 +594,8 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 					rr0 += v * v
 				}
 				rra += rr0 + rr1
-				ns := row3(g, b, nd, j, k)
-				zs := row3(g, b, zd, j, k)
+				ns := row3(g, tb, nd, j, k)
+				zs := row3(g, tb, zd, j, k)
 				if md == nil {
 					var d0, d1 float64
 					i = 0
@@ -598,7 +621,7 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 					de += d0 + d1
 					continue
 				}
-				ms := row3(g, b, md, j, k)
+				ms := row3(g, tb, md, j, k)
 				var g0, g1, d0, d1 float64
 				i = 0
 				for ; i+1 < n; i += 2 {

@@ -40,6 +40,12 @@ type Pool struct {
 	// the AddCleanup in NewPool is attached to this handle, not to the
 	// team itself (which the parked workers always reference).
 	hold *teamRef
+	// tx, ty, tz are the tile edge lengths the ForTiles/ForTilesReduceN
+	// schedulers decompose iteration boxes into, and tiled selects the
+	// tiled schedule at all (see WithTiles). An untiled pool degenerates
+	// to the legacy one-band-per-worker split along the outermost axis.
+	tx, ty, tz int
+	tiled      bool
 }
 
 // teamRef is the reachability proxy for a shared worker team; see
@@ -91,7 +97,8 @@ func (p *Pool) WithGrain(grain int) *Pool {
 	if grain < 1 {
 		grain = 1
 	}
-	return &Pool{workers: p.workers, minGrain: grain, team: p.team, hold: p.hold}
+	return &Pool{workers: p.workers, minGrain: grain, team: p.team, hold: p.hold,
+		tx: p.tx, ty: p.ty, tz: p.tz, tiled: p.tiled}
 }
 
 // Workers returns the worker count.

@@ -1,0 +1,211 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForTilesCoversBoxExactlyOnce(t *testing.T) {
+	nx, ny, nz := 37, 23, 11
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, shape := range [][3]int{{8, 8, 4}, {16, 5, 0}, {0, 7, 3}, {1, 1, 1}, {64, 64, 64}} {
+			p := NewPool(workers).WithTiles(shape[0], shape[1], shape[2])
+			hits := make([]int32, nx*ny*nz)
+			p.ForTiles(Box3D(0, nx, 0, ny, 0, nz), func(tl Tile) {
+				for k := tl.Z0; k < tl.Z1; k++ {
+					for j := tl.Y0; j < tl.Y1; j++ {
+						for i := tl.X0; i < tl.X1; i++ {
+							atomic.AddInt32(&hits[(k*ny+j)*nx+i], 1)
+						}
+					}
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d shape=%v: cell %d hit %d times", workers, shape, i, h)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestForTiles2DCoversOffsetBox(t *testing.T) {
+	// 2D boxes with non-zero origins (interior bounds start at 0 but
+	// matrix-powers boxes go negative).
+	p := NewPool(4).WithTiles(5, 3, 0)
+	defer p.Close()
+	x0, x1, y0, y1 := -2, 31, -4, 17
+	nx, ny := x1-x0, y1-y0
+	hits := make([]int32, nx*ny)
+	p.ForTiles(Box2D(x0, x1, y0, y1), func(tl Tile) {
+		if tl.Z0 != 0 || tl.Z1 != 1 {
+			t.Errorf("2D tile has Z bounds [%d,%d)", tl.Z0, tl.Z1)
+		}
+		for j := tl.Y0; j < tl.Y1; j++ {
+			for i := tl.X0; i < tl.X1; i++ {
+				atomic.AddInt32(&hits[(j-y0)*nx+(i-x0)], 1)
+			}
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("cell %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForTilesEmptyBox(t *testing.T) {
+	p := NewPool(4).WithTiles(8, 8, 0)
+	defer p.Close()
+	called := false
+	p.ForTiles(Box2D(5, 5, 0, 10), func(Tile) { called = true })
+	p.ForTiles(Box3D(0, 4, 3, 3, 0, 4), func(Tile) { called = true })
+	if called {
+		t.Error("body must not run on an empty box")
+	}
+	got := p.ForTilesReduceN(2, Box2D(7, 2, 0, 5), func(Tile, []float64) {})
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty box reduced to %v", got)
+	}
+}
+
+// tileHarmonic is a reduction whose value depends on association order,
+// so bit-equality across worker counts actually tests the fold order.
+func tileHarmonic(nx int) func(tl Tile, acc []float64) {
+	return func(tl Tile, acc []float64) {
+		for k := tl.Z0; k < tl.Z1; k++ {
+			for j := tl.Y0; j < tl.Y1; j++ {
+				for i := tl.X0; i < tl.X1; i++ {
+					cell := float64((k*997+j)*nx + i + 1)
+					acc[0] += 1.0 / cell
+					acc[1] += cell / (cell + 1)
+				}
+			}
+		}
+	}
+}
+
+func TestForTilesReduceNBitIdenticalAcrossWorkers(t *testing.T) {
+	// The tiled contract: for a FIXED tile shape the reduction is
+	// bit-identical for every worker count — per-tile partials folded in
+	// global tile order, never worker order.
+	for _, shape := range [][3]int{{8, 8, 4}, {16, 3, 2}, {0, 5, 0}, {7, 7, 7}} {
+		var ref []float64
+		for _, workers := range []int{1, 2, 4, 7} {
+			p := NewPool(workers).WithTiles(shape[0], shape[1], shape[2])
+			got := p.ForTilesReduceN(2, Box3D(0, 33, 0, 19, 0, 9), tileHarmonic(33))
+			p.Close()
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if got[0] != ref[0] || got[1] != ref[1] {
+				t.Fatalf("shape=%v workers=%d: %v != serial %v", shape, workers, got, ref)
+			}
+		}
+	}
+}
+
+func TestForTilesReduceNUntiledMatchesLegacy(t *testing.T) {
+	// On an untiled pool the tile API must reproduce ForReduceN's bands
+	// and fold bit-for-bit: converting a kernel changes nothing until
+	// tiling is switched on.
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers).WithGrain(1)
+		nx, ny := 41, 29
+		legacy := p.ForReduceN(2, 0, ny, func(lo, hi int, acc []float64) {
+			tileHarmonic(nx)(Tile{X0: 0, X1: nx, Y0: lo, Y1: hi, Z0: 0, Z1: 1}, acc)
+		})
+		viaTiles := p.ForTilesReduceN(2, Box2D(0, nx, 0, ny), tileHarmonic(nx))
+		p.Close()
+		if legacy[0] != viaTiles[0] || legacy[1] != viaTiles[1] {
+			t.Fatalf("workers=%d: untiled tile path %v != legacy %v", workers, viaTiles, legacy)
+		}
+	}
+}
+
+func TestForTilesReduceNSerialTiledMatchesParallelTiled(t *testing.T) {
+	// quick-check over random box extents and tile shapes.
+	f := func(sx, sy, tu, tv uint8) bool {
+		nx, ny := int(sx%60)+1, int(sy%60)+1
+		tx, ty := int(tu%17), int(tv%17) // 0 means full extent
+		serial := NewPool(1).WithTiles(tx, ty, 0)
+		parallel := NewPool(5).WithTiles(tx, ty, 0)
+		defer parallel.Close()
+		a := serial.ForTilesReduceN(2, Box2D(0, nx, 0, ny), tileHarmonic(nx))
+		b := parallel.ForTilesReduceN(2, Box2D(0, nx, 0, ny), tileHarmonic(nx))
+		return a[0] == b[0] && a[1] == b[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithTilesSharesTeamAndUntiledRoundTrip(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	q := p.WithTiles(0, 16, 0)
+	if !q.Persistent() {
+		t.Fatal("WithTiles must share the persistent team")
+	}
+	if !q.Tiled() {
+		t.Fatal("WithTiles must enable the tiled schedule")
+	}
+	if tx, ty, tz := q.TileShape(); tx != 0 || ty != 16 || tz != 0 {
+		t.Fatalf("TileShape = (%d,%d,%d), want (0,16,0)", tx, ty, tz)
+	}
+	if p.Tiled() {
+		t.Fatal("WithTiles must not mutate the receiver")
+	}
+	u := q.Untiled()
+	if u.Tiled() {
+		t.Fatal("Untiled must disable the tiled schedule")
+	}
+	if !u.Persistent() {
+		t.Fatal("Untiled must keep the worker team")
+	}
+	// WithGrain on a tiled pool keeps the tiling.
+	if !q.WithGrain(1).Tiled() {
+		t.Fatal("WithGrain must preserve the tile configuration")
+	}
+}
+
+func TestForTilesUntiledMatchesFor(t *testing.T) {
+	// Untiled ForTiles bands exactly like For along the outer axis.
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers).WithGrain(1)
+		ny := 57
+		var forBands, tileBands [][2]int
+		bandsCh := make(chan [2]int, ny)
+		p.For(0, ny, func(lo, hi int) { bandsCh <- [2]int{lo, hi} })
+		close(bandsCh)
+		for b := range bandsCh {
+			forBands = append(forBands, b)
+		}
+		bandsCh2 := make(chan [2]int, ny)
+		p.ForTiles(Box2D(0, 13, 0, ny), func(tl Tile) { bandsCh2 <- [2]int{tl.Y0, tl.Y1} })
+		close(bandsCh2)
+		for b := range bandsCh2 {
+			tileBands = append(tileBands, b)
+		}
+		p.Close()
+		if len(forBands) != len(tileBands) {
+			t.Fatalf("workers=%d: %d For bands vs %d tile bands", workers, len(forBands), len(tileBands))
+		}
+		// Compare as sets (concurrent send order is arbitrary).
+		seen := map[[2]int]int{}
+		for _, b := range forBands {
+			seen[b]++
+		}
+		for _, b := range tileBands {
+			seen[b]--
+		}
+		for b, c := range seen {
+			if c != 0 {
+				t.Fatalf("workers=%d: band %v mismatch (count %d)", workers, b, c)
+			}
+		}
+	}
+}

@@ -275,11 +275,14 @@ func TestDistributed3DPPCGMatrixPowersAcceptance(t *testing.T) {
 		t.Errorf("distributed solution differs from single-rank by %v", d)
 	}
 	// Cadence: every inner solve of InnerSteps=4 steps at depth 2 needs
-	// exactly ceil(4/2) = 2 depth-2 exchanges; nothing else exchanges at
-	// depth 2. One inner solve runs per outer iteration plus the initial
-	// application after the bootstrap.
+	// exactly ceil(4/2) = 2 depth-2 exchanges. One inner solve runs per
+	// outer iteration plus the initial application after the bootstrap.
+	// The fused-CG bootstrap runs the deep-halo cycle too: one depth-2
+	// exchange per 2 bootstrap iterations, plus the one-time deep refresh
+	// of the folded Jacobi diagonal.
 	innerApplies := res.TotalInner / 4
 	wantDeep := innerApplies * 2
+	wantDeep += (res.BootstrapIters+depth-1)/depth + 1
 	tr := c.Trace()
 	if got := tr.ExchangesByDepth[depth]; got != wantDeep {
 		t.Errorf("depth-%d exchanges = %d, want %d (%d inner applies of 4 steps)",

@@ -105,6 +105,22 @@ func (e *engine[F, B]) deflDelta(minv, zd, r, w F) float64 {
 // component exactly. Each iteration then pays two reduction rounds — the
 // projector's coarse round plus the scalar round — versus the plain
 // loop's one.
+//
+// With Options.HaloDepth d > 1 the loop runs a matrix-powers cycle
+// (§IV-C2), previously exclusive to the PPCG inner solve: one depth-d
+// exchange of {r, w, p, s} at the top of each d-iteration cycle replaces
+// the per-iteration depth-1 exchange of r. Iteration j of a cycle runs
+// its direction/update sweeps on the extended bounds ext(d−j) — the
+// interior grown by d−j cells toward every rank neighbour — and its
+// matvec on ext(d−1−j), so each sweep's inputs are valid exactly one
+// cell beyond its own bounds and the halo data ages out one cell per
+// iteration. The extended cells are redundant compute replicating the
+// neighbour's interior; all dots stay interior-only, so the reduced
+// scalars (and hence the iterates) are unchanged from depth 1 — the
+// cycle trades ~4·d·halo cells of redundant sweeps for d× fewer
+// messages, the same latency-for-bandwidth trade the PPCG inner powers
+// schedule makes. Deflated solves join the cycle via ProjectWBounds,
+// which maintains w = P·A·u' on the extended bounds (deepDeflator).
 func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, tol float64) (Result, *cgState[F], error) {
 	sys := e.sys
 	in := e.in
@@ -174,21 +190,60 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: startup curvature δ = %v: %w", delta, ErrBreakdown)
 	}
 
+	depth := e.haloCycleDepth(defl)
+	if depth > 1 && !isZeroF(minv) {
+		// The folded diagonal is sweep input on the full extended bounds;
+		// it never changes during the solve, so one deep exchange suffices.
+		if err := e.exchange(depth, minv); err != nil {
+			return result, nil, err
+		}
+	}
+
 	alpha := gamma / delta
 	beta := 0.0
 	rr := rr0
 	for it := 0; it < maxIters; it++ {
-		sys.FusedCGDirections(in, minv, r, w, beta, pvec, svec)
-		e.vectorPass(in)
-		gammaNew, rrNew := sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
-		e.vectorPass(in)
-		deltaNew, err := e.applyPreDotX(minv, r, w)
-		if err != nil {
-			return result, nil, err
-		}
-		if defl != nil {
-			defl.ProjectW(w)
-			deltaNew = e.deflDelta(minv, zd, r, w)
+		var gammaNew, rrNew, deltaNew float64
+		if depth > 1 {
+			j := it % depth
+			if j == 0 {
+				// Cycle top: one deep exchange of every recurrence vector
+				// replaces depth per-iteration exchanges of r.
+				if err := e.exchange(depth, r, w, pvec, svec); err != nil {
+					return result, nil, err
+				}
+			}
+			ab := sys.Extend(depth - j)     // direction/update bounds
+			mb := sys.Extend(depth - 1 - j) // matvec bounds, one cell inside
+			sys.FusedCGDirections(ab, minv, r, w, beta, pvec, svec)
+			e.vectorPass(ab)
+			// The x update and the dots are interior-only; r's extended ring
+			// gets the matching r −= α·s separately so the next matvec reads
+			// a consistent r one cell beyond mb.
+			gammaNew, rrNew = sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
+			for _, rb := range sys.Rings(ab) {
+				sys.Axpy(rb, -alpha, svec, r)
+			}
+			e.vectorPass(ab)
+			deltaNew = e.applyPreDotDeep(mb, minv, r, w)
+			if defl != nil {
+				defl.(deepDeflator[F, B]).ProjectWBounds(mb, w)
+				deltaNew = e.deflDelta(minv, zd, r, w)
+			}
+		} else {
+			sys.FusedCGDirections(in, minv, r, w, beta, pvec, svec)
+			e.vectorPass(in)
+			gammaNew, rrNew = sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
+			e.vectorPass(in)
+			var err error
+			deltaNew, err = e.applyPreDotX(minv, r, w)
+			if err != nil {
+				return result, nil, err
+			}
+			if defl != nil {
+				defl.ProjectW(w)
+				deltaNew = e.deflDelta(minv, zd, r, w)
+			}
 		}
 		s := e.reduceN([]float64{gammaNew, rrNew, deltaNew})
 		gammaNew, rrNew, deltaNew = s[0], s[1], s[2]
@@ -276,6 +331,18 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 // s = P·A·M⁻¹p and z = P·A·M⁻¹s by induction, at the cost of the
 // projector's extra reduction round per iteration (exactly as on the
 // fused and classic engines).
+//
+// With Options.HaloDepth d > 1 the engine runs the same matrix-powers
+// cycle as the fused engine: one depth-d exchange of all five recurrence
+// vectors per d passes, placed INSIDE the overlap window (after the
+// round is posted — exchanges are point-to-point and safe to interleave
+// with a split reduction, exactly as applyPreDotX's overlapped exchange
+// already is). Pass j of a cycle computes its matvec on ext(d−1−j) and
+// then extends ALL five vector recurrences over that same region's rings
+// — p, s, z must age in lockstep with r, w because pass j+1's matvec
+// reads w one cell beyond its bounds and the recurrences that produced
+// that w read the others at the same cell. Dots stay interior-only, so
+// the reduced scalars match depth 1.
 func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, tol float64) (Result, *cgState[F], error) {
 	sys := e.sys
 	in := e.in
@@ -332,20 +399,45 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 		delta = e.deflDelta(minv, zd, r, w)
 	}
 
+	depth := e.haloCycleDepth(defl)
+	if depth > 1 && !isZeroF(minv) {
+		// One-time deep refresh of the folded diagonal (sweep input on the
+		// full extended bounds, constant across the solve).
+		if err := e.exchange(depth, minv); err != nil {
+			return result, nil, err
+		}
+	}
+
 	var alpha, gammaOld, rr0 float64
+	var mb B // this pass's matvec bounds (deep path)
 	first := true
+	cyc := 0
 	for {
 		// Loop invariant: gamma, delta and rr hold the LOCAL partials of
 		// γ = r·(M⁻¹r), δ = (M⁻¹r)·w and ‖r‖² for the current r, w; the
 		// round reducing them overlaps the next Krylov basis extension.
 		h := e.reduceNStart([]float64{gamma, delta, rr})
-		if _, err := e.applyPreDotX(minv, w, nvec); err != nil {
+		if depth > 1 {
+			j := cyc % depth
+			if j == 0 {
+				// Cycle top, inside the overlap window: the deep exchange of
+				// all five recurrence vectors hides behind the round too.
+				if err := e.exchange(depth, r, w, pvec, svec, zvec); err != nil {
+					h.Finish()
+					return result, nil, err
+				}
+			}
+			mb = sys.Extend(depth - 1 - j)
+			sys.ApplyPreDot(mb, minv, w, nvec)
+			e.tr.AddMatvec(sys.Cells(mb))
+		} else if _, err := e.applyPreDotX(minv, w, nvec); err != nil {
 			// Drain the posted round before surfacing the error: the other
 			// ranks are already in the butterfly, and the communicator must
 			// be quiescent for whatever the caller does next.
 			h.Finish()
 			return result, nil, err
 		}
+		cyc++
 		sums := h.Finish()
 		gamma, delta, rr = sums[0], sums[1], sums[2]
 
@@ -385,7 +477,13 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			break
 		}
 		if defl != nil {
-			defl.ProjectW(nvec) // n = P·A·M⁻¹w, strictly after Finish
+			if depth > 1 {
+				// n = P·A·M⁻¹w on the extended matvec bounds, strictly after
+				// Finish (the projector's coarse round is a collective).
+				defl.(deepDeflator[F, B]).ProjectWBounds(mb, nvec)
+			} else {
+				defl.ProjectW(nvec) // n = P·A·M⁻¹w, strictly after Finish
+			}
 		}
 		var beta float64
 		if first {
@@ -406,7 +504,22 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 		}
 		gammaOld = gamma
 		gamma, delta, rr = sys.PipelinedCGStep(in, minv, r, w, nvec, beta, alpha, pvec, svec, zvec, e.u)
-		e.vectorPass(in)
+		if depth > 1 {
+			// Extend every recurrence except x (a solution cell is owned by
+			// exactly one rank) over the matvec bounds' rings, in the same
+			// order the fused step applies them so old-value reads (s reads
+			// the pre-update w; r, w read the fresh s, z) are preserved.
+			for _, rb := range sys.Rings(mb) {
+				sys.AxpbyPre(rb, beta, pvec, 1, minv, r) // p = u' + β·p
+				sys.Xpay(rb, w, beta, svec)              // s = w + β·s
+				sys.Xpay(rb, nvec, beta, zvec)           // z = n + β·z
+				sys.Axpy(rb, -alpha, svec, r)            // r −= α·s
+				sys.Axpy(rb, -alpha, zvec, w)            // w −= α·z
+			}
+			e.vectorPass(mb)
+		} else {
+			e.vectorPass(in)
+		}
 	}
 	result.FinalResidual = relResidual(rr, rr0)
 	if defl != nil && rr0 > 0 {

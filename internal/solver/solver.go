@@ -131,9 +131,14 @@ type Options struct {
 	// iteration (default 10, TeaLeaf's tl_ppcg_inner_steps).
 	InnerSteps int
 	// HaloDepth is the matrix-powers exchange depth (default 1 = classic
-	// exchange-per-application; §IV-C2). Values >1 are only meaningful
-	// for PPCG and are incompatible with preconditioners whose registry
-	// entry is not deep-halo compatible (jac_block in either dimension).
+	// exchange-per-application; §IV-C2). Depth d > 1 drives the PPCG inner
+	// Chebyshev smoothing's powers schedule AND the fused/pipelined CG
+	// engines' deep-halo cycle (one depth-d exchange of the recurrence
+	// vectors per d iterations, sweeps on extended bounds), including
+	// deflated solves — iterates are unchanged from depth 1 to within
+	// round-off. It is incompatible with preconditioners whose registry
+	// entry is not deep-halo compatible (jac_block in either dimension),
+	// and the classic (unfused) CG loop ignores it.
 	HaloDepth int
 	// FusedDots combines the ρ and ‖r‖ reductions of each PCG iteration
 	// into a single allreduce (§VII future work). Affects communication

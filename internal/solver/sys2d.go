@@ -44,6 +44,48 @@ func (s *sys2d) NewPowers(depth int) (powersSched[grid.Bounds], error) {
 	return halo.NewSchedule(s.op.Grid, depth, adj)
 }
 
+func (s *sys2d) Extend(n int) grid.Bounds {
+	in := s.op.Grid.Interior()
+	if n <= 0 {
+		return in
+	}
+	phys := s.c.Physical()
+	var l, r, d, u int
+	if !phys.Left {
+		l = n
+	}
+	if !phys.Right {
+		r = n
+	}
+	if !phys.Down {
+		d = n
+	}
+	if !phys.Up {
+		u = n
+	}
+	return in.ExpandSides(l, r, d, u, s.op.Grid)
+}
+
+// Rings returns outer ∖ interior as at most four disjoint rectangles:
+// full-width south/north slabs, then west/east strips at interior height.
+func (s *sys2d) Rings(outer grid.Bounds) []grid.Bounds {
+	in := s.op.Grid.Interior()
+	var rs []grid.Bounds
+	if outer.Y0 < in.Y0 {
+		rs = append(rs, grid.Bounds{X0: outer.X0, X1: outer.X1, Y0: outer.Y0, Y1: in.Y0})
+	}
+	if outer.Y1 > in.Y1 {
+		rs = append(rs, grid.Bounds{X0: outer.X0, X1: outer.X1, Y0: in.Y1, Y1: outer.Y1})
+	}
+	if outer.X0 < in.X0 {
+		rs = append(rs, grid.Bounds{X0: outer.X0, X1: in.X0, Y0: in.Y0, Y1: in.Y1})
+	}
+	if outer.X1 > in.X1 {
+		rs = append(rs, grid.Bounds{X0: in.X1, X1: outer.X1, Y0: in.Y0, Y1: in.Y1})
+	}
+	return rs
+}
+
 func (s *sys2d) Residual(b grid.Bounds, u, rhs, r *grid.Field2D) {
 	s.op.Residual(s.p, b, u, rhs, r)
 }

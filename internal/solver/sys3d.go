@@ -49,6 +49,61 @@ func (s *sys3d) NewPowers(depth int) (powersSched[grid.Bounds3D], error) {
 	return halo.NewSchedule3D(s.op.Grid, depth, adj)
 }
 
+func (s *sys3d) Extend(n int) grid.Bounds3D {
+	in := s.op.Grid.Interior()
+	if n <= 0 {
+		return in
+	}
+	phys := s.c.Physical3D()
+	var l, r, d, u, bk, f int
+	if !phys.Left {
+		l = n
+	}
+	if !phys.Right {
+		r = n
+	}
+	if !phys.Down {
+		d = n
+	}
+	if !phys.Up {
+		u = n
+	}
+	if !phys.Back {
+		bk = n
+	}
+	if !phys.Front {
+		f = n
+	}
+	return in.ExpandSides(l, r, d, u, bk, f, s.op.Grid)
+}
+
+// Rings returns outer ∖ interior as at most six disjoint boxes:
+// full-outer-XY back/front z-slabs, then full-outer-X south/north y-slabs
+// at interior depth, then west/east strips at interior height and depth.
+func (s *sys3d) Rings(outer grid.Bounds3D) []grid.Bounds3D {
+	in := s.op.Grid.Interior()
+	var rs []grid.Bounds3D
+	if outer.Z0 < in.Z0 {
+		rs = append(rs, grid.Bounds3D{X0: outer.X0, X1: outer.X1, Y0: outer.Y0, Y1: outer.Y1, Z0: outer.Z0, Z1: in.Z0})
+	}
+	if outer.Z1 > in.Z1 {
+		rs = append(rs, grid.Bounds3D{X0: outer.X0, X1: outer.X1, Y0: outer.Y0, Y1: outer.Y1, Z0: in.Z1, Z1: outer.Z1})
+	}
+	if outer.Y0 < in.Y0 {
+		rs = append(rs, grid.Bounds3D{X0: outer.X0, X1: outer.X1, Y0: outer.Y0, Y1: in.Y0, Z0: in.Z0, Z1: in.Z1})
+	}
+	if outer.Y1 > in.Y1 {
+		rs = append(rs, grid.Bounds3D{X0: outer.X0, X1: outer.X1, Y0: in.Y1, Y1: outer.Y1, Z0: in.Z0, Z1: in.Z1})
+	}
+	if outer.X0 < in.X0 {
+		rs = append(rs, grid.Bounds3D{X0: outer.X0, X1: in.X0, Y0: in.Y0, Y1: in.Y1, Z0: in.Z0, Z1: in.Z1})
+	}
+	if outer.X1 > in.X1 {
+		rs = append(rs, grid.Bounds3D{X0: in.X1, X1: outer.X1, Y0: in.Y0, Y1: in.Y1, Z0: in.Z0, Z1: in.Z1})
+	}
+	return rs
+}
+
 func (s *sys3d) Residual(b grid.Bounds3D, u, rhs, r *grid.Field3D) {
 	s.op.Residual(s.p, b, u, rhs, r)
 }

@@ -40,6 +40,15 @@ type system[F comparable, B any] interface {
 	// NewPowers builds the matrix-powers exchange schedule for the given
 	// depth, with adjacency taken from the communicator's physical sides.
 	NewPowers(depth int) (powersSched[B], error)
+	// Extend returns the interior expanded by n cells on every side with a
+	// rank neighbour (physical sides never extend: their halos are
+	// zero-flux mirrors, not data) — the matrix-powers extended bounds the
+	// deep-halo CG cycles sweep. n <= 0 returns the interior.
+	Extend(n int) B
+	// Rings decomposes outer ∖ interior into disjoint rectangular bounds
+	// (at most 4 in 2D, 6 in 3D; empty when outer equals the interior),
+	// for ring-only vector updates on the extended region.
+	Rings(outer B) []B
 
 	// Residual computes r = rhs − A·u over b.
 	Residual(b B, u, rhs, r F)
@@ -129,6 +138,18 @@ type powersSched[B any] interface {
 type deflator[F any] interface {
 	CoarseCorrect(r, u F)
 	ProjectW(w F)
+}
+
+// deepDeflator is the optional deflator extension the deep-halo CG
+// engines need: ProjectWBounds applies the projection with the fine-grid
+// correction written over the extended bounds b, not just the interior,
+// so the matrix-powers cycle keeps w = P·A·u' valid wherever later
+// redundant sweeps read it. The coarse solve inside stays restricted to
+// the interior (extended cells are another rank's interior — counting
+// them would double-weight the restriction) and remains collective.
+// Deflators that don't implement it cap the halo cycle at depth 1.
+type deepDeflator[F any, B any] interface {
+	ProjectWBounds(b B, w F)
 }
 
 // isZeroF reports whether f is the zero value of its type (a nil field
@@ -244,6 +265,38 @@ func (e *engine[F, B]) applyPreDotX(minv, r, w F) (float64, error) {
 	d += e.sys.ApplyPreDotBoundary(e.in, minv, r, w)
 	e.tr.AddMatvec(e.cells)
 	return d, nil
+}
+
+// applyPreDotDeep computes w = A·(minv⊙r) over the extended bounds mb
+// WITHOUT an exchange — the matrix-powers deep-halo matvec. It returns
+// the interior-only local dot: the cells beyond the interior are
+// redundant compute replicating a neighbour's interior, so their dot
+// contribution belongs to (and is summed by) that neighbour. The sweep
+// is split interior-first then ring-by-ring so the traced cost and the
+// dot stay separable.
+func (e *engine[F, B]) applyPreDotDeep(mb B, minv, r, w F) float64 {
+	d := e.sys.ApplyPreDot(e.in, minv, r, w)
+	for _, rb := range e.sys.Rings(mb) {
+		e.sys.ApplyPreDot(rb, minv, r, w)
+	}
+	e.tr.AddMatvec(e.sys.Cells(mb))
+	return d
+}
+
+// haloCycleDepth resolves the matrix-powers cycle depth for the fused and
+// pipelined engines: Options.HaloDepth, capped to 1 when a configured
+// deflator cannot maintain the projection on extended bounds.
+func (e *engine[F, B]) haloCycleDepth(defl deflator[F]) int {
+	depth := e.o.HaloDepth
+	if depth <= 1 {
+		return 1
+	}
+	if defl != nil {
+		if _, ok := defl.(deepDeflator[F, B]); !ok {
+			return 1
+		}
+	}
+	return depth
 }
 
 // initialResidual exchanges u, computes r = rhs − A·u on the interior and

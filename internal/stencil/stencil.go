@@ -205,10 +205,10 @@ func (op *Operator2D) Apply(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D) {
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	pd, wd := p.Data, w.Data
-	n := b.X1 - b.X0
-	pool.For(b.Y0, b.Y1, func(k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			o := g.Index(b.X0, k)
+	pool.ForTiles(par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile) {
+		n := t.X1 - t.X0
+		for k := t.Y0; k < t.Y1; k++ {
+			o := g.Index(t.X0, k)
 			kxs := kx[o : o+n+1]
 			kyn := ky[o+s : o+s+n]
 			kys := ky[o : o+n]
@@ -253,11 +253,11 @@ func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	pd, wd := p.Data, w.Data
-	n := b.X1 - b.X0
-	return pool.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+	return pool.ForTilesReduceN(1, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile, acc []float64) {
+		n := t.X1 - t.X0
 		var pw0, pw1, pw2, pw3 float64
-		for k := k0; k < k1; k++ {
-			o := g.Index(b.X0, k)
+		for k := t.Y0; k < t.Y1; k++ {
+			o := g.Index(t.X0, k)
 			kxs := kx[o : o+n+1]
 			kyn := ky[o+s : o+s+n]
 			kys := ky[o : o+n]
@@ -295,8 +295,8 @@ func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D
 				pw0 += pc0 * v
 			}
 		}
-		return (pw0 + pw1) + (pw2 + pw3)
-	})
+		acc[0] += (pw0 + pw1) + (pw2 + pw3)
+	})[0]
 }
 
 // ApplyDot2 computes w = A·p fused with the two dot products p·w and w·w
@@ -315,12 +315,12 @@ func (op *Operator2D) ApplyDot2(pool *par.Pool, b grid.Bounds, p, w *grid.Field2
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	pd, wd := p.Data, w.Data
-	n := b.X1 - b.X0
-	return pool.ForReduce2(b.Y0, b.Y1, func(k0, k1 int) (float64, float64) {
+	acc := pool.ForTilesReduceN(2, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile, acc []float64) {
+		n := t.X1 - t.X0
 		var pw0, pw1, pw2, pw3 float64
 		var ww0, ww1, ww2, ww3 float64
-		for k := k0; k < k1; k++ {
-			o := g.Index(b.X0, k)
+		for k := t.Y0; k < t.Y1; k++ {
+			o := g.Index(t.X0, k)
 			kxs := kx[o : o+n+1]
 			kyn := ky[o+s : o+s+n]
 			kys := ky[o : o+n]
@@ -363,8 +363,10 @@ func (op *Operator2D) ApplyDot2(pool *par.Pool, b grid.Bounds, p, w *grid.Field2
 				ww0 += v * v
 			}
 		}
-		return (pw0 + pw1) + (pw2 + pw3), (ww0 + ww1) + (ww2 + ww3)
+		acc[0] += (pw0 + pw1) + (pw2 + pw3)
+		acc[1] += (ww0 + ww1) + (ww2 + ww3)
 	})
+	return acc[0], acc[1]
 }
 
 // ApplyPreDot is the matvec pass of the fused single-reduction CG: with
@@ -383,19 +385,21 @@ func (op *Operator2D) ApplyPreDot(pool *par.Pool, b grid.Bounds, minv, r, w *gri
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	md, rd, wd := minv.Data, r.Data, w.Data
-	n := b.X1 - b.X0
 	// Each worker keeps a rolling three-row window of u = minv ⊙ r
 	// (extended one cell left/right), so every product is computed once
 	// and m, r stream through exactly one read each — the buffer rows
-	// stay L1-resident across the stencil evaluation.
-	width := n + 2
-	return pool.ForReduce(b.Y0, b.Y1, func(k0, k1 int) float64 {
+	// stay L1-resident across the stencil evaluation. Under tiling the
+	// window is tile-wide; edge cells recomputed by the adjacent tile are
+	// the same pointwise products, so the sweep's output is unchanged.
+	return pool.ForTilesReduceN(1, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile, acc []float64) {
+		n := t.X1 - t.X0
+		width := n + 2
 		buf := make([]float64, 3*width)
 		us := buf[0*width : 1*width : 1*width] // row k−1
 		uc := buf[1*width : 2*width : 2*width] // row k
 		un := buf[2*width : 3*width : 3*width] // row k+1
 		fill := func(dst []float64, k int) {
-			o := g.Index(b.X0-1, k)
+			o := g.Index(t.X0-1, k)
 			ms := md[o : o+width : o+width]
 			rs := rd[o:][:width:width]
 			j := 0
@@ -409,12 +413,12 @@ func (op *Operator2D) ApplyPreDot(pool *par.Pool, b grid.Bounds, minv, r, w *gri
 				dst[j] = ms[j] * rs[j]
 			}
 		}
-		fill(us, k0-1)
-		fill(uc, k0)
+		fill(us, t.Y0-1)
+		fill(uc, t.Y0)
 		var uw0, uw1 float64
-		for k := k0; k < k1; k++ {
+		for k := t.Y0; k < t.Y1; k++ {
 			fill(un, k+1)
-			o := g.Index(b.X0, k)
+			o := g.Index(t.X0, k)
 			kxs := kx[o : o+n+1]
 			kyn := ky[o+s : o+s+n]
 			kys := ky[o : o+n]
@@ -444,8 +448,8 @@ func (op *Operator2D) ApplyPreDot(pool *par.Pool, b grid.Bounds, minv, r, w *gri
 			}
 			us, uc, un = uc, un, us
 		}
-		return uw0 + uw1
-	})
+		acc[0] += uw0 + uw1
+	})[0]
 }
 
 // ApplyPreDotInit is ApplyPreDot extended with the two extra dot products
@@ -465,12 +469,13 @@ func (op *Operator2D) ApplyPreDotInit(pool *par.Pool, b grid.Bounds, minv, r, w 
 	if minv != nil {
 		md = minv.Data
 	}
-	n := b.X1 - b.X0
-	out := pool.ForReduceN(3, b.Y0, b.Y1, func(k0, k1 int, acc []float64) {
+	out := pool.ForTilesReduceN(3, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile, acc []float64) {
+		tb := grid.Bounds{X0: t.X0, X1: t.X1, Y0: t.Y0, Y1: t.Y1}
+		n := tb.X1 - tb.X0
 		var ga, de, rs float64
-		for k := k0; k < k1; k++ {
-			rrw := sliceStencilRows(g, b, kx, ky, rd, k)
-			o := g.Index(b.X0, k)
+		for k := tb.Y0; k < tb.Y1; k++ {
+			rrw := sliceStencilRows(g, tb, kx, ky, rd, k)
+			o := g.Index(tb.X0, k)
 			ws := wd[o : o+n : o+n]
 			if md == nil {
 				for j := 0; j < n; j++ {

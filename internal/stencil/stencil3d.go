@@ -168,6 +168,16 @@ func (op *Operator3D) sliceRows3(b grid.Bounds3D, p []float64, j, k int) rows3 {
 	}
 }
 
+// box3s is the par.Box for a 3D stencil bounds.
+func box3s(b grid.Bounds3D) par.Box {
+	return par.Box3D(b.X0, b.X1, b.Y0, b.Y1, b.Z0, b.Z1)
+}
+
+// tb3 is the stencil bounds for one tile.
+func tb3(t par.Tile) grid.Bounds3D {
+	return grid.Bounds3D{X0: t.X0, X1: t.X1, Y0: t.Y0, Y1: t.Y1, Z0: t.Z0, Z1: t.Z1}
+}
+
 // Apply computes w = A·p over the cells of b. p must have valid values
 // one cell beyond b on every side.
 func (op *Operator3D) Apply(pool *par.Pool, b grid.Bounds3D, p, w *grid.Field3D) {
@@ -176,12 +186,13 @@ func (op *Operator3D) Apply(pool *par.Pool, b grid.Bounds3D, p, w *grid.Field3D)
 	}
 	g := op.Grid
 	pd, wd := p.Data, w.Data
-	n := b.X1 - b.X0
-	pool.For(b.Z0, b.Z1, func(z0, z1 int) {
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				r := op.sliceRows3(b, pd, j, k)
-				o := g.Index(b.X0, j, k)
+	pool.ForTiles(box3s(b), func(t par.Tile) {
+		tb := tb3(t)
+		n := tb.X1 - tb.X0
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				r := op.sliceRows3(tb, pd, j, k)
+				o := g.Index(tb.X0, j, k)
 				ws := wd[o : o+n : o+n]
 				for i := 0; i < n; i++ {
 					ws[i] = (1+(r.kxs[i+1]+r.kxs[i])+(r.kyn[i]+r.kys[i])+(r.kzf[i]+r.kzb[i]))*r.pc[i+1] -
@@ -201,13 +212,14 @@ func (op *Operator3D) ApplyDot(pool *par.Pool, b grid.Bounds3D, p, w *grid.Field
 	}
 	g := op.Grid
 	pd, wd := p.Data, w.Data
-	n := b.X1 - b.X0
-	return pool.ForReduce(b.Z0, b.Z1, func(z0, z1 int) float64 {
+	return pool.ForTilesReduceN(1, box3s(b), func(t par.Tile, acc []float64) {
+		tb := tb3(t)
+		n := tb.X1 - tb.X0
 		var pw float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				r := op.sliceRows3(b, pd, j, k)
-				o := g.Index(b.X0, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				r := op.sliceRows3(tb, pd, j, k)
+				o := g.Index(tb.X0, j, k)
 				ws := wd[o : o+n : o+n]
 				for i := 0; i < n; i++ {
 					v := (1+(r.kxs[i+1]+r.kxs[i])+(r.kyn[i]+r.kys[i])+(r.kzf[i]+r.kzb[i]))*r.pc[i+1] -
@@ -219,8 +231,8 @@ func (op *Operator3D) ApplyDot(pool *par.Pool, b grid.Bounds3D, p, w *grid.Field
 				}
 			}
 		}
-		return pw
-	})
+		acc[0] += pw
+	})[0]
 }
 
 // ApplyDot2 computes w = A·p fused with the two dot products p·w and w·w
@@ -233,13 +245,14 @@ func (op *Operator3D) ApplyDot2(pool *par.Pool, b grid.Bounds3D, p, w *grid.Fiel
 	}
 	g := op.Grid
 	pd, wd := p.Data, w.Data
-	n := b.X1 - b.X0
-	return pool.ForReduce2(b.Z0, b.Z1, func(z0, z1 int) (float64, float64) {
+	acc2 := pool.ForTilesReduceN(2, box3s(b), func(t par.Tile, acc []float64) {
+		tb := tb3(t)
+		n := tb.X1 - tb.X0
 		var pw0, pw1, ww0, ww1 float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				r := op.sliceRows3(b, pd, j, k)
-				o := g.Index(b.X0, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				r := op.sliceRows3(tb, pd, j, k)
+				o := g.Index(tb.X0, j, k)
 				ws := wd[o : o+n : o+n]
 				i := 0
 				for ; i+1 < n; i += 2 {
@@ -272,8 +285,10 @@ func (op *Operator3D) ApplyDot2(pool *par.Pool, b grid.Bounds3D, p, w *grid.Fiel
 				}
 			}
 		}
-		return pw0 + pw1, ww0 + ww1
+		acc[0] += pw0 + pw1
+		acc[1] += ww0 + ww1
 	})
+	return acc2[0], acc2[1]
 }
 
 // ApplyPreDot computes w = A·u with u = minv ⊙ r (the diagonally
@@ -292,14 +307,15 @@ func (op *Operator3D) ApplyPreDot(pool *par.Pool, b grid.Bounds3D, minv *grid.Fi
 	}
 	g := op.Grid
 	rd, wd := r.Data, w.Data
-	n := b.X1 - b.X0
-	return pool.ForReduce(b.Z0, b.Z1, func(z0, z1 int) float64 {
+	return pool.ForTilesReduceN(1, box3s(b), func(t par.Tile, acc []float64) {
+		tb := tb3(t)
+		n := tb.X1 - tb.X0
 		var delta float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				s := op.sliceRows3(b, rd, j, k)
-				m := op.sliceRows3(b, minv.Data, j, k)
-				o := g.Index(b.X0, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				s := op.sliceRows3(tb, rd, j, k)
+				m := op.sliceRows3(tb, minv.Data, j, k)
+				o := g.Index(tb.X0, j, k)
 				ws := wd[o : o+n : o+n]
 				for i := 0; i < n; i++ {
 					uc := m.pc[i+1] * s.pc[i+1]
@@ -312,8 +328,8 @@ func (op *Operator3D) ApplyPreDot(pool *par.Pool, b grid.Bounds3D, minv *grid.Fi
 				}
 			}
 		}
-		return delta
-	})
+		acc[0] += delta
+	})[0]
 }
 
 // ApplyPreDotInit is the fused startup sweep of the 3D single-reduction
@@ -325,13 +341,14 @@ func (op *Operator3D) ApplyPreDotInit(pool *par.Pool, b grid.Bounds3D, minv *gri
 	}
 	g := op.Grid
 	rd, wd := r.Data, w.Data
-	n := b.X1 - b.X0
-	acc := pool.ForReduceN(3, b.Z0, b.Z1, func(z0, z1 int, out []float64) {
+	acc := pool.ForTilesReduceN(3, box3s(b), func(t par.Tile, out []float64) {
+		tb := tb3(t)
+		n := tb.X1 - tb.X0
 		var ga, de, rr2 float64
-		for k := z0; k < z1; k++ {
-			for j := b.Y0; j < b.Y1; j++ {
-				s := op.sliceRows3(b, rd, j, k)
-				o := g.Index(b.X0, j, k)
+		for k := tb.Z0; k < tb.Z1; k++ {
+			for j := tb.Y0; j < tb.Y1; j++ {
+				s := op.sliceRows3(tb, rd, j, k)
+				o := g.Index(tb.X0, j, k)
 				ws := wd[o : o+n : o+n]
 				if minv == nil {
 					// Identity: u = r, so γ = rr; still one sweep.
@@ -347,7 +364,7 @@ func (op *Operator3D) ApplyPreDotInit(pool *par.Pool, b grid.Bounds3D, minv *gri
 					}
 					continue
 				}
-				m := op.sliceRows3(b, minv.Data, j, k)
+				m := op.sliceRows3(tb, minv.Data, j, k)
 				for i := 0; i < n; i++ {
 					rc := s.pc[i+1]
 					uc := m.pc[i+1] * rc
