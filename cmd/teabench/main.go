@@ -50,11 +50,14 @@ type config struct {
 	deflOut    string
 	overlapOut string
 	tilesOut   string
+	fuzzSeed   int64
+	fuzzN      int
+	fuzzOut    string
 }
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|overlap|tiles|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|precond|halodepth|weak|bench|overlap|tiles|fuzz|all")
 		mesh       = flag.Int("mesh", 192, "measured mesh size for fig3 (quick mode)")
 		steps      = flag.Int("steps", 0, "measured steps for fig3/fig4 (0 = per-experiment default)")
 		ladder     = flag.String("ladder", "32,48,64,96", "calibration mesh ladder")
@@ -65,10 +68,13 @@ func run() error {
 		deflOut    = flag.String("deflout", "BENCH_deflation.json", "output path for the -exp deflation JSON report")
 		overlapOut = flag.String("overlapout", "BENCH_overlap.json", "output path for the -exp overlap JSON report")
 		tilesOut   = flag.String("tilesout", "BENCH_tiling.json", "output path for the -exp tiles JSON report")
+		fuzzSeed   = flag.Int64("seed", 1, "deck-generator seed for -exp fuzz")
+		fuzzN      = flag.Int("n", 25, "number of generated decks for -exp fuzz")
+		fuzzOut    = flag.String("fuzzout", "BENCH_fuzz.json", "output path for the -exp fuzz JSON report")
 	)
 	flag.Parse()
 
-	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut, deflOut: *deflOut, overlapOut: *overlapOut, tilesOut: *tilesOut}
+	cfg := config{exp: *exp, mesh: *mesh, steps: *steps, outDir: *outDir, full: *full, inner: *inner, benchOut: *benchOut, deflOut: *deflOut, overlapOut: *overlapOut, tilesOut: *tilesOut, fuzzSeed: *fuzzSeed, fuzzN: *fuzzN, fuzzOut: *fuzzOut}
 	for _, tok := range strings.Split(*ladder, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
@@ -102,6 +108,7 @@ func run() error {
 		"smoke":     smokeExperiment,
 		"overlap":   overlapExperiment,
 		"tiles":     tilesExperiment,
+		"fuzz":      fuzzExperiment,
 	}
 	if cfg.exp == "all" {
 		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "precond", "halodepth", "weak", "scale3d", "deflation"} {

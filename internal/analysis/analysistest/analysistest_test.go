@@ -1,0 +1,53 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"tealeaf/internal/analysis"
+	"tealeaf/internal/analysis/analysistest"
+)
+
+// namecheck is the trivial analyzer the harness test runs: it flags
+// top-level functions whose names start with "Bad" and, independently,
+// names containing "Evil" — a declaration can earn both diagnostics,
+// which exercises multi-pattern want comments.
+var namecheck = &analysis.Analyzer{
+	Name: "namecheck",
+	Doc:  "flags functions named Bad* or *Evil*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "function %s starts with Bad", fd.Name.Name)
+				}
+				if strings.Contains(fd.Name.Name, "Evil") {
+					pass.Reportf(fd.Pos(), "function name contains Evil")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestHarnessHappyPath: the harness loads the testdata package (resolving
+// its import of triviallib through the tree), runs the analyzer, and
+// matches every diagnostic against the want comments — including a line
+// carrying two patterns and a clean declaration carrying none.
+func TestHarnessHappyPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), namecheck, "trivial")
+}
+
+// TestTestData: the testdata root is absolute and points at this
+// package's ./testdata by convention.
+func TestTestData(t *testing.T) {
+	p := analysistest.TestData()
+	if !strings.HasSuffix(p, "testdata") {
+		t.Errorf("TestData() = %q, want a path ending in testdata", p)
+	}
+}

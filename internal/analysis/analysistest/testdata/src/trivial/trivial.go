@@ -1,0 +1,15 @@
+// Package trivial is the fixture for the harness's own happy-path test:
+// the namecheck analyzer flags functions whose names start with Bad and,
+// separately, names containing Evil — so one declaration below earns two
+// diagnostics on one line, pinning multi-pattern want matching.
+package trivial
+
+import "triviallib"
+
+func Good() int { return triviallib.Fine() }
+
+func BadIdea() {} // want "function BadIdea starts with Bad"
+
+func BadEvilPlan() {} // want "function BadEvilPlan starts with Bad" `contains Evil`
+
+func EvilButTolerated() {} // want `contains Evil`

@@ -1,0 +1,5 @@
+// Package triviallib exists so the harness's own test exercises import
+// resolution through the testdata tree.
+package triviallib
+
+func Fine() int { return 1 }

@@ -26,20 +26,28 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 			obj = info.Uses[fun.Sel]
 		}
 	case *ast.IndexExpr:
-		// Explicitly instantiated generic function: f[T](...).
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			obj = info.Uses[id]
-		}
+		// Explicitly instantiated generic function: f[T](...) or pkg.F[T](...).
+		obj = indexee(info, fun.X)
 	case *ast.IndexListExpr:
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			obj = info.Uses[id]
-		}
+		obj = indexee(info, fun.X)
 	}
 	fn, _ := obj.(*types.Func)
 	if fn != nil {
 		fn = fn.Origin()
 	}
 	return fn
+}
+
+// indexee resolves the generic function being instantiated in an index
+// expression's X — a bare identifier or a qualified pkg.F selector.
+func indexee(info *types.Info, x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
 }
 
 // PkgPathIs reports whether pkg's import path is path itself or ends with

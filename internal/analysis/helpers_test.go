@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The helpers operate on type-checked syntax, so the tests build a tiny
+// two-package world in memory: "fake/comm" plays the role of a contract
+// package and "app" calls into it through every call shape Callee must
+// resolve — plain idents, selector methods, qualified identifiers,
+// explicit generic instantiation, interface methods — plus the shapes it
+// must refuse (function values, conversions, built-ins).
+
+const commSrc = `package comm
+
+type Communicator interface {
+	AllReduceSum(v float64) float64
+}
+
+type Hub struct{}
+
+func (h *Hub) AllReduceSum(v float64) float64 { return v }
+
+func Protect(f func()) { f() }
+
+func Max[T int | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T { return b.v }
+`
+
+const appSrc = `package app
+
+import "fake/comm"
+
+type alias = comm.Hub
+
+func helper() {}
+
+func use(c comm.Communicator, h *comm.Hub, b *comm.Box[int]) float64 {
+	helper()
+	comm.Protect(helper)
+	_ = comm.Max[int](1, 2)
+	_ = b.Get()
+	f := helper
+	f()
+	_ = len("x")
+	_ = int(3.0)
+	return c.AllReduceSum(h.AllReduceSum(1))
+}
+`
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown import %q", path)
+}
+
+// checkWorld type-checks commSrc and appSrc, returning the app package's
+// syntax and type information.
+func checkWorld(t *testing.T) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	check := func(path, src string) (*ast.File, *types.Package, *types.Info) {
+		f, err := parser.ParseFile(fset, path+".go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		pkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", path, err)
+		}
+		imp[path] = pkg
+		return f, pkg, info
+	}
+	check("fake/comm", commSrc)
+	f, pkg, info := check("app", appSrc)
+	return fset, f, pkg, info
+}
+
+// calls returns the call expressions of app.use in source order.
+func calls(f *ast.File) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+func TestCallee(t *testing.T) {
+	_, f, _, info := checkWorld(t)
+	var got []string
+	for _, c := range calls(f) {
+		fn := Callee(info, c)
+		if fn == nil {
+			got = append(got, "<nil>")
+			continue
+		}
+		got = append(got, fn.FullName())
+	}
+	want := []string{
+		"app.helper",                            // plain ident
+		"fake/comm.Protect",                     // qualified identifier
+		"fake/comm.Max",                         // explicit instantiation (IndexExpr), origin
+		"(*fake/comm.Box[T]).Get",               // method of instantiated generic, origin
+		"<nil>",                                 // call through a function value
+		"<nil>",                                 // built-in len
+		"<nil>",                                 // conversion int(3.0)
+		"(fake/comm.Communicator).AllReduceSum", // interface method
+		"(*fake/comm.Hub).AllReduceSum",         // concrete method via selection
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resolved %d calls (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("call %d resolved to %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPkgPathIs(t *testing.T) {
+	_, _, _, info := checkWorld(t)
+	var commPkg *types.Package
+	for _, obj := range info.Uses {
+		if fn, ok := obj.(*types.Func); ok && fn.Name() == "Protect" {
+			commPkg = fn.Pkg()
+		}
+	}
+	if commPkg == nil {
+		t.Fatal("Protect not found in Uses")
+	}
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"fake/comm", true}, // exact
+		{"comm", true},      // suffix segment — how analyzers match both real packages and stubs
+		{"omm", false},      // not a whole segment
+		{"fake", false},     // prefix is not a match
+	} {
+		if got := PkgPathIs(commPkg, tc.path); got != tc.want {
+			t.Errorf("PkgPathIs(%q, %q) = %v, want %v", commPkg.Path(), tc.path, got, tc.want)
+		}
+	}
+	if PkgPathIs(nil, "comm") {
+		t.Error("nil package must not match")
+	}
+}
+
+func TestIsPkgFunc(t *testing.T) {
+	_, f, _, info := checkWorld(t)
+	cs := calls(f)
+	protect := Callee(info, cs[1])
+	if !IsPkgFunc(protect, "comm", "Protect", "Other") {
+		t.Error("Protect must match the comm allowlist")
+	}
+	if IsPkgFunc(protect, "comm", "Other") {
+		t.Error("name not in list must not match")
+	}
+	if IsPkgFunc(protect, "par", "Protect") {
+		t.Error("wrong package must not match")
+	}
+	if IsPkgFunc(nil, "comm", "Protect") {
+		t.Error("nil func must not match")
+	}
+}
+
+func TestNamedOf(t *testing.T) {
+	_, _, pkg, _ := checkWorld(t)
+	scope := pkg.Scope()
+	use, _ := scope.Lookup("use").(*types.Func)
+	if use == nil {
+		t.Fatal("app.use not found")
+	}
+	sig := use.Type().(*types.Signature)
+	// Param 1 is *comm.Hub: pointer unwraps to the named type.
+	if n := NamedOf(sig.Params().At(1).Type()); n == nil || n.Obj().Name() != "Hub" {
+		t.Errorf("NamedOf(*comm.Hub) = %v, want Hub", n)
+	}
+	// Param 2 is *comm.Box[int]: instantiation unwraps to the origin.
+	n := NamedOf(sig.Params().At(2).Type())
+	if n == nil || n.Obj().Name() != "Box" {
+		t.Fatalf("NamedOf(*comm.Box[int]) = %v, want Box", n)
+	}
+	if n.TypeParams().Len() != 1 {
+		t.Error("NamedOf must return the generic origin, not the instantiation")
+	}
+	// The alias declared in app resolves through to Hub.
+	if a, ok := scope.Lookup("alias").(*types.TypeName); !ok {
+		t.Error("alias not found")
+	} else if n := NamedOf(a.Type()); n == nil || n.Obj().Name() != "Hub" {
+		t.Errorf("NamedOf(alias) = %v, want Hub", n)
+	}
+	// Unnamed types have no Named.
+	if n := NamedOf(types.NewSlice(types.Typ[types.Int])); n != nil {
+		t.Errorf("NamedOf([]int) = %v, want nil", n)
+	}
+}
+
+func TestRecvNamed(t *testing.T) {
+	_, f, _, info := checkWorld(t)
+	cs := calls(f)
+	// Hub.AllReduceSum: a concrete method.
+	if pkgPath, typeName, ok := RecvNamed(Callee(info, cs[8])); !ok || typeName != "Hub" || pkgPath != "fake/comm" {
+		t.Errorf("RecvNamed(Hub.AllReduceSum) = %q %q %v", pkgPath, typeName, ok)
+	}
+	// Box[T].Get: receiver resolves to the generic origin's name.
+	if _, typeName, ok := RecvNamed(Callee(info, cs[3])); !ok || typeName != "Box" {
+		t.Errorf("RecvNamed(Box.Get) = %q %v, want Box", typeName, ok)
+	}
+	// Plain functions have no receiver.
+	if _, _, ok := RecvNamed(Callee(info, cs[0])); ok {
+		t.Error("RecvNamed(helper) must report ok=false")
+	}
+	if _, _, ok := RecvNamed(nil); ok {
+		t.Error("RecvNamed(nil) must report ok=false")
+	}
+}
+
+func TestRecvTypeOf(t *testing.T) {
+	_, f, _, info := checkWorld(t)
+	cs := calls(f)
+	// c.AllReduceSum: static receiver type is the interface.
+	rt := RecvTypeOf(info, cs[7])
+	if rt == nil || !strings.Contains(rt.String(), "Communicator") {
+		t.Errorf("RecvTypeOf(c.AllReduceSum) = %v, want the Communicator interface", rt)
+	}
+	// A plain function call has no receiver.
+	if rt := RecvTypeOf(info, cs[0]); rt != nil {
+		t.Errorf("RecvTypeOf(helper()) = %v, want nil", rt)
+	}
+}
+
+func TestFuncObject(t *testing.T) {
+	_, f, _, info := checkWorld(t)
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn := FuncObject(info, fd)
+		if fn == nil || fn.Name() != fd.Name.Name {
+			t.Errorf("FuncObject(%s) = %v", fd.Name.Name, fn)
+		}
+	}
+}
+
+func TestReportf(t *testing.T) {
+	var got []Diagnostic
+	p := &Pass{Report: func(d Diagnostic) { got = append(got, d) }}
+	p.Reportf(token.Pos(42), "bad %s at depth %d", "reduction", 2)
+	if len(got) != 1 {
+		t.Fatalf("reported %d diagnostics, want 1", len(got))
+	}
+	if got[0].Pos != token.Pos(42) || got[0].Message != "bad reduction at depth 2" {
+		t.Errorf("diagnostic = %+v", got[0])
+	}
+}

@@ -1,0 +1,145 @@
+package load
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a GOPATH-style source root from path → contents
+// pairs and returns its src directory.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, "src", filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(root, "src")
+}
+
+func TestDirResolvesImports(t *testing.T) {
+	src := writeTree(t, map[string]string{
+		"example/lib/lib.go": "package lib\n\nfunc Answer() int { return 42 }\n",
+		"example/app/app.go": "package app\n\nimport \"example/lib\"\n\nvar N = lib.Answer()\n",
+		// A test file with invalid syntax: if the loader ever parsed it,
+		// loading would fail — this pins the *_test.go exclusion.
+		"example/app/app_test.go": "package app\n\nfunc broken( {\n",
+	})
+	si := &SrcImporter{Root: src, Fset: token.NewFileSet()}
+	pkg, err := Dir(si, "example/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Path() != "example/app" {
+		t.Errorf("package path = %q", pkg.Types.Path())
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("parsed %d files, want 1 (app_test.go must be excluded)", len(pkg.Files))
+	}
+	if pkg.TypesInfo == nil || len(pkg.TypesInfo.Uses) == 0 {
+		t.Error("TypesInfo not populated")
+	}
+	// The import resolved through the tree, and repeat imports hit the
+	// cache (same *types.Package identity).
+	lib1, err := si.Import("example/lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := si.Import("example/lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib1 != lib2 {
+		t.Error("second Import of the same path must return the cached package")
+	}
+}
+
+func TestDirErrors(t *testing.T) {
+	src := writeTree(t, map[string]string{
+		"example/onlytests/x_test.go": "package onlytests\n",
+		"example/badtype/bad.go":      "package badtype\n\nvar X int = \"not an int\"\n",
+	})
+	si := &SrcImporter{Root: src, Fset: token.NewFileSet()}
+	if _, err := Dir(si, "example/missing"); err == nil {
+		t.Error("missing package must error")
+	}
+	if _, err := Dir(si, "example/onlytests"); err == nil || !strings.Contains(err.Error(), "no non-test .go files") {
+		t.Errorf("test-only package error = %v", err)
+	}
+	if _, err := Dir(si, "example/badtype"); err == nil {
+		t.Error("type error must surface")
+	}
+}
+
+func TestImportCycle(t *testing.T) {
+	src := writeTree(t, map[string]string{
+		"example/a/a.go": "package a\n\nimport \"example/b\"\n\nvar X = b.Y\n",
+		"example/b/b.go": "package b\n\nimport \"example/a\"\n\nvar Y = a.X\n",
+	})
+	si := &SrcImporter{Root: src, Fset: token.NewFileSet()}
+	_, err := Dir(si, "example/a")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("import cycle error = %v", err)
+	}
+}
+
+func TestReadVetConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vet.cfg")
+	cfg := `{
+		"ID": "tealeaf/internal/solver",
+		"Compiler": "gc",
+		"ImportPath": "tealeaf/internal/solver",
+		"GoFiles": ["a.go", "a_test.go"],
+		"ImportMap": {"comm": "tealeaf/internal/comm"},
+		"PackageFile": {"tealeaf/internal/comm": "/cache/comm.a"},
+		"VetxOnly": true,
+		"VetxOutput": "` + strings.ReplaceAll(filepath.Join(dir, "out.vetx"), `\`, `\\`) + `"
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVetConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ImportPath != "tealeaf/internal/solver" || !got.VetxOnly {
+		t.Errorf("cfg = %+v", got)
+	}
+	if got.ImportMap["comm"] != "tealeaf/internal/comm" {
+		t.Error("ImportMap not decoded")
+	}
+	// The vet protocol requires a facts file even though the suite keeps
+	// no facts.
+	if err := got.WriteVetx(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(got.VetxOutput); err != nil {
+		t.Errorf("vetx file not written: %v", err)
+	}
+	// No output path configured: nothing to write, no error.
+	if err := (&VetConfig{}).WriteVetx(); err != nil {
+		t.Errorf("empty VetxOutput must be a no-op, got %v", err)
+	}
+}
+
+func TestReadVetConfigMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVetConfig(path); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("malformed config error = %v", err)
+	}
+	if _, err := ReadVetConfig(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing config file must error")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -390,6 +391,10 @@ func (d *Deck) Validate() error {
 		return fmt.Errorf("deck: cell counts must be positive (%d x %d)", d.XCells, d.YCells)
 	case dims == 3 && d.ZCells <= 0:
 		return fmt.Errorf("deck: z_cells must be positive for a 3D deck, got %d", d.ZCells)
+	case !finiteAll(d.XMin, d.XMax, d.YMin, d.YMax, d.ZMin, d.ZMax):
+		return fmt.Errorf("deck: domain extents must be finite")
+	case !finiteAll(d.InitialTimestep, d.EndTime, d.Eps):
+		return fmt.Errorf("deck: initial_timestep, end_time and tl_eps must be finite")
 	case d.XMax <= d.XMin || d.YMax <= d.YMin:
 		return fmt.Errorf("deck: domain extents must be non-empty")
 	case dims == 3 && d.ZMax <= d.ZMin:
@@ -432,10 +437,18 @@ func (d *Deck) Validate() error {
 				levels, bx, maxHalvings(bx)+1)
 		}
 	}
-	if d.States[0].Geometry != GeomNone && d.States[0].Index == 1 {
-		return fmt.Errorf("deck: state 1 is the background and takes no geometry")
+	// The first state is the background whatever its index: problem.Paint
+	// refuses a leading geometry state, so rejecting it here (not only
+	// when Index == 1, as earlier versions did) keeps "Validate passed"
+	// meaning "the deck can actually be painted".
+	if d.States[0].Geometry != GeomNone {
+		return fmt.Errorf("deck: the first state is the background and takes no geometry")
 	}
 	for _, s := range d.States {
+		if !finiteAll(s.Density, s.Energy, s.XMin, s.XMax, s.YMin, s.YMax,
+			s.ZMin, s.ZMax, s.CX, s.CY, s.CZ, s.Radius) {
+			return fmt.Errorf("deck: state %d has a non-finite attribute", s.Index)
+		}
 		if s.Density <= 0 {
 			return fmt.Errorf("deck: state %d density must be positive", s.Index)
 		}
@@ -444,6 +457,19 @@ func (d *Deck) Validate() error {
 		}
 	}
 	return nil
+}
+
+// finiteAll reports whether every value is a finite float: NaN and ±Inf
+// deck parameters pass every ordered comparison in the checks above
+// (NaN compares false against everything), then poison the solve, so
+// they are rejected wholesale.
+func finiteAll(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // maxHalvings counts how many times n can be ceil-halved before reaching

@@ -18,6 +18,11 @@ import (
 type cgState[F comparable] struct {
 	r, z, w, pvec F
 	rz, rr, rr0   float64
+	// base is the squared baseline the relative stop test divides by:
+	// rr0 on the plain paths, max(rr0, ‖b‖²) on deflated solves (see
+	// deflStopBaseSq). Continuation loops must reuse it so bootstrap and
+	// outer iteration measure convergence against the same denominator.
+	base float64
 }
 
 // runCGCore dispatches to the pipelined engine (Options.Pipelined), the
@@ -46,6 +51,39 @@ func runCGCore[F comparable, B any](e *engine[F, B], maxIters int, tol float64) 
 		}
 	}
 	return runCGClassicCore(e, maxIters, tol)
+}
+
+// startupBaseSq decides a solve's convergence baseline (the squared norm
+// the relative stop test divides by) from the initial squared residual
+// rr0, and whether the solve is already done at startup.
+//
+// The r₀-relative criterion is unreachable when r₀ itself is numerical
+// noise: on a near-steady step — e.g. a uniform deck whose exact r₀ is
+// zero and whose computed r₀ is pure stencil roundoff, ~ε·‖A‖·‖u‖ — the
+// target tol·‖r₀‖ sits far below the attainable-accuracy floor, and the
+// iteration random-walks until a curvature or conjugacy guard trips
+// (found by the propcheck deck fuzzer). If ‖r₀‖ ≤ 10·tol·‖b‖ the step
+// is therefore declared solved outright, reporting the b-relative
+// residual; the 10× margin matches the one finishDeflated's re-measured
+// residual is allowed.
+//
+// Deflated solves additionally widen the baseline to max(‖r₀‖², ‖b‖²) —
+// the standard b-relative criterion — because the coarse projector
+// re-injects O(ε·‖A‖·‖u‖) absolute roundoff into every iterate, putting
+// any target far below ε·‖b‖ out of reach no matter where r₀ started.
+// Plain solves keep baseline rr0 whenever they iterate at all, so the
+// historical stop behaviour — and every pinned golden — is preserved
+// bit for bit. Costs one extra reduction round at startup.
+func (e *engine[F, B]) startupBaseSq(deflated bool, rr0, tol float64) (base float64, done bool) {
+	bb := e.dot(e.rhs, e.rhs)
+	if rr0 <= 100*tol*tol*bb {
+		return bb, true
+	}
+	_ = deflated
+	if bb > rr0 {
+		return bb, false
+	}
+	return rr0, false
 }
 
 // finishDeflated applies the final coarse correction of a deflated solve
@@ -145,8 +183,9 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		var zero F
 		z = zero
 	}
+	base := 0.0 // stop-test baseline, widened from rr0 once it is known
 	mkState := func(gamma, rr, rr0 float64) *cgState[F] {
-		return &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
+		return &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0, base: base}
 	}
 
 	// Startup: r = rhs − A·u, then one fused stencil sweep produces
@@ -181,6 +220,17 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 	if rr0 == 0 {
 		result.Converged = true
 		return result, mkState(0, 0, 0), nil
+	}
+	var done bool
+	base, done = e.startupBaseSq(defl != nil, rr0, tol)
+	if done {
+		// The initial guess already solves the step to the achievable
+		// precision; iterating would only pump roundoff into it. Checked
+		// before the curvature guard — a noise-scale residual can
+		// legitimately present δ ≤ 0.
+		result.Converged = true
+		result.FinalResidual = relResidual(rr0, base)
+		return result, mkState(gamma, rr0, rr0), nil
 	}
 	if delta <= 0 || math.IsNaN(delta) {
 		// A or M lost positive definiteness at startup; no iteration can
@@ -250,7 +300,7 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 
 		result.Alphas = append(result.Alphas, alpha)
 		result.Iterations++
-		rel := relResidual(rrNew, rr0)
+		rel := relResidual(rrNew, base)
 		result.History = append(result.History, rel)
 		if rel <= tol {
 			result.Converged = true
@@ -259,7 +309,7 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 				// Final coarse correction + true-residual re-measure, with
 				// the same 10× projection round-off margin as the classic
 				// engine.
-				rel, err := e.finishDeflated(defl, r, rr0)
+				rel, err := e.finishDeflated(defl, r, base)
 				if err != nil {
 					return result, nil, err
 				}
@@ -283,12 +333,12 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 		gamma, rr = gammaNew, rrNew
 		beta, alpha = betaNew, gammaNew/denom
 	}
-	result.FinalResidual = relResidual(rr, rr0)
+	result.FinalResidual = relResidual(rr, base)
 	if defl != nil && rr0 > 0 {
 		// Iteration budget exhausted (or breakdown): still apply the final
 		// coarse correction so the state handed to a continuation solver is
 		// consistent, and report the true residual.
-		rel, err := e.finishDeflated(defl, r, rr0)
+		rel, err := e.finishDeflated(defl, r, base)
 		if err != nil {
 			return result, nil, err
 		}
@@ -367,8 +417,9 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 		var zero F
 		z = zero
 	}
+	base := 0.0 // stop-test baseline, widened from rr0 once it is known
 	mkState := func(gamma, rr, rr0 float64) *cgState[F] {
-		return &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0}
+		return &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: gamma, rr: rr, rr0: rr0, base: base}
 	}
 
 	// Startup: identical to the fused engine — r = rhs − A·u (with the
@@ -447,6 +498,17 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 				result.Converged = true
 				return result, mkState(0, 0, 0), nil
 			}
+			var done bool
+			base, done = e.startupBaseSq(defl != nil, rr0, tol)
+			if done {
+				// The initial guess already solves the step to the
+				// achievable precision; iterating would only pump roundoff
+				// into it. Checked before the curvature guard — a
+				// noise-scale residual can legitimately present δ ≤ 0.
+				result.Converged = true
+				result.FinalResidual = relResidual(rr0, base)
+				return result, mkState(gamma, rr0, rr0), nil
+			}
 			if delta <= 0 || math.IsNaN(delta) {
 				// A or M lost positive definiteness at startup, exactly as
 				// on the fused engine.
@@ -457,13 +519,13 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 		} else {
 			result.Alphas = append(result.Alphas, alpha)
 			result.Iterations++
-			rel := relResidual(rr, rr0)
+			rel := relResidual(rr, base)
 			result.History = append(result.History, rel)
 			if rel <= tol {
 				result.Converged = true
 				result.FinalResidual = rel
 				if defl != nil {
-					rel, err := e.finishDeflated(defl, r, rr0)
+					rel, err := e.finishDeflated(defl, r, base)
 					if err != nil {
 						return result, nil, err
 					}
@@ -521,11 +583,11 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			e.vectorPass(in)
 		}
 	}
-	result.FinalResidual = relResidual(rr, rr0)
+	result.FinalResidual = relResidual(rr, base)
 	if defl != nil && rr0 > 0 {
 		// Budget exhausted or breakdown: apply the final coarse correction
 		// so continuation state is consistent, and report the true residual.
-		rel, err := e.finishDeflated(defl, r, rr0)
+		rel, err := e.finishDeflated(defl, r, base)
 		if err != nil {
 			return result, nil, err
 		}
@@ -575,15 +637,23 @@ func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol fl
 		result.Converged = true
 		return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec}, nil
 	}
+	base, done := e.startupBaseSq(defl != nil, rr0, tol)
+	if done {
+		// The initial guess already solves the step to the achievable
+		// precision; iterating would only pump roundoff into it.
+		result.Converged = true
+		result.FinalResidual = relResidual(rr0, base)
+		return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rr: rr0, rr0: rr0, base: base}, nil
+	}
 
 	// finish re-measures the true residual after a final coarse
 	// correction on the deflated path; without deflation it is the plain
 	// relative residual.
 	finish := func(rr float64) (float64, error) {
 		if defl == nil {
-			return relResidual(rr, rr0), nil
+			return relResidual(rr, base), nil
 		}
-		return e.finishDeflated(defl, r, rr0)
+		return e.finishDeflated(defl, r, base)
 	}
 
 	e.applyPrecond(in, r, z)
@@ -648,7 +718,7 @@ func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol fl
 		beta := rzNew / rz
 		result.Alphas = append(result.Alphas, alpha)
 		result.Iterations++
-		rel := relResidual(rrNew, rr0)
+		rel := relResidual(rrNew, base)
 		result.History = append(result.History, rel)
 		rz, rr = rzNew, rrNew
 		if rel <= tol {
@@ -665,7 +735,7 @@ func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol fl
 			} else {
 				result.Converged = true
 			}
-			return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+			return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0, base: base}, nil
 		}
 		result.Betas = append(result.Betas, beta)
 
@@ -677,7 +747,7 @@ func runCGClassicCore[F comparable, B any](e *engine[F, B], maxIters int, tol fl
 		return result, nil, err
 	}
 	result.FinalResidual = rel
-	return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0}, nil
+	return result, &cgState[F]{r: r, z: z, w: w, pvec: pvec, rz: rz, rr: rr, rr0: rr0, base: base}, nil
 }
 
 // chebyGuardFactor is the residual-growth threshold of the bootstrap
@@ -937,6 +1007,10 @@ func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
 	// --- Outer PCG with the Chebyshev polynomial as preconditioner. ---
 	r, w, pvec := st.r, st.w, st.pvec
 	rr0 := st.rr0
+	base := st.base
+	if base == 0 {
+		base = rr0 // bootstrap predates the widened deflated baseline
+	}
 	z := sys.NewVec()     // accumulated polynomial correction (utemp)
 	rtemp := sys.NewVec() // inner residual
 	sd := sys.NewVec()    // inner search direction
@@ -1003,13 +1077,13 @@ func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
 		beta := rzNew / rz
 		rz = rzNew
 		result.Iterations++
-		rel := relResidual(rrNew, rr0)
+		rel := relResidual(rrNew, base)
 		result.History = append(result.History, rel)
 		result.FinalResidual = rel
 		if rel <= o.Tol {
 			result.Converged = true
 			if defl != nil {
-				rel, err := e.finishDeflated(defl, r, rr0)
+				rel, err := e.finishDeflated(defl, r, base)
 				if err != nil {
 					return result, err
 				}
@@ -1024,7 +1098,7 @@ func solvePPCGCore[F comparable, B any](e *engine[F, B]) (Result, error) {
 	if defl != nil && rr0 > 0 {
 		// Budget exhausted or breakdown: the final coarse correction still
 		// applies, and FinalResidual reports the true residual.
-		rel, err := e.finishDeflated(defl, r, rr0)
+		rel, err := e.finishDeflated(defl, r, base)
 		if err != nil {
 			return result, err
 		}

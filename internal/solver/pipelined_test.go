@@ -102,7 +102,7 @@ func TestPipelinedCG3DMatchesFused(t *testing.T) {
 // TestPipelinedCGTraceCounts is the trace regression of ISSUE 6: the
 // pipelined engine performs EXACTLY one reduction round per iteration —
 // never serialised against the matvec — plus the single startup round
-// that carries the init scalars. Totals are pinned exactly: per loop pass
+// that carries the init scalars and the one-time ‖b‖² baseline dot. Totals are pinned exactly: per loop pass
 // one round, one w exchange and one speculative matvec; passes =
 // iterations + 1 (the startup scalars ride the first pass's round).
 func TestPipelinedCGTraceCounts(t *testing.T) {
@@ -120,13 +120,13 @@ func TestPipelinedCGTraceCounts(t *testing.T) {
 			}
 			tr := c.Trace()
 			iters := res.Iterations
-			if tr.Reductions != iters+1 {
-				t.Errorf("%s split=%v: reductions = %d, want %d (one round per iteration + startup)",
-					precondName, split, tr.Reductions, iters+1)
+			if tr.Reductions != iters+2 {
+				t.Errorf("%s split=%v: reductions = %d, want %d (one round per iteration + startup + ‖b‖² baseline)",
+					precondName, split, tr.Reductions, iters+2)
 			}
-			if tr.ReducedValues != 3*(iters+1) {
-				t.Errorf("%s split=%v: reduced values = %d, want %d (γ, δ, rr per round)",
-					precondName, split, tr.ReducedValues, 3*(iters+1))
+			if tr.ReducedValues != 3*(iters+1)+1 {
+				t.Errorf("%s split=%v: reduced values = %d, want %d (γ, δ, rr per round + ‖b‖²)",
+					precondName, split, tr.ReducedValues, 3*(iters+1)+1)
 			}
 			// Matvecs: startup residual + init sweep, then one speculative
 			// n = A·M⁻¹w per pass. Exchanges: startup u and r, then one of
