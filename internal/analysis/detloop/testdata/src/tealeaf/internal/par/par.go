@@ -1,0 +1,35 @@
+// Package par is under the reproducibility contract since the chain-band
+// scheduler (ChainAccum) put a floating-point fold in it: detloop must
+// flag map-order folds here exactly as in the other numeric packages.
+package par
+
+// ChainAccum mirrors the chain scheduler's per-tile reduction table.
+type ChainAccum struct {
+	k       int
+	partial []float64
+}
+
+// badBandWeights folds per-band partials in map iteration order: the
+// chained sum would differ run to run, the exact failure ChainAccum's
+// ascending-tile-order Fold exists to rule out.
+func badBandWeights(byBand map[int][]float64) []float64 {
+	out := make([]float64, 1)
+	for _, p := range byBand {
+		for _, v := range p {
+			out[0] += v // want `floating-point accumulation of out over randomized map iteration order`
+		}
+	}
+	return out
+}
+
+// Fold mirrors the real ChainAccum.Fold: a slice walk in ascending tile
+// order — no map, no finding.
+func (a *ChainAccum) Fold() []float64 {
+	out := make([]float64, a.k)
+	for t := 0; t*a.k < len(a.partial); t++ {
+		for i := 0; i < a.k; i++ {
+			out[i] += a.partial[t*a.k+i]
+		}
+	}
+	return out
+}

@@ -54,15 +54,39 @@ type Communicator interface {
 	// AllReduceSumNStart begins the same fused reduction split-phase: it
 	// posts whatever messages this rank can send without waiting on peers
 	// and returns immediately, so the reduction's latency overlaps whatever
-	// the caller computes before Finish. Contract: at most one reduction
-	// may be in flight per rank; between Start and Finish the caller may
-	// run halo exchanges and local compute but no other collective
-	// (reduction, barrier, or gather); Start may not assume any peer has
-	// entered the reduction yet, so it must never block on peer data — all
-	// receives belong to Finish. The handle's Finish returns the fused sums
-	// (the slice may alias vals) and counts as the same single reduction
-	// round AllReduceSumN would have been.
+	// the caller computes before Finish. It is exactly
+	// AllReduceSumNStartTagged with tag 0; the contract below governs both.
+	//
+	// Contract: several tagged reductions may be in flight per rank at
+	// once, but at most one per tag, and every rank must Start the same
+	// set of in-flight tags in the same order (tags are matched across
+	// ranks, not inferred from arrival order). Between the first Start and
+	// the last Finish the caller may run halo exchanges and local compute
+	// but no blocking collective (AllReduceSum*, Barrier, or gather);
+	// Start may not assume any peer has entered the reduction yet, so it
+	// must never block on peer data — all receives belong to Finish.
+	// In-flight handles may be Finished in any order; each Finish returns
+	// that round's fused sums (the slice may alias vals) and each round
+	// counts as the same single reduction round AllReduceSumN would have
+	// been.
+	//
+	// Determinism: every backend folds the ranks' contributions in a
+	// fixed, schedule-independent order — the Hub in ascending rank
+	// order, TCP along its fixed recursive-doubling schedule — never in
+	// arrival order, so for a given backend and rank count the same
+	// contributions produce bit-identical sums run to run and regardless
+	// of each rank's worker count. (Arrival order hides at 2 ranks
+	// because IEEE addition is commutative; at 3+ it is not associative
+	// and an arrival-order fold would leak scheduling into the last bits
+	// of every dot product.) The blocking AllReduceSum* share the same
+	// fold. The two backends' fold orders differ from each other, so
+	// bit-reproducibility holds per backend, not across them.
 	AllReduceSumNStart(vals []float64) ReduceHandle
+	// AllReduceSumNStartTagged is AllReduceSumNStart for one of several
+	// concurrently in-flight reduction rounds, distinguished by a small
+	// non-negative tag (backends may bound it; [0,16) is always safe).
+	// See AllReduceSumNStart for the shared in-flight contract.
+	AllReduceSumNStartTagged(tag int, vals []float64) ReduceHandle
 	// AllReduceMax returns the maximum of x over all ranks.
 	AllReduceMax(x float64) float64
 	// Barrier blocks until every rank has entered it.
@@ -210,6 +234,14 @@ func (s *Serial) AllReduceSumN(vals []float64) []float64 {
 // AllReduceSumNStart implements Communicator: single-rank, the result is
 // ready before Finish.
 func (s *Serial) AllReduceSumNStart(vals []float64) ReduceHandle {
+	s.trace.AddReduction(len(vals))
+	return doneHandle(vals)
+}
+
+// AllReduceSumNStartTagged implements Communicator: single-rank, every
+// tagged round is an identity ready before Finish, so any number can be
+// in flight.
+func (s *Serial) AllReduceSumNStartTagged(tag int, vals []float64) ReduceHandle {
 	s.trace.AddReduction(len(vals))
 	return doneHandle(vals)
 }

@@ -20,8 +20,14 @@ type Hub struct {
 	// phase before draining its receives.
 	mail [][]chan []float64
 	coll *collective
-	gat  chan gatherMsg
-	gat3 chan gatherMsg3
+	// colls holds the per-tag collectives of tagged split-phase rounds
+	// (AllReduceSumNStartTagged): one generation-counted accumulator per
+	// tag, created lazily. Tag 0 maps to coll so tagged and untagged
+	// rounds on tag 0 share one generation sequence.
+	collMu sync.Mutex
+	colls  map[int]*collective
+	gat    chan gatherMsg
+	gat3   chan gatherMsg3
 }
 
 // NewHub builds the communication fabric for the given 2D partition.
@@ -215,13 +221,13 @@ func unpackY(fields []*grid.Field2D, msg []float64, y0, y1, depth int) {
 // AllReduceSum implements Communicator.
 func (c *RankComm) AllReduceSum(x float64) float64 {
 	c.trace.AddReduction(1)
-	return c.hub.coll.reduce(opSum, x)[0]
+	return c.hub.coll.reduce(opSum, c.rank, x)[0]
 }
 
 // AllReduceSum2 implements Communicator: two sums, one reduction latency.
 func (c *RankComm) AllReduceSum2(x, y float64) (float64, float64) {
 	c.trace.AddReduction(2)
-	r := c.hub.coll.reduce(opSum, x, y)
+	r := c.hub.coll.reduce(opSum, c.rank, x, y)
 	return r[0], r[1]
 }
 
@@ -229,7 +235,7 @@ func (c *RankComm) AllReduceSum2(x, y float64) (float64, float64) {
 // latency.
 func (c *RankComm) AllReduceSumN(vals []float64) []float64 {
 	c.trace.AddReduction(len(vals))
-	return c.hub.coll.reduce(opSum, vals...)
+	return c.hub.coll.reduce(opSum, c.rank, vals...)
 }
 
 // AllReduceSumNStart implements Communicator split-phase: the
@@ -240,31 +246,68 @@ func (c *RankComm) AllReduceSumN(vals []float64) []float64 {
 // so the two backends cannot drift.
 func (c *RankComm) AllReduceSumNStart(vals []float64) ReduceHandle {
 	c.trace.AddReduction(len(vals))
-	return c.hub.coll.start(opSum, vals)
+	return c.hub.coll.start(opSum, c.rank, vals)
+}
+
+// AllReduceSumNStartTagged implements Communicator: each tag gets its own
+// generation-counted collective, so several tagged rounds can be in
+// flight at once (at most one per tag per rank). Tag 0 is the untagged
+// AllReduceSumNStart collective.
+func (c *RankComm) AllReduceSumNStartTagged(tag int, vals []float64) ReduceHandle {
+	c.trace.AddReduction(len(vals))
+	return c.hub.collFor(tag).start(opSum, c.rank, vals)
+}
+
+// collFor returns the collective for a reduction tag, creating it on
+// first use. Tag 0 aliases the untagged collective by construction.
+func (h *Hub) collFor(tag int) *collective {
+	if tag == 0 {
+		return h.coll
+	}
+	h.collMu.Lock()
+	defer h.collMu.Unlock()
+	if h.colls == nil {
+		h.colls = make(map[int]*collective)
+	}
+	coll, ok := h.colls[tag]
+	if !ok {
+		coll = newCollective(h.Ranks())
+		h.colls[tag] = coll
+	}
+	return coll
 }
 
 // AllReduceMax implements Communicator.
 func (c *RankComm) AllReduceMax(x float64) float64 {
 	c.trace.AddReduction(1)
-	return c.hub.coll.reduce(opMax, x)[0]
+	return c.hub.coll.reduce(opMax, c.rank, x)[0]
 }
 
 // Barrier implements Communicator.
-func (c *RankComm) Barrier() { c.hub.coll.reduce(opSum) }
+func (c *RankComm) Barrier() { c.hub.coll.reduce(opSum, c.rank) }
 
 // collective is a generation-counted all-reduce accumulator. Every rank
 // calls reduce once per generation; the last arrival publishes the result
 // and releases the waiters. The published result is stable until every
 // rank of the *next* generation has arrived, which cannot happen before
 // all waiters of this generation have returned.
+//
+// Contributions are stashed per rank and folded in ascending RANK order at
+// publication — never in arrival order. Arrival order depends on goroutine
+// scheduling, so an arrival-order fold makes every ≥3-rank sum a function
+// of timing (two-rank sums escape because IEEE addition is commutative,
+// which is exactly why the bug hid at small rank counts): the same deck
+// would produce different bits run to run and across per-rank worker
+// counts, breaking the solver's determinism contract and the temporal
+// chain's chained-equals-unchained guarantee.
 type collective struct {
-	n     int
-	mu    sync.Mutex
-	cnt   int
-	width int
-	acc   []float64
-	res   []float64
-	done  chan struct{}
+	n       int
+	mu      sync.Mutex
+	cnt     int
+	width   int
+	contrib [][]float64
+	res     []float64
+	done    chan struct{}
 }
 
 func newCollective(n int) *collective { return &collective{n: n} }
@@ -284,43 +327,48 @@ const (
 //
 // It is literally start followed by Finish, so the blocking and
 // split-phase paths share one generation protocol by construction.
-func (c *collective) reduce(op reduceOp, vals ...float64) []float64 {
-	return c.start(op, vals).Finish()
+func (c *collective) reduce(op reduceOp, rank int, vals ...float64) []float64 {
+	return c.start(op, rank, vals).Finish()
 }
 
 // start contributes vals to the collective's current generation without
 // waiting for the other ranks — the Hub's half of the split-phase
 // contract (Start may not block on peers) — and returns the handle whose
-// Finish waits for the generation to complete. The last arrival publishes
-// the result and releases every waiter at start time, so its Finish is
-// free.
-func (c *collective) start(op reduceOp, vals []float64) *collHandle {
+// Finish waits for the generation to complete. The last arrival folds the
+// stashed contributions in ascending rank order, publishes the result and
+// releases every waiter at start time, so its Finish is free.
+func (c *collective) start(op reduceOp, rank int, vals []float64) *collHandle {
 	c.mu.Lock()
 	if c.cnt == 0 {
 		c.width = len(vals)
-		c.acc = append(c.acc[:0], vals...)
+		if c.contrib == nil {
+			c.contrib = make([][]float64, c.n)
+		}
 		c.done = make(chan struct{})
-	} else {
-		if len(vals) != c.width {
-			c.mu.Unlock()
-			panic(fmt.Sprintf("comm: collective value-count mismatch: this rank contributed %d values but the generation started with %d (every rank must pass the same number of values to each reduction)",
-				len(vals), c.width))
-		}
-		for i, v := range vals {
-			switch op {
-			case opSum:
-				c.acc[i] += v
-			case opMax:
-				if v > c.acc[i] {
-					c.acc[i] = v
-				}
-			}
-		}
+	} else if len(vals) != c.width {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("comm: collective value-count mismatch: this rank contributed %d values but the generation started with %d (every rank must pass the same number of values to each reduction)",
+			len(vals), c.width))
 	}
+	c.contrib[rank] = append(c.contrib[rank][:0], vals...)
 	c.cnt++
 	if c.cnt == c.n {
 		c.cnt = 0
-		c.res = append([]float64(nil), c.acc...)
+		res := make([]float64, c.width)
+		copy(res, c.contrib[0])
+		for r := 1; r < c.n; r++ {
+			for i, v := range c.contrib[r] {
+				switch op {
+				case opSum:
+					res[i] += v
+				case opMax:
+					if v > res[i] {
+						res[i] = v
+					}
+				}
+			}
+		}
+		c.res = res
 		close(c.done)
 	}
 	done := c.done

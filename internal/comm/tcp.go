@@ -243,8 +243,8 @@ type peerConn struct {
 
 // pendingFrame is one stashed out-of-order frame.
 type pendingFrame struct {
-	typ, tag byte
-	payload  []byte
+	typ, tag, inst byte
+	payload        []byte
 }
 
 // maxPendingFrames bounds the stash: legitimate interleavings (one
@@ -262,7 +262,7 @@ func (pc *peerConn) writeLoop() {
 	defer close(pc.done)
 	for buf := range pc.out {
 		if buf == nil { // shutdown sentinel: flush Bye, then close
-			_, _ = pc.nc.Write(floatFrame(frameBye, 0, nil))
+			_, _ = pc.nc.Write(floatFrame(frameBye, 0, 0, nil))
 			_ = pc.nc.Close()
 			return
 		}
@@ -310,13 +310,13 @@ func (t *TCP) acceptLoop() {
 // the connection.
 func (t *TCP) admit(nc net.Conn) {
 	_ = nc.SetDeadline(time.Now().Add(t.dialTimeout))
-	typ, _, payload, err := readFrame(nc)
+	typ, _, _, payload, err := readFrame(nc)
 	if err != nil {
 		_ = nc.Close()
 		return
 	}
 	reject := func(reason string) {
-		buf := appendFrameHeader(nil, frameReject, 0, len(reason))
+		buf := appendFrameHeader(nil, frameReject, 0, 0, len(reason))
 		_, _ = nc.Write(append(buf, reason...))
 		_ = nc.Close()
 	}
@@ -422,7 +422,7 @@ func (t *TCP) dial(peer int) (*peerConn, error) {
 	if _, err := nc.Write(t.handshakeFor().encode(frameHello)); err != nil {
 		return fail(err)
 	}
-	typ, _, payload, err := readFrame(nc)
+	typ, _, _, payload, err := readFrame(nc)
 	if err != nil {
 		return fail(err)
 	}
@@ -490,8 +490,9 @@ func (t *TCP) waitForDial(peer int) (*peerConn, error) {
 
 // send enqueues one frame to peer. The enqueue is decoupled from the
 // socket write, so matching send/send+recv/recv sequences between a pair
-// cannot deadlock.
-func (t *TCP) send(peer int, typ, tag byte, vals []float64) error {
+// cannot deadlock. inst is the reduction-instance byte (zero outside
+// frameReduce).
+func (t *TCP) send(peer int, typ, tag, inst byte, vals []float64) error {
 	// Guard the frame cap on the sender, where the cause is nameable:
 	// without this a huge gather block would either trip the receiver's
 	// cap with a misleading "corrupt stream?" error or, past 2^29 values,
@@ -504,17 +505,18 @@ func (t *TCP) send(peer int, typ, tag byte, vals []float64) error {
 	if err != nil {
 		return err
 	}
-	pc.out <- floatFrame(typ, tag, vals)
+	pc.out <- floatFrame(typ, tag, inst, vals)
 	return nil
 }
 
-// recvFloats reads the next (wantType, wantTag) frame from peer. A frame
-// of a different type or tag arriving first is stashed on the connection
-// and matched by a later read — split-phase reductions legitimately put
-// butterfly frames on the wire ahead of the exchange slabs the driver
-// reads next. A Bye, a transport failure, or a stash overflow is a
-// descriptive error.
-func (t *TCP) recvFloats(peer int, wantType, wantTag byte, op string) ([]float64, error) {
+// recvFloats reads the next (wantType, wantTag, wantInst) frame from
+// peer. A frame of a different type, tag or instance arriving first is
+// stashed on the connection and matched by a later read — split-phase
+// reductions legitimately put butterfly frames on the wire ahead of the
+// exchange slabs the driver reads next, and two tagged reductions in
+// flight interleave each other's butterfly steps. A Bye, a transport
+// failure, or a stash overflow is a descriptive error.
+func (t *TCP) recvFloats(peer int, wantType, wantTag, wantInst byte, op string) ([]float64, error) {
 	pc, err := t.conn(peer)
 	if err != nil {
 		return nil, err
@@ -527,13 +529,13 @@ func (t *TCP) recvFloats(peer int, wantType, wantTag byte, op string) ([]float64
 		return vals, nil
 	}
 	for i, f := range pc.pending {
-		if f.typ == wantType && f.tag == wantTag {
+		if f.typ == wantType && f.tag == wantTag && f.inst == wantInst {
 			pc.pending = append(pc.pending[:i], pc.pending[i+1:]...)
 			return decode(f.payload)
 		}
 	}
 	for {
-		typ, tag, payload, err := readFrame(pc.nc)
+		typ, tag, inst, payload, err := readFrame(pc.nc)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 				return nil, fmt.Errorf("comm: tcp rank %d: connection to rank %d lost during %s: %w", t.rank, peer, op, err)
@@ -543,14 +545,14 @@ func (t *TCP) recvFloats(peer int, wantType, wantTag byte, op string) ([]float64
 		if typ == frameBye {
 			return nil, fmt.Errorf("comm: tcp rank %d: rank %d shut down mid-%s", t.rank, peer, op)
 		}
-		if typ == wantType && tag == wantTag {
+		if typ == wantType && tag == wantTag && inst == wantInst {
 			return decode(payload)
 		}
 		if len(pc.pending) >= maxPendingFrames {
-			return nil, fmt.Errorf("comm: tcp rank %d: protocol desync during %s: %d frames stashed from rank %d while waiting for %s (tag %d); latest was %s (tag %d)",
-				t.rank, op, len(pc.pending), peer, frameTypeName(wantType), wantTag, frameTypeName(typ), tag)
+			return nil, fmt.Errorf("comm: tcp rank %d: protocol desync during %s: %d frames stashed from rank %d while waiting for %s (tag %d, instance %d); latest was %s (tag %d, instance %d)",
+				t.rank, op, len(pc.pending), peer, frameTypeName(wantType), wantTag, wantInst, frameTypeName(typ), tag, inst)
 		}
-		pc.pending = append(pc.pending, pendingFrame{typ: typ, tag: tag, payload: payload})
+		pc.pending = append(pc.pending, pendingFrame{typ: typ, tag: tag, inst: inst, payload: payload})
 	}
 }
 
@@ -559,11 +561,11 @@ func (t *TCP) recvFloats(peer int, wantType, wantTag byte, op string) ([]float64
 type tcpSlabs struct{ t *TCP }
 
 func (s tcpSlabs) sendSlab(to int, side grid.Side, msg []float64) error {
-	return s.t.send(to, frameExchange, byte(side), msg)
+	return s.t.send(to, frameExchange, byte(side), 0, msg)
 }
 
 func (s tcpSlabs) recvSlab(from int, side grid.Side, wantLen int) ([]float64, error) {
-	msg, err := s.t.recvFloats(from, frameExchange, byte(side), "exchange")
+	msg, err := s.t.recvFloats(from, frameExchange, byte(side), 0, "exchange")
 	if err != nil {
 		return nil, err
 	}
@@ -598,6 +600,7 @@ func (t *TCP) Exchange(depth int, fields ...*grid.Field2D) error {
 // butterfly. The blocking reduce is start immediately followed by finish.
 type tcpReduceState struct {
 	op   reduceOp
+	inst byte      // reduction-instance byte: the caller-level tag
 	vals []float64 // caller's slice; the result is copied back into it
 	acc  []float64 // private accumulator for butterfly ranks
 	p2   int       // largest power of two ≤ size
@@ -633,20 +636,20 @@ func (t *TCP) combine(op reduceOp, acc, other []float64) error {
 // must first receive a folded contribution post nothing and do all their
 // work in finishReduce. send serialises the frame at enqueue time, so
 // later mutation of acc cannot corrupt a posted frame.
-func (t *TCP) startReduce(op reduceOp, vals []float64) (*tcpReduceState, error) {
-	st := &tcpReduceState{op: op, vals: vals, p2: 1}
+func (t *TCP) startReduce(op reduceOp, inst byte, vals []float64) (*tcpReduceState, error) {
+	st := &tcpReduceState{op: op, inst: inst, vals: vals, p2: 1}
 	for st.p2*2 <= t.size {
 		st.p2 *= 2
 	}
 	st.rem = t.size - st.p2
 	if t.rank >= st.p2 {
-		return st, t.send(t.rank-st.p2, frameReduce, tagReduceFold, vals)
+		return st, t.send(t.rank-st.p2, frameReduce, tagReduceFold, inst, vals)
 	}
 	st.acc = append(make([]float64, 0, len(vals)), vals...)
 	if t.rank < st.rem || st.p2 == 1 {
 		return st, nil
 	}
-	if err := t.send(t.rank^1, frameReduce, 0, st.acc); err != nil {
+	if err := t.send(t.rank^1, frameReduce, 0, inst, st.acc); err != nil {
 		return nil, err
 	}
 	st.sentRounds = 1
@@ -661,7 +664,7 @@ func (t *TCP) startReduce(op reduceOp, vals []float64) (*tcpReduceState, error) 
 func (t *TCP) finishReduce(st *tcpReduceState) ([]float64, error) {
 	vals := st.vals
 	if t.rank >= st.p2 {
-		res, err := t.recvFloats(t.rank-st.p2, frameReduce, tagReduceResult, "reduction")
+		res, err := t.recvFloats(t.rank-st.p2, frameReduce, tagReduceResult, st.inst, "reduction")
 		if err != nil {
 			return nil, err
 		}
@@ -673,7 +676,7 @@ func (t *TCP) finishReduce(st *tcpReduceState) ([]float64, error) {
 	}
 	acc := st.acc
 	if t.rank < st.rem {
-		other, err := t.recvFloats(t.rank+st.p2, frameReduce, tagReduceFold, "reduction")
+		other, err := t.recvFloats(t.rank+st.p2, frameReduce, tagReduceFold, st.inst, "reduction")
 		if err != nil {
 			return nil, err
 		}
@@ -685,11 +688,11 @@ func (t *TCP) finishReduce(st *tcpReduceState) ([]float64, error) {
 	for mask := 1; mask < st.p2; mask <<= 1 {
 		partner := t.rank ^ mask
 		if round >= st.sentRounds {
-			if err := t.send(partner, frameReduce, byte(round), acc); err != nil {
+			if err := t.send(partner, frameReduce, byte(round), st.inst, acc); err != nil {
 				return nil, err
 			}
 		}
-		other, err := t.recvFloats(partner, frameReduce, byte(round), "reduction")
+		other, err := t.recvFloats(partner, frameReduce, byte(round), st.inst, "reduction")
 		if err != nil {
 			return nil, err
 		}
@@ -699,7 +702,7 @@ func (t *TCP) finishReduce(st *tcpReduceState) ([]float64, error) {
 		round++
 	}
 	if t.rank < st.rem {
-		if err := t.send(t.rank+st.p2, frameReduce, tagReduceResult, acc); err != nil {
+		if err := t.send(t.rank+st.p2, frameReduce, tagReduceResult, st.inst, acc); err != nil {
 			return nil, err
 		}
 	}
@@ -717,7 +720,7 @@ func (t *TCP) reduce(op reduceOp, vals []float64) ([]float64, error) {
 	if t.size == 1 {
 		return vals, nil
 	}
-	st, err := t.startReduce(op, vals)
+	st, err := t.startReduce(op, 0, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -763,11 +766,23 @@ func (t *TCP) AllReduceSumN(vals []float64) []float64 {
 // whatever the caller computes in between. Transport failures panic with
 // a *TCPError exactly as the blocking reductions do.
 func (t *TCP) AllReduceSumNStart(vals []float64) ReduceHandle {
+	return t.AllReduceSumNStartTagged(0, vals)
+}
+
+// AllReduceSumNStartTagged implements Communicator: the tag travels in
+// every butterfly frame's reduction-instance byte, so the steps of
+// distinct in-flight rounds match only their own round's frames and any
+// number of tagged reductions (one per tag) can overlap on the same peer
+// connections. The wire carries one byte, so tags must be in [0,256).
+func (t *TCP) AllReduceSumNStartTagged(tag int, vals []float64) ReduceHandle {
+	if tag < 0 || tag > 255 {
+		panic(fmt.Sprintf("comm: tcp rank %d: reduction tag %d outside [0,256)", t.rank, tag))
+	}
 	t.trace.AddReduction(len(vals))
 	if t.size == 1 {
 		return doneHandle(vals)
 	}
-	st, err := t.startReduce(opSum, vals)
+	st, err := t.startReduce(opSum, byte(tag), vals)
 	if err != nil {
 		panic(&TCPError{Err: err})
 	}
@@ -834,7 +849,7 @@ func (t *TCP) GatherInterior(local *grid.Field2D, dst *grid.Field2D) error {
 		for k := 0; k < g.NY; k++ {
 			data = append(data, local.Row(k, 0, g.NX)...)
 		}
-		if err := t.send(0, frameGather, 0, data); err != nil {
+		if err := t.send(0, frameGather, 0, 0, data); err != nil {
 			return err
 		}
 		return t.Protect(func() error { t.Barrier(); return nil })
@@ -856,7 +871,7 @@ func (t *TCP) GatherInterior(local *grid.Field2D, dst *grid.Field2D) error {
 	// for the barrier and whatever follows.
 	for r := 1; r < t.size; r++ {
 		re := t.part.ExtentOf(r)
-		data, rerr := t.recvFloats(r, frameGather, 0, "gather")
+		data, rerr := t.recvFloats(r, frameGather, 0, 0, "gather")
 		if rerr != nil {
 			return rerr
 		}

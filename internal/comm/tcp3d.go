@@ -46,7 +46,7 @@ func (t *TCP) GatherInterior3D(local *grid.Field3D, dst *grid.Field3D) error {
 				data = append(data, local.Row(j, k, 0, g.NX)...)
 			}
 		}
-		if err := t.send(0, frameGather, 0, data); err != nil {
+		if err := t.send(0, frameGather, 0, 0, data); err != nil {
 			return err
 		}
 		return t.Protect(func() error { t.Barrier(); return nil })
@@ -70,7 +70,7 @@ func (t *TCP) GatherInterior3D(local *grid.Field3D, dst *grid.Field3D) error {
 	// Drain every peer's block even on error, so the streams stay in sync.
 	for r := 1; r < t.size; r++ {
 		re := p.ExtentOf(r)
-		data, rerr := t.recvFloats(r, frameGather, 0, "gather")
+		data, rerr := t.recvFloats(r, frameGather, 0, 0, "gather")
 		if rerr != nil {
 			return rerr
 		}

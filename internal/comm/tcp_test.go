@@ -354,7 +354,7 @@ func TestTCPRankCollision(t *testing.T) {
 	if _, err := nc.Write(imposter.handshakeFor().encode(frameHello)); err != nil {
 		t.Fatal(err)
 	}
-	typ, _, payload, err := readFrame(nc)
+	typ, _, _, payload, err := readFrame(nc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,10 @@ import (
 //	0       4     payload length in bytes (little-endian uint32)
 //	4       1     frame type (frameHello .. frameBye)
 //	5       1     tag (meaning depends on the type; see below)
-//	6       2     reserved, must be zero
+//	6       1     reduction instance (frameReduce only; must be zero on
+//	              every other type — it distinguishes concurrently
+//	              in-flight tagged reduction rounds)
+//	7       1     reserved, must be zero
 //	8       n     payload (float64 values, little-endian bit patterns,
 //	              except handshake frames, which carry the fields below)
 //
@@ -36,7 +39,10 @@ import (
 //     as a tag mismatch, not silent corruption.
 //   - frameReduce: one recursive-doubling reduction step. The tag is the
 //     round code (tagReduceFold / round index / tagReduceResult), so two
-//     ranks disagreeing about the reduction schedule fail loudly.
+//     ranks disagreeing about the reduction schedule fail loudly. The
+//     instance byte carries the caller-level reduction tag
+//     (AllReduceSumNStartTagged), so steps of distinct in-flight rounds
+//     never match each other even when their round codes collide.
 //   - frameGather: one rank's interior block travelling to rank 0.
 //   - frameBye: graceful shutdown notice sent by Close. A Bye arriving
 //     where data was expected reports "peer shut down" instead of a bare
@@ -93,19 +99,21 @@ func frameTypeName(t byte) string {
 }
 
 // appendFrameHeader appends the 8-byte frame header for a payload of n
-// bytes.
-func appendFrameHeader(buf []byte, typ, tag byte, n int) []byte {
+// bytes. inst is the reduction-instance byte and must be zero for every
+// type but frameReduce.
+func appendFrameHeader(buf []byte, typ, tag, inst byte, n int) []byte {
 	var hdr [frameHeaderBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
 	hdr[4] = typ
 	hdr[5] = tag
+	hdr[6] = inst
 	return append(buf, hdr[:]...)
 }
 
 // floatFrame builds a complete frame whose payload is vals.
-func floatFrame(typ, tag byte, vals []float64) []byte {
+func floatFrame(typ, tag, inst byte, vals []float64) []byte {
 	buf := make([]byte, 0, frameHeaderBytes+8*len(vals))
-	buf = appendFrameHeader(buf, typ, tag, 8*len(vals))
+	buf = appendFrameHeader(buf, typ, tag, inst, 8*len(vals))
 	for _, v := range vals {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
@@ -125,23 +133,26 @@ func decodeFloats(payload []byte) ([]float64, error) {
 }
 
 // readFrame reads one complete frame from r.
-func readFrame(r io.Reader) (typ, tag byte, payload []byte, err error) {
+func readFrame(r io.Reader) (typ, tag, inst byte, payload []byte, err error) {
 	var hdr [frameHeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n > maxFrameBytes {
-		return 0, 0, nil, fmt.Errorf("frame payload of %d bytes exceeds the %d-byte cap (corrupt stream?)", n, maxFrameBytes)
+		return 0, 0, 0, nil, fmt.Errorf("frame payload of %d bytes exceeds the %d-byte cap (corrupt stream?)", n, maxFrameBytes)
 	}
-	if hdr[6] != 0 || hdr[7] != 0 {
-		return 0, 0, nil, fmt.Errorf("non-zero reserved bytes in frame header (corrupt stream?)")
+	if hdr[6] != 0 && hdr[4] != frameReduce {
+		return 0, 0, 0, nil, fmt.Errorf("non-zero reduction-instance byte on a %s frame (corrupt stream?)", frameTypeName(hdr[4]))
+	}
+	if hdr[7] != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("non-zero reserved byte in frame header (corrupt stream?)")
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, 0, nil, fmt.Errorf("reading %d-byte payload: %w", n, err)
+		return 0, 0, 0, nil, fmt.Errorf("reading %d-byte payload: %w", n, err)
 	}
-	return hdr[4], hdr[5], payload, nil
+	return hdr[4], hdr[5], hdr[6], payload, nil
 }
 
 // handshake is the decoded payload of a Hello/Welcome frame.
@@ -183,7 +194,7 @@ func (h handshake) encode(typ byte) []byte {
 		payload = binary.LittleEndian.AppendUint32(payload, uint32(v))
 	}
 	buf := make([]byte, 0, frameHeaderBytes+len(payload))
-	buf = appendFrameHeader(buf, typ, 0, len(payload))
+	buf = appendFrameHeader(buf, typ, 0, 0, len(payload))
 	return append(buf, payload...)
 }
 

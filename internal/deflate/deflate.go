@@ -334,11 +334,48 @@ func (d *Deflation) ProjectW(w *grid.Field2D) {
 // A·W·λ correction grows. b.Expand(1) must fit the padded grid, which
 // holds for any extended bounds of a depth ≤ Grid.Halo cycle.
 func (d *Deflation) ProjectWBounds(b grid.Bounds, w *grid.Field2D) {
-	g := d.op.Grid
 	d.solveCoarse(w)
-	// W·λ filled analytically over the one-cell ring A reads; block
-	// membership of halo cells comes from the clamped global coordinate,
-	// so rank-internal ring values are exact without an exchange.
+	d.applyCorrection(b, w)
+}
+
+// deflReduceTag is the reduction tag of the split-phase coarse round
+// (comm.AllReduceSumNStartTagged): distinct from tag 0, which blocking
+// rounds and the solver's split-phase scalar round use, so both can be
+// in flight at once.
+const deflReduceTag = 1
+
+// ProjectWBoundsStart is the first half of ProjectWBounds: it restricts
+// w and posts the coarse reduction round split-phase on the projector's
+// dedicated tag, returning the in-flight handle. Callers overlap the
+// round with other work — the solver's temporal-blocked pipelined CG
+// keeps it in flight alongside the iteration's scalar round
+// (solver.splitDeflator) — and must hand the handle to
+// ProjectWBoundsFinish, or Finish and discard it on paths that abandon
+// the projection, before any blocking collective; every rank must do
+// the same. Collective.
+func (d *Deflation) ProjectWBoundsStart(w *grid.Field2D) comm.ReduceHandle {
+	d.restrict(w, d.cr)
+	return d.c.AllReduceSumNStartTagged(deflReduceTag, d.cr)
+}
+
+// ProjectWBoundsFinish completes a projection posted by
+// ProjectWBoundsStart: finishes the coarse round, runs the replicated
+// hierarchy solve every rank executes identically, and applies the
+// fine-grid correction over b. The result is bit-identical to
+// ProjectWBounds(b, w) for the same w — the tagged round folds exactly
+// like the blocking one.
+func (d *Deflation) ProjectWBoundsFinish(h comm.ReduceHandle, b grid.Bounds, w *grid.Field2D) {
+	d.coarse.Solve(h.Finish(), d.cl)
+	d.applyCorrection(b, w)
+}
+
+// applyCorrection subtracts the fine-grid correction A·W·λ (λ = d.cl,
+// left by the coarse solve) from w over b. W·λ is filled analytically
+// over the one-cell ring A reads; block membership of halo cells comes
+// from the clamped global coordinate, so rank-internal ring values are
+// exact without an exchange.
+func (d *Deflation) applyCorrection(b grid.Bounds, w *grid.Field2D) {
+	g := d.op.Grid
 	fill := b.Expand(1, g)
 	for k := fill.Y0; k < fill.Y1; k++ {
 		base := g.Index(0, k)

@@ -262,8 +262,32 @@ func (d *Deflation3D) ProjectW(w *grid.Field3D) {
 // the extended bounds b ⊇ interior — the deep-halo form of the 2D twin,
 // with the restriction kept interior-only for the same ownership reason.
 func (d *Deflation3D) ProjectWBounds(b grid.Bounds3D, w *grid.Field3D) {
-	g := d.op.Grid
 	d.solveCoarse(w)
+	d.applyCorrection(b, w)
+}
+
+// ProjectWBoundsStart is the 3D twin of Deflation.ProjectWBoundsStart:
+// restrict w and post the coarse round split-phase on the projector's
+// tag, under the same finish-before-any-blocking-collective contract.
+// Collective.
+func (d *Deflation3D) ProjectWBoundsStart(w *grid.Field3D) comm.ReduceHandle {
+	d.restrict(w, d.cr)
+	return d.c.AllReduceSumNStartTagged(deflReduceTag, d.cr)
+}
+
+// ProjectWBoundsFinish completes a projection posted by
+// ProjectWBoundsStart, bit-identical to ProjectWBounds(b, w) for the
+// same w.
+func (d *Deflation3D) ProjectWBoundsFinish(h comm.ReduceHandle, b grid.Bounds3D, w *grid.Field3D) {
+	d.coarse.Solve(h.Finish(), d.cl)
+	d.applyCorrection(b, w)
+}
+
+// applyCorrection subtracts the fine-grid correction A·W·λ (λ = d.cl,
+// left by the coarse solve) from w over b, filling W·λ analytically
+// over the one-cell shell A reads as in the 2D projector.
+func (d *Deflation3D) applyCorrection(b grid.Bounds3D, w *grid.Field3D) {
+	g := d.op.Grid
 	fill := b.Expand(1, g)
 	for k := fill.Z0; k < fill.Z1; k++ {
 		zBase := d.zblk[k+d.hp] * d.by

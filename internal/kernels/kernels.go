@@ -580,7 +580,31 @@ func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv 
 	// Row-fissioned like FusedCGDirections: the x-update burst, then the
 	// r-update burst carrying both dot products (the freshly written r row
 	// is still in cache for the γ accumulation).
-	acc := pl.ForTilesReduceN(2, box(b), func(t par.Tile, acc []float64) {
+	acc := pl.ForTilesReduceN(2, box(b), fusedCGUpdateBody(g, alpha, pd, sd, xd, rd, md))
+	return acc[0], acc[1]
+}
+
+// FusedCGUpdateChain is FusedCGUpdate restricted to one chain band's
+// tile range [t0,t1): same tile body, but the (γ, rr) partials land in
+// the per-tile accumulator instead of being folded immediately, so a
+// temporal-blocked cycle can run the update band-by-band and fold once
+// at the end of the sweep with ForTilesReduceN's exact bits. With a nil
+// minv the folded acc[0] equals acc[1] (γ == rr), as in FusedCGUpdate.
+func FusedCGUpdateChain(pl *par.Pool, acc *par.ChainAccum, t0, t1 int, alpha float64, p, s, x, r, minv *grid.Field2D) {
+	g := r.Grid
+	pd, sd, xd, rd := p.Data, s.Data, x.Data, r.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	pl.ForTilesChunk(acc, t0, t1, fusedCGUpdateBody(g, alpha, pd, sd, xd, rd, md))
+}
+
+// fusedCGUpdateBody is the tile body shared by FusedCGUpdate and
+// FusedCGUpdateChain — one closure, so the chained and unchained sweeps
+// cannot drift bit-wise.
+func fusedCGUpdateBody(g *grid.Grid2D, alpha float64, pd, sd, xd, rd, md []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		tb := tileBounds(t)
 		n := tb.X1 - tb.X0
 		var g0, g1, rr0, rr1 float64
@@ -642,8 +666,7 @@ func FusedCGUpdate(pl *par.Pool, b grid.Bounds, alpha float64, p, s, x, r, minv 
 			acc[0] += g0 + g1
 			acc[1] += rr0 + rr1
 		}
-	})
-	return acc[0], acc[1]
+	}
 }
 
 // FusedPPCGInner is the fused Chebyshev inner step of PPCG: the residual
@@ -738,7 +761,33 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 	if minv != nil {
 		md = minv.Data
 	}
-	acc := pl.ForTilesReduceN(3, box(b), func(t par.Tile, acc []float64) {
+	acc := pl.ForTilesReduceN(3, box(b), pipelinedCGStepBody(g, beta, alpha, md, rd, wd, nd, pd, sd, zd, xd))
+	if md == nil {
+		return acc[2], acc[1], acc[2]
+	}
+	return acc[0], acc[1], acc[2]
+}
+
+// PipelinedCGStepChain is PipelinedCGStep restricted to one chain band's
+// tile range [t0,t1): same tile body, with the (γ, δ, rr) partials
+// landing in the per-tile accumulator for an end-of-sweep fold. With a
+// nil minv the caller maps the folded γ to rr, exactly as
+// PipelinedCGStep's return does.
+func PipelinedCGStepChain(pl *par.Pool, acc *par.ChainAccum, t0, t1 int, minv, r, w, nv *grid.Field2D, beta, alpha float64, p, s, z, x *grid.Field2D) {
+	g := r.Grid
+	rd, wd, nd, pd, sd, zd, xd := r.Data, w.Data, nv.Data, p.Data, s.Data, z.Data, x.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	pl.ForTilesChunk(acc, t0, t1, pipelinedCGStepBody(g, beta, alpha, md, rd, wd, nd, pd, sd, zd, xd))
+}
+
+// pipelinedCGStepBody is the tile body shared by PipelinedCGStep and
+// PipelinedCGStepChain — one closure, so the chained and unchained
+// sweeps cannot drift bit-wise.
+func pipelinedCGStepBody(g *grid.Grid2D, beta, alpha float64, md, rd, wd, nd, pd, sd, zd, xd []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		tb := tileBounds(t)
 		n := tb.X1 - tb.X0
 		var ga, de, rra float64
@@ -879,9 +928,5 @@ func PipelinedCGStep(pl *par.Pool, b grid.Bounds, minv, r, w, nv *grid.Field2D, 
 		acc[0] += ga
 		acc[1] += de
 		acc[2] += rra
-	})
-	if md == nil {
-		return acc[2], acc[1], acc[2]
 	}
-	return acc[0], acc[1], acc[2]
 }

@@ -370,7 +370,28 @@ func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, m
 	if minv != nil {
 		md = minv.Data
 	}
-	acc := pl.ForTilesReduceN(2, box3(b), func(t par.Tile, acc []float64) {
+	acc := pl.ForTilesReduceN(2, box3(b), fusedCGUpdateBody3D(g, alpha, pd, sd, xd, rd, md))
+	return acc[0], acc[1]
+}
+
+// FusedCGUpdateChain3D is FusedCGUpdate3D restricted to one chain band's
+// tile range [t0,t1): same tile body, partials landing in the per-tile
+// accumulator for an end-of-sweep fold (see FusedCGUpdateChain).
+func FusedCGUpdateChain3D(pl *par.Pool, acc *par.ChainAccum, t0, t1 int, alpha float64, p, s, x, r, minv *grid.Field3D) {
+	g := r.Grid
+	pd, sd, xd, rd := p.Data, s.Data, x.Data, r.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	pl.ForTilesChunk(acc, t0, t1, fusedCGUpdateBody3D(g, alpha, pd, sd, xd, rd, md))
+}
+
+// fusedCGUpdateBody3D is the tile body shared by FusedCGUpdate3D and
+// FusedCGUpdateChain3D — one closure, so the chained and unchained
+// sweeps cannot drift bit-wise.
+func fusedCGUpdateBody3D(g *grid.Grid3D, alpha float64, pd, sd, xd, rd, md []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		tb := tileBounds3(t)
 		n := tb.X1 - tb.X0
 		var g0, g1, rr0, rr1 float64
@@ -434,8 +455,7 @@ func FusedCGUpdate3D(pl *par.Pool, b grid.Bounds3D, alpha float64, p, s, x, r, m
 			acc[0] += g0 + g1
 			acc[1] += rr0 + rr1
 		}
-	})
-	return acc[0], acc[1]
+	}
 }
 
 // FusedPPCGInner3D is the fused Chebyshev inner step of 3D PPCG:
@@ -517,7 +537,32 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 	if minv != nil {
 		md = minv.Data
 	}
-	acc := pl.ForTilesReduceN(3, box3(b), func(t par.Tile, acc []float64) {
+	acc := pl.ForTilesReduceN(3, box3(b), pipelinedCGStepBody3D(g, beta, alpha, md, rd, wd, nd, pd, sd, zd, xd))
+	if md == nil {
+		return acc[2], acc[1], acc[2]
+	}
+	return acc[0], acc[1], acc[2]
+}
+
+// PipelinedCGStepChain3D is PipelinedCGStep3D restricted to one chain
+// band's tile range [t0,t1): same tile body, partials landing in the
+// per-tile accumulator for an end-of-sweep fold (see
+// PipelinedCGStepChain).
+func PipelinedCGStepChain3D(pl *par.Pool, acc *par.ChainAccum, t0, t1 int, minv, r, w, nv *grid.Field3D, beta, alpha float64, p, s, z, x *grid.Field3D) {
+	g := r.Grid
+	rd, wd, nd, pd, sd, zd, xd := r.Data, w.Data, nv.Data, p.Data, s.Data, z.Data, x.Data
+	var md []float64
+	if minv != nil {
+		md = minv.Data
+	}
+	pl.ForTilesChunk(acc, t0, t1, pipelinedCGStepBody3D(g, beta, alpha, md, rd, wd, nd, pd, sd, zd, xd))
+}
+
+// pipelinedCGStepBody3D is the tile body shared by PipelinedCGStep3D and
+// PipelinedCGStepChain3D — one closure, so the chained and unchained
+// sweeps cannot drift bit-wise.
+func pipelinedCGStepBody3D(g *grid.Grid3D, beta, alpha float64, md, rd, wd, nd, pd, sd, zd, xd []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		tb := tileBounds3(t)
 		n := tb.X1 - tb.X0
 		var ga, de, rra float64
@@ -656,9 +701,5 @@ func PipelinedCGStep3D(pl *par.Pool, b grid.Bounds3D, minv, r, w, nv *grid.Field
 		acc[0] += ga
 		acc[1] += de
 		acc[2] += rra
-	})
-	if md == nil {
-		return acc[2], acc[1], acc[2]
 	}
-	return acc[0], acc[1], acc[2]
 }

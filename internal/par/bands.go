@@ -1,0 +1,154 @@
+package par
+
+// This file is the temporal-blocking band scheduler (PR 10): it cuts a
+// tiled iteration box into LLC-sized bands of whole tile rows along the
+// outermost axis (Y in 2D, Z in 3D) so a solve cycle can chain several
+// sweeps band-by-band — each band streams through cache once per cycle
+// instead of once per sweep — and it provides the per-tile partial
+// accumulator (ChainAccum + ForTilesChunk) whose end-of-cycle Fold
+// reproduces ForTilesReduceN's fixed tile-order fold bit for bit. The
+// invariant the solver leans on: if every tile of the box receives
+// exactly one body call per cycle (in any order, from any worker), Fold
+// returns the exact bits ForTilesReduceN would have for the same body
+// over the same box.
+//
+// Bands only exist on tiled pools: the untiled legacy reduction folds
+// per-worker partials, which is worker-count-dependent under any
+// re-decomposition, so ChainBands returns nil there and callers fall
+// back to the unchained path.
+
+// ChainBand is one band of a chained sweep: the contiguous global tile
+// range [T0,T1) of the box it was cut from, plus the band's cell range
+// [Lo,Hi) along the chain axis (Y in 2D, Z in 3D) for clipping ring and
+// extension bounds to the band. The first band's Lo and the last band's
+// Hi are pushed out beyond any grid extent, so extension rows outside
+// the box attach to the nearest edge band.
+type ChainBand struct {
+	T0, T1 int // global tile index range within the chained box
+	Lo, Hi int // chain-axis cell range the band owns
+}
+
+// ChainBands cuts box b into bands of whole tile rows along the
+// outermost axis, each covering about bandCells cells of that axis
+// (rounded up to whole tile rows, minimum one row). It returns nil on
+// an untiled pool — chained reductions require the fixed tile-order
+// fold — and a single spanning band when bandCells <= 0 or the box is
+// one band tall. Because the global tile order is X-fastest, each
+// band's tiles form one contiguous index range.
+func (p *Pool) ChainBands(b Box, bandCells int) []ChainBand {
+	if !p.tiled || b.Empty() {
+		return nil
+	}
+	_, ntx, nty, ntz := p.tileCounts(b)
+	// Tile rows along the chain axis, tiles per row, row height, origin.
+	rows, perRow, edge, origin, extent := nty, ntx, p.ty, b.Y0, b.Y1
+	if b.dims == 3 {
+		rows, perRow, edge, origin, extent = ntz, ntx*nty, p.tz, b.Z0, b.Z1
+	}
+	rowsPerBand := rows
+	if bandCells > 0 {
+		rowsPerBand = (bandCells + edge - 1) / edge
+		if rowsPerBand < 1 {
+			rowsPerBand = 1
+		}
+	}
+	var bands []ChainBand
+	for r0 := 0; r0 < rows; r0 += rowsPerBand {
+		r1 := min(r0+rowsPerBand, rows)
+		lo, hi := origin+r0*edge, min(origin+r1*edge, extent)
+		if r0 == 0 {
+			lo = -fullExtent
+		}
+		if r1 == rows {
+			hi = fullExtent
+		}
+		bands = append(bands, ChainBand{T0: r0 * perRow, T1: r1 * perRow, Lo: lo, Hi: hi})
+	}
+	return bands
+}
+
+// ChainAccum is the per-tile reduction table of one chained sweep over a
+// fixed box: ForTilesChunk fills the partials of a band's tile range,
+// Fold combines every tile's partial in ascending global tile order —
+// exactly the ForTilesReduceN fold, so a chained sweep whose body ran
+// once per tile produces ForTilesReduceN's bits regardless of band
+// shape, band count, or worker count.
+type ChainAccum struct {
+	box      Box
+	k        int
+	stride   int
+	nt       int
+	ntx, nty int
+	partial  []float64
+}
+
+// NewChainAccum builds a k-wide per-tile accumulator over box b. The
+// pool must be tiled (ChainBands returned bands for the same box).
+func (p *Pool) NewChainAccum(k int, b Box) *ChainAccum {
+	if !p.tiled {
+		panic("par: NewChainAccum requires a tiled pool")
+	}
+	nt, ntx, nty, _ := p.tileCounts(b)
+	stride := k
+	if stride < 8 {
+		stride = 8
+	}
+	return &ChainAccum{
+		box: b, k: k, stride: stride, nt: nt, ntx: ntx, nty: nty,
+		partial: make([]float64, nt*stride),
+	}
+}
+
+// Reset zeroes the partials for the next chained sweep.
+func (a *ChainAccum) Reset() {
+	for i := range a.partial {
+		a.partial[i] = 0
+	}
+}
+
+// Fold combines the per-tile partials in ascending global tile order and
+// returns the k sums — bit-identical to ForTilesReduceN's fold over the
+// same box when every tile's body ran exactly once.
+func (a *ChainAccum) Fold() []float64 {
+	out := make([]float64, a.k)
+	for t := 0; t < a.nt; t++ {
+		for i := 0; i < a.k; i++ {
+			out[i] += a.partial[t*a.stride+i]
+		}
+	}
+	return out
+}
+
+// ForTilesChunk runs body once per tile of the accumulator's tile range
+// [t0,t1) (a ChainBand's T0/T1), handing each call the tile's private
+// partial slice (len k, as ForTilesReduceN's body sees it). Tiles are
+// assigned to workers in contiguous runs. The reentrancy rules of For
+// apply; bodies must be safe to run concurrently on distinct tiles.
+func (p *Pool) ForTilesChunk(acc *ChainAccum, t0, t1 int, body func(t Tile, acc []float64)) {
+	if t0 < 0 || t1 > acc.nt || t0 > t1 {
+		panic("par: ForTilesChunk tile range outside the accumulator's box")
+	}
+	if t0 == t1 {
+		return
+	}
+	run := func(t int) {
+		body(p.tileAt(acc.box, t, acc.ntx, acc.nty),
+			acc.partial[t*acc.stride:t*acc.stride+acc.k:t*acc.stride+acc.k])
+	}
+	n := t1 - t0
+	nb := p.workers
+	if nb > n {
+		nb = n
+	}
+	if nb <= 1 {
+		for t := t0; t < t1; t++ {
+			run(t)
+		}
+		return
+	}
+	p.region(nb, func(id int) {
+		for t := t0 + id*n/nb; t < t0+(id+1)*n/nb; t++ {
+			run(t)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"testing"
+)
+
+func TestChainBandsPartitionTilesAndCells(t *testing.T) {
+	// Bands must partition the global tile range [0,nt) and the chain
+	// axis into contiguous, non-overlapping pieces, with the edge bands'
+	// cell ranges pushed out past any grid extent.
+	cases := []struct {
+		shape     [3]int
+		box       Box
+		bandCells int
+	}{
+		{[3]int{0, 8, 0}, Box2D(0, 100, 0, 57), 16},
+		{[3]int{16, 3, 0}, Box2D(-2, 31, -4, 17), 7},
+		{[3]int{8, 8, 4}, Box3D(0, 33, 0, 19, 0, 9), 5},
+		{[3]int{0, 0, 1}, Box3D(0, 10, 0, 10, 0, 23), 1},
+		{[3]int{0, 8, 0}, Box2D(0, 100, 0, 57), 0}, // single spanning band
+	}
+	for _, c := range cases {
+		p := NewPool(1).WithTiles(c.shape[0], c.shape[1], c.shape[2])
+		bands := p.ChainBands(c.box, c.bandCells)
+		if len(bands) == 0 {
+			t.Fatalf("shape=%v: no bands", c.shape)
+		}
+		nt, _, _, _ := p.tileCounts(c.box)
+		if bands[0].T0 != 0 || bands[len(bands)-1].T1 != nt {
+			t.Fatalf("shape=%v: bands cover tiles [%d,%d), want [0,%d)",
+				c.shape, bands[0].T0, bands[len(bands)-1].T1, nt)
+		}
+		if bands[0].Lo != -fullExtent || bands[len(bands)-1].Hi != fullExtent {
+			t.Fatalf("shape=%v: edge bands must extend past the grid: Lo=%d Hi=%d",
+				c.shape, bands[0].Lo, bands[len(bands)-1].Hi)
+		}
+		for i := 1; i < len(bands); i++ {
+			if bands[i].T0 != bands[i-1].T1 {
+				t.Fatalf("shape=%v: tile gap between bands %d and %d", c.shape, i-1, i)
+			}
+			if bands[i].Lo != bands[i-1].Hi {
+				t.Fatalf("shape=%v: cell gap between bands %d and %d (%d vs %d)",
+					c.shape, i-1, i, bands[i-1].Hi, bands[i].Lo)
+			}
+		}
+		if c.bandCells <= 0 && len(bands) != 1 {
+			t.Fatalf("bandCells=0 must give one spanning band, got %d", len(bands))
+		}
+	}
+}
+
+func TestChainBandsNilOnUntiledPool(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if bands := p.ChainBands(Box2D(0, 10, 0, 10), 4); bands != nil {
+		t.Fatalf("untiled pool returned bands %v", bands)
+	}
+}
+
+func TestChainAccumFoldMatchesForTilesReduceN(t *testing.T) {
+	// The load-bearing invariant: running the SAME body once per tile
+	// through ForTilesChunk over any band decomposition and folding must
+	// reproduce ForTilesReduceN's bits for every worker count.
+	box := Box3D(0, 33, 0, 19, 0, 9)
+	for _, shape := range [][3]int{{8, 8, 4}, {16, 3, 2}, {0, 5, 3}} {
+		ref := NewPool(1).WithTiles(shape[0], shape[1], shape[2]).
+			ForTilesReduceN(2, box, tileHarmonic(33))
+		for _, workers := range []int{1, 2, 4, 7} {
+			for _, bandCells := range []int{1, 3, 8, 100} {
+				p := NewPool(workers).WithTiles(shape[0], shape[1], shape[2])
+				acc := p.NewChainAccum(2, box)
+				for _, b := range p.ChainBands(box, bandCells) {
+					p.ForTilesChunk(acc, b.T0, b.T1, tileHarmonic(33))
+				}
+				got := acc.Fold()
+				// A second cycle after Reset must reproduce the same bits.
+				acc.Reset()
+				for _, b := range p.ChainBands(box, bandCells) {
+					p.ForTilesChunk(acc, b.T0, b.T1, tileHarmonic(33))
+				}
+				again := acc.Fold()
+				p.Close()
+				if got[0] != ref[0] || got[1] != ref[1] {
+					t.Fatalf("shape=%v workers=%d bandCells=%d: chained %v != reduceN %v",
+						shape, workers, bandCells, got, ref)
+				}
+				if again[0] != got[0] || again[1] != got[1] {
+					t.Fatalf("shape=%v: Reset cycle drifted: %v != %v", shape, again, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForTilesChunkRangeChecks(t *testing.T) {
+	p := NewPool(1).WithTiles(4, 4, 0)
+	acc := p.NewChainAccum(1, Box2D(0, 8, 0, 8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range chunk must panic")
+		}
+	}()
+	p.ForTilesChunk(acc, 0, acc.nt+1, func(Tile, []float64) {})
+}

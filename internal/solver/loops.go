@@ -248,6 +248,7 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 			return result, nil, err
 		}
 	}
+	cs := newChainState(e, depth, defl)
 
 	alpha := gamma / delta
 	beta := 0.0
@@ -265,17 +266,23 @@ func runCGFusedCore[F comparable, B any](e *engine[F, B], minv F, maxIters int, 
 			}
 			ab := sys.Extend(depth - j)     // direction/update bounds
 			mb := sys.Extend(depth - 1 - j) // matvec bounds, one cell inside
-			sys.FusedCGDirections(ab, minv, r, w, beta, pvec, svec)
-			e.vectorPass(ab)
-			// The x update and the dots are interior-only; r's extended ring
-			// gets the matching r −= α·s separately so the next matvec reads
-			// a consistent r one cell beyond mb.
-			gammaNew, rrNew = sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
-			for _, rb := range sys.Rings(ab) {
-				sys.Axpy(rb, -alpha, svec, r)
+			if cs != nil {
+				// Temporal blocking: the same three sweeps, chained per
+				// LLC band so each band streams through cache once.
+				gammaNew, rrNew, deltaNew = cs.fusedIter(e, ab, mb, minv, r, w, pvec, svec, alpha, beta)
+			} else {
+				sys.FusedCGDirections(ab, minv, r, w, beta, pvec, svec)
+				e.vectorPass(ab)
+				// The x update and the dots are interior-only; r's extended
+				// ring gets the matching r −= α·s separately so the next
+				// matvec reads a consistent r one cell beyond mb.
+				gammaNew, rrNew = sys.FusedCGUpdate(in, alpha, pvec, svec, e.u, r, minv)
+				for _, rb := range sys.Rings(ab) {
+					sys.Axpy(rb, -alpha, svec, r)
+				}
+				e.vectorPass(ab)
+				deltaNew = e.applyPreDotDeep(mb, minv, r, w)
 			}
-			e.vectorPass(ab)
-			deltaNew = e.applyPreDotDeep(mb, minv, r, w)
 			if defl != nil {
 				defl.(deepDeflator[F, B]).ProjectWBounds(mb, w)
 				deltaNew = e.deflDelta(minv, zd, r, w)
@@ -458,6 +465,18 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			return result, nil, err
 		}
 	}
+	cs := newChainState(e, depth, defl)
+	var sdefl splitDeflator[F, B] // non-nil exactly when cs chains a deflated solve
+	if cs != nil && defl != nil {
+		sdefl = defl.(splitDeflator[F, B])
+	}
+	// drain completes a chained pass's deferred matvec bands and posted
+	// coarse round before any exit from the loop (no-op unchained).
+	drain := func() {
+		if cs != nil {
+			cs.pipelinedDrain(e)
+		}
+	}
 
 	var alpha, gammaOld, rr0 float64
 	var mb B // this pass's matvec bounds (deep path)
@@ -479,8 +498,12 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 				}
 			}
 			mb = sys.Extend(depth - 1 - j)
-			sys.ApplyPreDot(mb, minv, w, nvec)
-			e.tr.AddMatvec(sys.Cells(mb))
+			if cs != nil {
+				cs.pipelinedMatvec(e, mb, minv, w, nvec, sdefl)
+			} else {
+				sys.ApplyPreDot(mb, minv, w, nvec)
+				e.tr.AddMatvec(sys.Cells(mb))
+			}
 		} else if _, err := e.applyPreDotX(minv, w, nvec); err != nil {
 			// Drain the posted round before surfacing the error: the other
 			// ranks are already in the butterfly, and the communicator must
@@ -496,6 +519,7 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			rr0 = rr
 			if rr0 == 0 {
 				result.Converged = true
+				drain()
 				return result, mkState(0, 0, 0), nil
 			}
 			var done bool
@@ -507,6 +531,7 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 				// noise-scale residual can legitimately present δ ≤ 0.
 				result.Converged = true
 				result.FinalResidual = relResidual(rr0, base)
+				drain()
 				return result, mkState(gamma, rr0, rr0), nil
 			}
 			if delta <= 0 || math.IsNaN(delta) {
@@ -514,6 +539,7 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 				// on the fused engine.
 				result.FinalResidual = 1
 				result.Breakdown = true
+				drain()
 				return result, mkState(gamma, rr0, rr0), fmt.Errorf("solver: startup curvature δ = %v: %w", delta, ErrBreakdown)
 			}
 		} else {
@@ -524,6 +550,9 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			if rel <= tol {
 				result.Converged = true
 				result.FinalResidual = rel
+				// Complete the chained pass before finishDeflated's
+				// collectives: a posted coarse round must be drained first.
+				drain()
 				if defl != nil {
 					rel, err := e.finishDeflated(defl, r, base)
 					if err != nil {
@@ -536,14 +565,20 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			}
 		}
 		if result.Iterations >= maxIters {
+			drain()
 			break
 		}
 		if defl != nil {
-			if depth > 1 {
+			switch {
+			case sdefl != nil:
+				// n = P·A·M⁻¹w consuming the coarse round the chained pass
+				// posted alongside the scalar round.
+				cs.pipelinedProject(sdefl)
+			case depth > 1:
 				// n = P·A·M⁻¹w on the extended matvec bounds, strictly after
 				// Finish (the projector's coarse round is a collective).
 				defl.(deepDeflator[F, B]).ProjectWBounds(mb, nvec)
-			} else {
+			default:
 				defl.ProjectW(nvec) // n = P·A·M⁻¹w, strictly after Finish
 			}
 		}
@@ -558,6 +593,7 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 				// The three-term recurrences lost conjugacy; stop like the
 				// fused engine's in-loop guard.
 				result.Breakdown = true
+				drain()
 				break
 			}
 			result.Betas = append(result.Betas, betaNew)
@@ -565,6 +601,13 @@ func runCGPipelinedCore[F comparable, B any](e *engine[F, B], minv F, maxIters i
 			alpha = gamma / denom
 		}
 		gammaOld = gamma
+		if cs != nil {
+			// Temporal blocking: the pass's remaining matvec bands and the
+			// step sweep chain band-by-band, the step one band behind.
+			gamma, delta, rr = cs.pipelinedStep(e, minv, r, w, nvec, beta, alpha, pvec, svec, zvec, e.u)
+			e.vectorPass(mb)
+			continue
+		}
 		gamma, delta, rr = sys.PipelinedCGStep(in, minv, r, w, nvec, beta, alpha, pvec, svec, zvec, e.u)
 		if depth > 1 {
 			// Extend every recurrence except x (a solution cell is owned by

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"tealeaf/internal/comm"
+	"tealeaf/internal/par"
 	"tealeaf/internal/stats"
 )
 
@@ -105,6 +106,33 @@ type system[F comparable, B any] interface {
 	// δ = (minv⊙r)·w and ‖r‖² of the updated vectors.
 	PipelinedCGStep(b B, minv, r, w, n F, beta, alpha float64, p, s, z, x F) (gamma, delta, rr float64)
 
+	// ChainBands cuts the interior into temporal-blocking bands of whole
+	// tile rows along the outermost axis (Y in 2D, Z in 3D) of roughly
+	// bandCells cells each; nil when the pool is untiled (chained
+	// reductions need the fixed tile-order fold). See par.Pool.ChainBands.
+	ChainBands(bandCells int) []par.ChainBand
+	// NewChainAccum allocates a k-wide per-tile partial table over the
+	// interior box; its Fold reproduces ForTilesReduceN's bits when every
+	// interior tile's body ran exactly once per cycle.
+	NewChainAccum(k int) *par.ChainAccum
+	// ChainClip clips b to the chain-axis cell range [lo,hi), reporting
+	// whether the intersection is non-empty — how ring and extended bounds
+	// are assigned to chain bands.
+	ChainClip(b B, lo, hi int) (B, bool)
+	// FusedCGUpdateChain is FusedCGUpdate restricted to the interior tile
+	// range [t0,t1), accumulating the per-tile (γ', ‖r‖²) partials into acc
+	// (same tile body as the unchained sweep).
+	FusedCGUpdateChain(acc *par.ChainAccum, t0, t1 int, alpha float64, p, s, x, r, minv F)
+	// ApplyPreDotChain is ApplyPreDot restricted to the interior tile range
+	// [t0,t1), with the dot partial per tile in acc slot 0. acc must be at
+	// least 2 wide: the 3D identity path shares ApplyDot2's two-lane body.
+	ApplyPreDotChain(acc *par.ChainAccum, t0, t1 int, minv, r, w F)
+	// PipelinedCGStepChain is PipelinedCGStep restricted to the interior
+	// tile range [t0,t1), accumulating per-tile (γ, δ, ‖r‖²) partials into
+	// acc. With a zero minv the caller maps the folded γ to ‖r‖², exactly
+	// as the unchained kernel's return does.
+	PipelinedCGStepChain(acc *par.ChainAccum, t0, t1 int, minv, r, w, n F, beta, alpha float64, p, s, z, x F)
+
 	// PrecondApply applies the configured preconditioner z = M⁻¹r over b.
 	PrecondApply(b B, r, z F)
 	// PrecondIsIdentity reports whether the configured preconditioner is
@@ -150,6 +178,21 @@ type deflator[F any] interface {
 // Deflators that don't implement it cap the halo cycle at depth 1.
 type deepDeflator[F any, B any] interface {
 	ProjectWBounds(b B, w F)
+}
+
+// splitDeflator is the optional deflator extension the temporal-blocked
+// pipelined engine uses: ProjectWBoundsStart restricts w and posts the
+// projector's coarse reduction round split-phase on a dedicated tag
+// (comm.AllReduceSumNStartTagged), so it can sit in flight alongside the
+// iteration's scalar round; ProjectWBoundsFinish completes the round,
+// the replicated coarse solve and the fine-grid correction over b.
+// Every Start must be matched by exactly one Finish — on paths that
+// abandon the projection (convergence detected by the scalar round) the
+// handle is still Finished and its result discarded, which all ranks do
+// symmetrically. Deflators without it fall back to the unchained cycle.
+type splitDeflator[F any, B any] interface {
+	ProjectWBoundsStart(w F) comm.ReduceHandle
+	ProjectWBoundsFinish(h comm.ReduceHandle, b B, w F)
 }
 
 // isZeroF reports whether f is the zero value of its type (a nil field

@@ -253,7 +253,14 @@ func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D
 	s := g.Stride()
 	kx, ky := op.Kx.Data, op.Ky.Data
 	pd, wd := p.Data, w.Data
-	return pool.ForTilesReduceN(1, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile, acc []float64) {
+	return pool.ForTilesReduceN(1, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), applyDotBody(g, s, kx, ky, pd, wd))[0]
+}
+
+// applyDotBody is the tile body shared by ApplyDot and the identity-
+// preconditioner path of ApplyPreDotChain — one closure, so the chained
+// and unchained sweeps cannot drift bit-wise.
+func applyDotBody(g *grid.Grid2D, s int, kx, ky, pd, wd []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		n := t.X1 - t.X0
 		var pw0, pw1, pw2, pw3 float64
 		for k := t.Y0; k < t.Y1; k++ {
@@ -296,7 +303,7 @@ func (op *Operator2D) ApplyDot(pool *par.Pool, b grid.Bounds, p, w *grid.Field2D
 			}
 		}
 		acc[0] += (pw0 + pw1) + (pw2 + pw3)
-	})[0]
+	}
 }
 
 // ApplyDot2 computes w = A·p fused with the two dot products p·w and w·w
@@ -391,7 +398,32 @@ func (op *Operator2D) ApplyPreDot(pool *par.Pool, b grid.Bounds, minv, r, w *gri
 	// stay L1-resident across the stencil evaluation. Under tiling the
 	// window is tile-wide; edge cells recomputed by the adjacent tile are
 	// the same pointwise products, so the sweep's output is unchanged.
-	return pool.ForTilesReduceN(1, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), func(t par.Tile, acc []float64) {
+	return pool.ForTilesReduceN(1, par.Box2D(b.X0, b.X1, b.Y0, b.Y1), applyPreDotBody(g, s, kx, ky, md, rd, wd))[0]
+}
+
+// ApplyPreDotChain is ApplyPreDot restricted to one chain band's tile
+// range [t0,t1) of the accumulator's box: same tile body, with the u·w
+// partial landing in the per-tile accumulator (width 1) instead of being
+// folded immediately, so a temporal-blocked cycle can run the matvec
+// band-by-band and fold once at the end of the sweep with
+// ForTilesReduceN's exact bits. nil minv selects the identity (u = r),
+// chunking ApplyDot's body instead.
+func (op *Operator2D) ApplyPreDotChain(pool *par.Pool, acc *par.ChainAccum, t0, t1 int, minv, r, w *grid.Field2D) {
+	g := op.Grid
+	s := g.Stride()
+	kx, ky := op.Kx.Data, op.Ky.Data
+	if minv == nil {
+		pool.ForTilesChunk(acc, t0, t1, applyDotBody(g, s, kx, ky, r.Data, w.Data))
+		return
+	}
+	pool.ForTilesChunk(acc, t0, t1, applyPreDotBody(g, s, kx, ky, minv.Data, r.Data, w.Data))
+}
+
+// applyPreDotBody is the tile body shared by ApplyPreDot and
+// ApplyPreDotChain — one closure, so the chained and unchained sweeps
+// cannot drift bit-wise.
+func applyPreDotBody(g *grid.Grid2D, s int, kx, ky, md, rd, wd []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		n := t.X1 - t.X0
 		width := n + 2
 		buf := make([]float64, 3*width)
@@ -449,7 +481,7 @@ func (op *Operator2D) ApplyPreDot(pool *par.Pool, b grid.Bounds, minv, r, w *gri
 			us, uc, un = uc, un, us
 		}
 		acc[0] += uw0 + uw1
-	})[0]
+	}
 }
 
 // ApplyPreDotInit is ApplyPreDot extended with the two extra dot products

@@ -245,7 +245,15 @@ func (op *Operator3D) ApplyDot2(pool *par.Pool, b grid.Bounds3D, p, w *grid.Fiel
 	}
 	g := op.Grid
 	pd, wd := p.Data, w.Data
-	acc2 := pool.ForTilesReduceN(2, box3s(b), func(t par.Tile, acc []float64) {
+	acc2 := pool.ForTilesReduceN(2, box3s(b), op.applyDot2Body(g, pd, wd))
+	return acc2[0], acc2[1]
+}
+
+// applyDot2Body is the tile body shared by ApplyDot2 and the identity-
+// preconditioner path of ApplyPreDotChain — one closure, so the chained
+// and unchained sweeps cannot drift bit-wise.
+func (op *Operator3D) applyDot2Body(g *grid.Grid3D, pd, wd []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		tb := tb3(t)
 		n := tb.X1 - tb.X0
 		var pw0, pw1, ww0, ww1 float64
@@ -287,8 +295,7 @@ func (op *Operator3D) ApplyDot2(pool *par.Pool, b grid.Bounds3D, p, w *grid.Fiel
 		}
 		acc[0] += pw0 + pw1
 		acc[1] += ww0 + ww1
-	})
-	return acc2[0], acc2[1]
+	}
 }
 
 // ApplyPreDot computes w = A·u with u = minv ⊙ r (the diagonally
@@ -307,14 +314,37 @@ func (op *Operator3D) ApplyPreDot(pool *par.Pool, b grid.Bounds3D, minv *grid.Fi
 	}
 	g := op.Grid
 	rd, wd := r.Data, w.Data
-	return pool.ForTilesReduceN(1, box3s(b), func(t par.Tile, acc []float64) {
+	return pool.ForTilesReduceN(1, box3s(b), op.applyPreDotBody(g, minv.Data, rd, wd))[0]
+}
+
+// ApplyPreDotChain is ApplyPreDot restricted to one chain band's tile
+// range [t0,t1) of the accumulator's box: same tile body, with the u·w
+// partial landing in slot 0 of the per-tile accumulator for an
+// end-of-sweep fold (see the 2D ApplyPreDotChain). nil minv selects the
+// identity, chunking ApplyDot2's body instead (which also fills slot 1
+// with w·w, exactly as the unchained identity path computes it), so acc
+// must be at least 2 wide.
+func (op *Operator3D) ApplyPreDotChain(pool *par.Pool, acc *par.ChainAccum, t0, t1 int, minv *grid.Field3D, r, w *grid.Field3D) {
+	g := op.Grid
+	if minv == nil {
+		pool.ForTilesChunk(acc, t0, t1, op.applyDot2Body(g, r.Data, w.Data))
+		return
+	}
+	pool.ForTilesChunk(acc, t0, t1, op.applyPreDotBody(g, minv.Data, r.Data, w.Data))
+}
+
+// applyPreDotBody is the tile body shared by ApplyPreDot and
+// ApplyPreDotChain — one closure, so the chained and unchained sweeps
+// cannot drift bit-wise.
+func (op *Operator3D) applyPreDotBody(g *grid.Grid3D, md, rd, wd []float64) func(t par.Tile, acc []float64) {
+	return func(t par.Tile, acc []float64) {
 		tb := tb3(t)
 		n := tb.X1 - tb.X0
 		var delta float64
 		for k := tb.Z0; k < tb.Z1; k++ {
 			for j := tb.Y0; j < tb.Y1; j++ {
 				s := op.sliceRows3(tb, rd, j, k)
-				m := op.sliceRows3(tb, minv.Data, j, k)
+				m := op.sliceRows3(tb, md, j, k)
 				o := g.Index(tb.X0, j, k)
 				ws := wd[o : o+n : o+n]
 				for i := 0; i < n; i++ {
@@ -329,7 +359,7 @@ func (op *Operator3D) ApplyPreDot(pool *par.Pool, b grid.Bounds3D, minv *grid.Fi
 			}
 		}
 		acc[0] += delta
-	})[0]
+	}
 }
 
 // ApplyPreDotInit is the fused startup sweep of the 3D single-reduction
